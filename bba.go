@@ -1,0 +1,186 @@
+// Package bba is a production-quality Go reproduction of
+//
+//	Huang, Johari, McKeown, Trunnell, Watson.
+//	"A Buffer-Based Approach to Rate Adaptation:
+//	 Evidence from a Large Video Streaming Service". SIGCOMM 2014.
+//
+// It provides the paper's buffer-based ABR algorithms (BBA-0, BBA-1,
+// BBA-2, BBA-Others), the capacity-estimation Control and degenerate
+// baselines they are evaluated against, and every substrate that
+// evaluation needs: VBR video modelling, capacity traces, a virtual-time
+// player, an HTTP streaming path, a shared-bottleneck simulator and a
+// weekend-scale A/B experiment harness.
+//
+// This file is the facade: the handful of entry points a downstream user
+// needs. The full API lives in the internal packages and is exercised by
+// the examples under examples/ and the figure benchmarks in bench_test.go.
+//
+// Quick start — simulate one session:
+//
+//	video, _ := bba.NewVBRTitle("movie", 1800, 1)
+//	result, _ := bba.RunSession(bba.SessionConfig{
+//		Algorithm: bba.NewBBA2(),
+//		Video:     video,
+//		Trace:     bba.ConstantTrace(4*bba.Mbps, time.Hour),
+//	})
+//	fmt.Println(result.RebuffersPerPlayhour(), result.AvgRateKbps())
+package bba
+
+import (
+	"math/rand"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/abtest"
+	"bba/internal/media"
+	"bba/internal/player"
+	"bba/internal/replay"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+// BitRate is a bit rate in bits per second.
+type BitRate = units.BitRate
+
+// Bit-rate units.
+const (
+	Kbps = units.Kbps
+	Mbps = units.Mbps
+)
+
+// Algorithm selects the video rate for each chunk of a session. Fresh
+// instances are per-session state machines.
+type Algorithm = abr.Algorithm
+
+// Result is the complete outcome of one streaming session.
+type Result = player.Result
+
+// Video is a title encoded at every ladder rate.
+type Video = media.Video
+
+// Trace is a piecewise-constant network-capacity process.
+type Trace = trace.Trace
+
+// NewBBA0 returns the paper's Section 4 baseline buffer-based algorithm:
+// fixed 90 s reservoir, linear rate map, Algorithm 1 hysteresis.
+func NewBBA0() Algorithm { return abr.NewBBA0() }
+
+// NewBBA1 returns the Section 5 algorithm: dynamic reservoir and chunk map
+// for VBR encodes, with the deployed outage-protection accrual.
+func NewBBA1() Algorithm { return abr.NewBBA1() }
+
+// NewBBA2 returns the Section 6 algorithm — the paper's headline design:
+// a ΔB capacity-assisted startup ramp over the BBA-1 steady state.
+func NewBBA2() Algorithm { return abr.NewBBA2() }
+
+// NewBBAOthers returns the Section 7 algorithm: BBA-2 plus lookahead
+// switch smoothing and a right-shift-only reservoir whose excess acts as
+// outage protection.
+func NewBBAOthers() Algorithm { return abr.NewBBAOthers() }
+
+// NewControl returns a representative capacity-estimation algorithm in the
+// style of the paper's production default (estimate-primary, buffer-
+// adjusted), the comparison point of every figure.
+func NewControl() Algorithm { return abr.NewControl() }
+
+// NewRminAlways returns the degenerate lower-bound policy: always stream
+// the lowest rate.
+func NewRminAlways() Algorithm { return abr.RminAlways{} }
+
+// NewAlgorithm builds an algorithm from its experiment-group name:
+// "Control", "Rmin Always", "Rmax Always", "BBA-0", "BBA-1", "BBA-2" or
+// "BBA-Others".
+func NewAlgorithm(name string) (Algorithm, error) { return abr.NewByName(name) }
+
+// DefaultLadder returns the 235 kb/s – 5 Mb/s encoding ladder used
+// throughout the experiments.
+func DefaultLadder() media.Ladder { return media.DefaultLadder() }
+
+// NewVBRTitle generates a VBR title of the given length (in 4-second
+// chunks) on the default ladder, deterministically from seed. The chunk
+// sizes reproduce the paper's Figure 10 statistics (max-to-average ≈ 2).
+func NewVBRTitle(title string, chunks int, seed int64) (*Video, error) {
+	return media.NewVBR(media.VBRConfig{
+		Title:     title,
+		Ladder:    media.DefaultLadder(),
+		NumChunks: chunks,
+	}, rand.New(rand.NewSource(seed)))
+}
+
+// NewCBRTitle generates a constant-bitrate title on the default ladder.
+func NewCBRTitle(title string, chunks int) (*Video, error) {
+	return media.NewCBR(title, media.DefaultLadder(), media.DefaultChunkDuration, chunks)
+}
+
+// ConstantTrace returns a fixed-capacity trace.
+func ConstantTrace(rate BitRate, d time.Duration) *Trace {
+	return trace.Constant(rate, d)
+}
+
+// StepTrace returns a trace that switches from before to after at time at —
+// the paper's Figure 4 scenario shape.
+func StepTrace(before, after BitRate, at, total time.Duration) *Trace {
+	return trace.Step(before, after, at, total)
+}
+
+// VariableTrace returns a Markov-modulated capacity trace around base whose
+// 75th/25th percentile throughput ratio is approximately quartileRatio
+// (the paper's Figure 1 session: 5.6), deterministically from seed.
+func VariableTrace(base BitRate, quartileRatio float64, d time.Duration, seed int64) *Trace {
+	return trace.Markov(trace.MarkovConfig{
+		Base:     base,
+		Sigma:    trace.SigmaForQuartileRatio(quartileRatio),
+		Duration: d,
+	}, rand.New(rand.NewSource(seed)))
+}
+
+// SessionConfig describes one simulated streaming session.
+type SessionConfig struct {
+	// Algorithm picks the rate for every chunk.
+	Algorithm Algorithm
+	// Video is the title to stream.
+	Video *Video
+	// Trace is the network capacity over the session.
+	Trace *Trace
+	// Rmin, when non-zero, applies the paper's footnote-3 promotion: the
+	// session ladder starts at the lowest rate ≥ Rmin.
+	Rmin BitRate
+	// BufferMax is the playback buffer size (default: the paper's 240 s).
+	BufferMax time.Duration
+	// WatchLimit stops after this much delivered video (default: the
+	// whole title).
+	WatchLimit time.Duration
+}
+
+// RunSession simulates the session in virtual time and returns its result.
+// Multi-hour sessions simulate in microseconds to milliseconds.
+func RunSession(cfg SessionConfig) (*Result, error) {
+	return player.Run(player.Config{
+		Algorithm:  cfg.Algorithm,
+		Stream:     abr.NewStream(cfg.Video, cfg.Rmin),
+		Trace:      cfg.Trace,
+		BufferMax:  cfg.BufferMax,
+		WatchLimit: cfg.WatchLimit,
+	})
+}
+
+// ObservedTrace reconstructs the capacity process a finished session
+// experienced, from its per-chunk throughput observations. Feed it back
+// into RunSession with a different algorithm for a counterfactual — the
+// paper's Figure 4 question ("this rebuffer was entirely unnecessary").
+func ObservedTrace(res *Result) (*Trace, error) {
+	return replay.TraceFromResult(res)
+}
+
+// Experiment runs a weekend-scale paired A/B test across the paper's six
+// groups (Control, Rmin Always, BBA-0/1/2/Others) over a synthetic
+// population calibrated to the paper's variability statistics. days and
+// sessionsPerWindow size the population; the result is deterministic in
+// seed.
+func Experiment(seed int64, days, sessionsPerWindow int) (*abtest.Outcome, error) {
+	return abtest.Run(abtest.Config{
+		Seed:              seed,
+		Days:              days,
+		SessionsPerWindow: sessionsPerWindow,
+	})
+}

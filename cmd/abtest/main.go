@@ -1,0 +1,90 @@
+// Command abtest runs the weekend-scale A/B experiment and regenerates the
+// paper's figures as text tables.
+//
+// Examples:
+//
+//	abtest                       # every figure, quick scale
+//	abtest -fig Fig18SteadyStateRate
+//	abtest -scale full -experiments-md > EXPERIMENTS.md
+//	abtest -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bba/internal/figures"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "quick", "experiment scale: quick or full")
+		figName   = flag.String("fig", "", "regenerate a single figure by name (see -list)")
+		list      = flag.Bool("list", false, "list every reproducible figure and exit")
+		mdOut     = flag.Bool("experiments-md", false, "emit the EXPERIMENTS.md body to stdout")
+		csvOut    = flag.Bool("csv", false, "emit the weekend experiment's per-window aggregates as CSV")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *scaleName, *figName, *list, *mdOut, *csvOut); err != nil {
+		fmt.Fprintln(os.Stderr, "abtest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, scaleName, figName string, list, mdOut, csvOut bool) error {
+	var scale figures.Scale
+	switch scaleName {
+	case "quick":
+		scale = figures.Quick
+	case "full":
+		scale = figures.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", scaleName)
+	}
+
+	if list {
+		for _, e := range figures.All() {
+			fmt.Fprintf(out, "%-28s %s\n", e.Name, e.Paper)
+		}
+		return nil
+	}
+
+	if mdOut {
+		return figures.WriteMarkdown(out, scale)
+	}
+
+	if csvOut {
+		o, err := figures.ExperimentOutcome(scale)
+		if err != nil {
+			return err
+		}
+		return o.WriteCSV(out)
+	}
+
+	if figName != "" {
+		entry, ok := figures.Lookup(figName)
+		if !ok {
+			return fmt.Errorf("unknown figure %q (try -list)", figName)
+		}
+		fig, err := entry.Gen(scale)
+		if err != nil {
+			return err
+		}
+		return fig.WriteTable(out)
+	}
+
+	for _, e := range figures.All() {
+		fig, err := e.Gen(scale)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		if err := fig.WriteTable(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "quick", "", true, false, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig07RebufferRateBBA0", "Figure 18", "SharedLinkFairness"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestSingleFigure(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "quick", "Fig10VBRChunkSizes", false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "max-to-average ratio") {
+		t.Error("figure notes missing")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "enormous", "", false, false, false); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run(&out, "quick", "Fig99", false, false, false); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bba/internal/dash"
+	"bba/internal/media"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	video, err := media.NewVBR(media.VBRConfig{
+		Ladder:        media.DefaultLadder(),
+		ChunkDuration: 500 * time.Millisecond,
+		NumChunks:     12,
+	}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dash.NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestPlayAgainstLocalServer(t *testing.T) {
+	ts := testServer(t)
+	var out bytes.Buffer
+	if err := run(&out, ts.URL, "BBA-2", 3*time.Second, 0, 0, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "session summary") {
+		t.Error("no summary printed")
+	}
+}
+
+func TestPlayViaMPDAndShaping(t *testing.T) {
+	ts := testServer(t)
+	var out bytes.Buffer
+	if err := run(&out, ts.URL, "BBA-0", 2*time.Second, 8000, 560, true, false, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "average rate") {
+		t.Error("no metrics printed")
+	}
+}
+
+func TestPlayBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "http://127.0.0.1:1", "BBA-2", time.Second, 0, 0, false, false, true); err == nil {
+		t.Error("dead server accepted")
+	}
+	if err := run(&out, "http://127.0.0.1:1", "NOPE", time.Second, 0, 0, false, false, true); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestPlayWithWhatIf(t *testing.T) {
+	ts := testServer(t)
+	var out bytes.Buffer
+	if err := run(&out, ts.URL, "BBA-2", 3*time.Second, 0, 0, false, true, true); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "what-if on the observed network") {
+		t.Error("what-if section missing")
+	}
+	for _, alg := range []string{"Control", "BBA-0", "BBA-Others"} {
+		if !strings.Contains(text, alg) {
+			t.Errorf("what-if table missing %s", alg)
+		}
+	}
+}

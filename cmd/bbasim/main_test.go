@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunScenarios(t *testing.T) {
+	for _, scenario := range []string{"constant", "step", "variable", "outage"} {
+		var out bytes.Buffer
+		if err := run(&out, "BBA-2", 4000, scenario, 5.6, 3*time.Minute, 300, 1, 0, "", "", "", false); err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		text := out.String()
+		if !strings.Contains(text, "session summary") {
+			t.Errorf("%s: no summary printed", scenario)
+		}
+		if !strings.Contains(text, "rebuffers") {
+			t.Errorf("%s: no metrics printed", scenario)
+		}
+	}
+}
+
+func TestRunCustomLadder(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "BBA-2", 4000, "constant", 3, 2*time.Minute, 200, 1, 0, "", "", "235,1050,3000", false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "session summary") {
+		t.Error("no summary with custom ladder")
+	}
+	if err := run(&out, "BBA-2", 4000, "constant", 3, time.Minute, 100, 1, 0, "", "", "3000,235", false); err == nil {
+		t.Error("descending ladder accepted")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "NOPE", 4000, "constant", 3, time.Minute, 100, 1, 0, "", "", "", false); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run(&out, "BBA-0", 4000, "wormhole", 3, time.Minute, 100, 1, 0, "", "", "", false); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run(&out, "BBA-0", 4000, "constant", 3, time.Minute, 100, 1, 0, "/nonexistent.csv", "", "", false); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestRunTraceFileAndChunkCSV(t *testing.T) {
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(traceFile, []byte("60.0,4000000\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	chunkFile := filepath.Join(dir, "chunks.csv")
+	var out bytes.Buffer
+	if err := run(&out, "BBA-1", 0, "", 0, 2*time.Minute, 200, 1, 560, traceFile, chunkFile, "", true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(chunkFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "start_s,index,") {
+		t.Error("chunk CSV malformed")
+	}
+}

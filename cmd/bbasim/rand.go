@@ -1,0 +1,6 @@
+package main
+
+import "math/rand"
+
+// newRand returns a seeded PRNG; isolated here so main.go reads cleanly.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

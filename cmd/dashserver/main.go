@@ -1,0 +1,67 @@
+// Command dashserver serves a synthetic VBR title over HTTP for the
+// bbaplay client (or any HTTP client): a JSON manifest at /manifest.json
+// and chunk bodies at /chunk/{rate}/{index}.
+//
+// Example:
+//
+//	dashserver -addr 127.0.0.1:8404 -chunks 900 &
+//	bbaplay -url http://127.0.0.1:8404 -alg BBA-2 -watch 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"bba/internal/dash"
+	"bba/internal/media"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8404", "listen address")
+		chunks  = flag.Int("chunks", 900, "title length in chunks")
+		chunkMS = flag.Int("chunk-ms", 4000, "chunk duration in milliseconds")
+		seed    = flag.Int64("seed", 1, "seed for the synthetic title")
+		latency = flag.Duration("latency", 0, "added first-byte latency per chunk")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *chunks, *chunkMS, *seed, *latency); err != nil {
+		fmt.Fprintln(os.Stderr, "dashserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, chunks, chunkMS int, seed int64, latency time.Duration) error {
+	srv, video, err := buildServer(chunks, chunkMS, seed, latency)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %q (%d chunks of %v, ladder %v–%v) on http://%s\n",
+		video.Title, video.NumChunks(), video.ChunkDuration,
+		video.Ladder.Min(), video.Ladder.Max(), addr)
+	return http.ListenAndServe(addr, srv)
+}
+
+// buildServer constructs the synthetic title and its HTTP handler.
+func buildServer(chunks, chunkMS int, seed int64, latency time.Duration) (*dash.Server, *media.Video, error) {
+	video, err := media.NewVBR(media.VBRConfig{
+		Title:         "dashserver",
+		Ladder:        media.DefaultLadder(),
+		ChunkDuration: time.Duration(chunkMS) * time.Millisecond,
+		NumChunks:     chunks,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := dash.NewServer(video)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv.Latency = latency
+	return srv, video, nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestBuildServer(t *testing.T) {
+	srv, video, err := buildServer(30, 4000, 1, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if video.NumChunks() != 30 {
+		t.Errorf("chunks = %d", video.NumChunks())
+	}
+	if srv.Latency != 5*time.Millisecond {
+		t.Errorf("latency = %v", srv.Latency)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("manifest status %s", resp.Status)
+	}
+	// Zero chunks falls back to the VBR default title length.
+	_, v2, err := buildServer(0, 4000, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.NumChunks() != 1800 {
+		t.Errorf("defaulted chunks = %d, want 1800", v2.NumChunks())
+	}
+}

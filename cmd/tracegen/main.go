@@ -1,0 +1,114 @@
+// Command tracegen generates, transforms and inspects capacity traces in
+// the CSV format the rest of the toolchain consumes
+// ("duration_seconds,rate_bps" per line).
+//
+// Examples:
+//
+//	tracegen -kind markov -base 4000 -ratio 5.6 -duration 30m > harsh.csv
+//	tracegen -kind step -base 5000 -after 350 -at 25s -duration 10m > fig4.csv
+//	tracegen -stats harsh.csv
+//	tracegen -kind markov -outage 120s:30s > with_outage.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"bba/internal/stats"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "markov", "trace kind: constant, step, markov")
+		baseKbps = flag.Int("base", 4000, "base capacity in kb/s")
+		after    = flag.Int("after", 350, "post-step capacity in kb/s (step kind)")
+		at       = flag.Duration("at", 25*time.Second, "step time (step kind)")
+		ratio    = flag.Float64("ratio", 3.0, "75th/25th percentile throughput ratio (markov kind)")
+		duration = flag.Duration("duration", 30*time.Minute, "trace duration")
+		seed     = flag.Int64("seed", 1, "random seed")
+		outage   = flag.String("outage", "", "overlay an outage, formatted start:length (e.g. 120s:30s)")
+		statsIn  = flag.String("stats", "", "read a trace CSV and print its statistics instead of generating")
+	)
+	flag.Parse()
+
+	if err := run(os.Stdout, *kind, *baseKbps, *after, *at, *ratio, *duration, *seed, *outage, *statsIn); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, kind string, baseKbps, afterKbps int, at time.Duration, ratio float64, duration time.Duration, seed int64, outage, statsIn string) error {
+	if statsIn != "" {
+		return printStats(out, statsIn)
+	}
+
+	base := units.BitRate(baseKbps) * units.Kbps
+	var tr *trace.Trace
+	switch kind {
+	case "constant":
+		tr = trace.Constant(base, duration)
+	case "step":
+		tr = trace.Step(base, units.BitRate(afterKbps)*units.Kbps, at, duration)
+	case "markov":
+		tr = trace.Markov(trace.MarkovConfig{
+			Base:     base,
+			Sigma:    trace.SigmaForQuartileRatio(ratio),
+			Duration: duration,
+		}, rand.New(rand.NewSource(seed)))
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+
+	if outage != "" {
+		parts := strings.Split(outage, ":")
+		if len(parts) != 2 {
+			return fmt.Errorf("outage wants start:length, got %q", outage)
+		}
+		start, err := time.ParseDuration(parts[0])
+		if err != nil {
+			return fmt.Errorf("outage start: %w", err)
+		}
+		length, err := time.ParseDuration(parts[1])
+		if err != nil {
+			return fmt.Errorf("outage length: %w", err)
+		}
+		tr, err = trace.WithOutages(tr, []trace.Outage{{Start: start, Duration: length}})
+		if err != nil {
+			return err
+		}
+	}
+	return tr.WriteCSV(out)
+}
+
+func printStats(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	rates := tr.Rates(time.Second)
+	summary, err := stats.Summarize(rates)
+	if err != nil {
+		return err
+	}
+	qr, _ := stats.QuartileRatio(rates)
+	m95, _ := stats.MedianTo95Ratio(rates)
+	fmt.Fprintf(out, "duration        %v\n", tr.Total().Round(time.Second))
+	fmt.Fprintf(out, "segments        %d\n", len(tr.Segments()))
+	fmt.Fprintf(out, "rate kb/s       min %.0f  p25 %.0f  median %.0f  p75 %.0f  p95 %.0f  max %.0f\n",
+		summary.Min, summary.P25, summary.Median, summary.P75, summary.P95, summary.Max)
+	fmt.Fprintf(out, "75/25 ratio     %.2f (the paper's Figure 1 trace: 5.6)\n", qr)
+	fmt.Fprintf(out, "median/p95      %.2f (below 0.5 = a 'highly variable' session, §2.2)\n", m95)
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGenerateKinds(t *testing.T) {
+	for _, kind := range []string{"constant", "step", "markov"} {
+		var out bytes.Buffer
+		if err := run(&out, kind, 4000, 350, 25*time.Second, 3, time.Minute, 1, "", ""); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !strings.Contains(out.String(), ",") {
+			t.Errorf("%s produced no CSV rows", kind)
+		}
+	}
+	var out bytes.Buffer
+	if err := run(&out, "wormhole", 4000, 350, 0, 3, time.Minute, 1, "", ""); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestOutageOverlay(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "constant", 4000, 0, 0, 0, 5*time.Minute, 1, "30s:10s", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ",0\n") {
+		t.Error("no zero-rate segment in the output")
+	}
+	for _, bad := range []string{"30s", "abc:10s", "30s:abc"} {
+		if err := run(&out, "constant", 4000, 0, 0, 0, time.Minute, 1, bad, ""); err == nil {
+			t.Errorf("outage spec %q accepted", bad)
+		}
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "t.csv")
+	var gen bytes.Buffer
+	if err := run(&gen, "markov", 4000, 0, 0, 5.6, 10*time.Minute, 7, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(file, gen.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, "", 0, 0, 0, 0, 0, 0, "", file); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"duration", "75/25 ratio", "median/p95"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q", want)
+		}
+	}
+	if err := run(&out, "", 0, 0, 0, 0, 0, 0, "", "/nonexistent.csv"); err == nil {
+		t.Error("missing stats file accepted")
+	}
+}

@@ -1,0 +1,89 @@
+// Outage protection (Section 7.1): compare BBA-2 (per-chunk outage
+// protection accrual) and BBA-Others (right-shift-only reservoir) against
+// plain map-following when the network disappears completely for 30
+// seconds mid-session.
+//
+//	go run ./examples/outage
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"bba"
+	"bba/internal/abr"
+	"bba/internal/player"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+func main() {
+	video, err := bba.NewVBRTitle("outage-demo", 900, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A modest 2.5 Mb/s link with a total outage eight minutes
+	// in. The paper's motivating outages are 20–30 s; this one is stretched
+	// to 145 s so the difference in accumulated protection is visible —
+	// the outage outlasts the unprotected buffer but not the protected one.
+	base := trace.Constant(2500*units.Kbps, time.Hour)
+	link, err := trace.WithOutages(base, []trace.Outage{
+		{Start: 8 * time.Minute, Duration: 145 * time.Second},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A variant of BBA-1 with the protection accrual disabled isolates
+	// what the Section 7 mechanisms buy.
+	runs := []struct {
+		name string
+		alg  bba.Algorithm
+	}{
+		{"BBA-1 (no protection)", func() bba.Algorithm {
+			a := abr.NewBBA1()
+			a.ProtectionPerChunk = 0
+			return a
+		}()},
+		{"BBA-1", bba.NewBBA1()},
+		{"BBA-2", bba.NewBBA2()},
+		{"BBA-Others", bba.NewBBAOthers()},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\trebuffers\tfrozen\tavg rate\tbuffer@outage")
+	for _, r := range runs {
+		res, err := bba.RunSession(bba.SessionConfig{
+			Algorithm:  r.alg,
+			Video:      video,
+			Trace:      link,
+			WatchLimit: 15 * time.Minute,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.1fs\t%.0f kb/s\t%.0fs\n",
+			r.name, res.Rebuffers, res.StallTime.Seconds(), res.AvgRateKbps(),
+			bufferAtOutage(res, 8*time.Minute))
+	}
+	w.Flush()
+	fmt.Println("\nthe Section 7 mechanisms converge the buffer higher, so an outage that")
+	fmt.Println("freezes the unprotected player drains protection instead")
+}
+
+// bufferAtOutage reports the buffer level after the last chunk that
+// completed before the outage hit.
+func bufferAtOutage(res *player.Result, at time.Duration) float64 {
+	var level time.Duration
+	for _, c := range res.Chunks {
+		if c.Start+c.Download > at {
+			break
+		}
+		level = c.BufferAfter
+	}
+	return level.Seconds()
+}

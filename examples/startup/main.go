@@ -1,0 +1,63 @@
+// Startup ramp (Figure 16): BBA-1 follows the chunk map and climbs only as
+// the buffer grows; BBA-2's ΔB rule steps the rate up as soon as chunk
+// downloads prove the capacity. This example prints both ramps side by
+// side on the same fast link.
+//
+//	go run ./examples/startup
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"bba"
+	"bba/internal/abr"
+	"bba/internal/media"
+	"bba/internal/player"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+func main() {
+	// The network sustains far more than the title's top rate: the
+	// steady-state rate is R_max and the only question is how fast each
+	// algorithm gets there.
+	ladder := media.DefaultLadder()[:8] // cap the title at 3 Mb/s
+	video, err := media.NewCBR("startup-demo", ladder, media.DefaultChunkDuration, 450)
+	if err != nil {
+		log.Fatal(err)
+	}
+	link := trace.Constant(25*units.Mbps, time.Hour)
+
+	ramp := func(alg bba.Algorithm) *player.Result {
+		res, err := player.Run(player.Config{
+			Algorithm:  alg,
+			Stream:     abr.NewStream(video, 0),
+			Trace:      link,
+			WatchLimit: 5 * time.Minute,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	bba1 := ramp(bba.NewBBA1())
+	bba2 := ramp(bba.NewBBA2())
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "chunk\tBBA-1 rate\tBBA-1 buffer\tBBA-2 rate\tBBA-2 buffer")
+	for k := 0; k < 30 && k < len(bba1.Chunks) && k < len(bba2.Chunks); k++ {
+		c1, c2 := bba1.Chunks[k], bba2.Chunks[k]
+		fmt.Fprintf(w, "%d\t%v\t%.0fs\t%v\t%.0fs\n",
+			k, c1.Rate, c1.BufferAfter.Seconds(), c2.Rate, c2.BufferAfter.Seconds())
+	}
+	w.Flush()
+
+	fmt.Printf("\nfirst-minute average rate: BBA-1 %.0f kb/s, BBA-2 %.0f kb/s\n",
+		bba1.StartupAvgRateKbps(), bba2.StartupAvgRateKbps())
+	fmt.Println("BBA-2 steps up one rung per chunk while downloads run ≥8× faster than")
+	fmt.Println("real time; BBA-1 waits for the buffer to climb the whole cushion")
+}

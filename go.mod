@@ -1,0 +1,3 @@
+module bba
+
+go 1.22

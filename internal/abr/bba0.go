@@ -1,0 +1,53 @@
+package abr
+
+import (
+	"time"
+)
+
+// BBA0 is the Section 4 baseline buffer-based algorithm: Algorithm 1 over a
+// fixed-geometry linear rate map.
+//
+// The geometry follows the paper's deployment exactly: a large fixed
+// 90-second reservoir ("big enough to absorb the variation from VBR"), a
+// cushion ending where the map reaches R_max at 90% of the buffer, and the
+// remaining 10% as upper reservoir. For the 240-second browser player that
+// is reservoir 90 s, cushion 126 s, upper reservoir 24 s.
+type BBA0 struct {
+	// Reservoir is r; the paper's deployment used 90 s.
+	Reservoir time.Duration
+	// RampEndFraction is where f(B) first reaches R_max, as a fraction of
+	// B_max; the paper used 0.9.
+	RampEndFraction float64
+
+	prev int
+}
+
+// NewBBA0 returns a BBA0 with the paper's deployed parameters.
+func NewBBA0() *BBA0 {
+	return &BBA0{Reservoir: 90 * time.Second, RampEndFraction: 0.9, prev: -1}
+}
+
+// Name implements Algorithm.
+func (b *BBA0) Name() string { return "BBA-0" }
+
+// Map returns the rate map BBA0 uses for a given buffer capacity.
+func (b *BBA0) Map(s Stream, bufferMax time.Duration) RateMap {
+	l := s.Ladder()
+	cushion := time.Duration(b.RampEndFraction*float64(bufferMax)) - b.Reservoir
+	if cushion < time.Second {
+		cushion = time.Second
+	}
+	return RateMap{
+		Rmin:      l.Min(),
+		Rmax:      l.Max(),
+		Reservoir: b.Reservoir,
+		Cushion:   cushion,
+	}
+}
+
+// Next implements Algorithm.
+func (b *BBA0) Next(st State, s Stream) int {
+	next := Algorithm1(b.Map(s, st.BufferMax), s.Ladder(), b.prev, st.Buffer)
+	b.prev = next
+	return next
+}

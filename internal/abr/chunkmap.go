@@ -1,0 +1,124 @@
+package abr
+
+import (
+	"time"
+)
+
+// ChunkMap is the Section 5.2 generalization of the rate map to the
+// buffer–chunk-size plane: it yields the maximum allowable size in bytes of
+// the next chunk as a function of buffer occupancy, ramping linearly from
+// the average chunk size at R_min (Chunk_min) to the average chunk size at
+// R_max (Chunk_max) across the cushion.
+type ChunkMap struct {
+	ChunkMin, ChunkMax int64         // average chunk sizes at R_min and R_max, bytes
+	Reservoir          time.Duration // r
+	Cushion            time.Duration // cu
+}
+
+// MaxChunk evaluates the map: the largest chunk size the algorithm may
+// request at occupancy b.
+func (m ChunkMap) MaxChunk(b time.Duration) int64 {
+	if b <= m.Reservoir || m.Cushion <= 0 {
+		return m.ChunkMin
+	}
+	if b >= m.Reservoir+m.Cushion {
+		return m.ChunkMax
+	}
+	frac := float64(b-m.Reservoir) / float64(m.Cushion)
+	return m.ChunkMin + int64(frac*float64(m.ChunkMax-m.ChunkMin))
+}
+
+// upcoming returns the size of chunk k at session index i, clamping k to
+// the last chunk so decisions near the end of the title stay defined.
+func upcoming(s Stream, i, k int) int64 {
+	if k >= s.NumChunks() {
+		k = s.NumChunks() - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	return s.ChunkSize(i, k)
+}
+
+// Algorithm1Chunk applies the Algorithm 1 barrier rule on the chunk map:
+// stay at prev as long as the size suggested by the map does not pass the
+// size of the *next upcoming chunk* at the next-higher or next-lower
+// available rate. On an up-crossing it returns the highest rate whose next
+// chunk still fits under the map; on a down-crossing, the lowest rate whose
+// next chunk exceeds it (rounding up, as in Algorithm 1's min{R_i : R_i >
+// f(B)}), floored at R_min.
+func Algorithm1Chunk(m ChunkMap, s Stream, prev, k int, b time.Duration) int {
+	l := s.Ladder()
+	top := len(l) - 1
+	switch {
+	case b <= m.Reservoir:
+		return 0
+	case b >= m.Reservoir+m.Cushion:
+		return top
+	}
+	if prev < 0 {
+		return highestChunkAtMost(m, s, k, b)
+	}
+	prev = l.Clamp(prev)
+
+	cap := m.MaxChunk(b)
+	upSize := upcoming(s, l.NextUp(prev), k)
+	downSize := upcoming(s, l.NextDown(prev), k)
+	switch {
+	case prev != top && cap >= upSize:
+		// Step up: the highest rate whose upcoming chunk is still under
+		// the map, but at least one step.
+		next := highestChunkBelow(m, s, k, cap)
+		if next <= prev {
+			next = l.NextUp(prev)
+		}
+		return next
+	case prev != 0 && cap <= downSize:
+		// Step down: the lowest rate whose upcoming chunk exceeds the
+		// map (round up), at most one below... the paper allows multi-
+		// step drops, so take the lowest rate above the map value.
+		next := lowestChunkAbove(m, s, k, cap)
+		if next >= prev {
+			next = l.NextDown(prev)
+		}
+		return next
+	default:
+		return prev
+	}
+}
+
+// highestChunkAtMost returns the highest session index whose upcoming chunk
+// size is ≤ the map value at b, or 0 if none.
+func highestChunkAtMost(m ChunkMap, s Stream, k int, b time.Duration) int {
+	cap := m.MaxChunk(b)
+	best := 0
+	for i := range s.Ladder() {
+		if upcoming(s, i, k) <= cap {
+			best = i
+		}
+	}
+	return best
+}
+
+// highestChunkBelow returns the highest session index whose upcoming chunk
+// is strictly below cap, or 0 if none.
+func highestChunkBelow(m ChunkMap, s Stream, k int, cap int64) int {
+	best := 0
+	for i := range s.Ladder() {
+		if upcoming(s, i, k) < cap {
+			best = i
+		}
+	}
+	return best
+}
+
+// lowestChunkAbove returns the lowest session index whose upcoming chunk is
+// strictly above cap; if every rate fits under cap it returns the top.
+func lowestChunkAbove(m ChunkMap, s Stream, k int, cap int64) int {
+	for i := range s.Ladder() {
+		if upcoming(s, i, k) > cap {
+			return i
+		}
+	}
+	return len(s.Ladder()) - 1
+}

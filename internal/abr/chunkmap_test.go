@@ -1,0 +1,197 @@
+package abr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bba/internal/media"
+	"bba/internal/units"
+)
+
+// cbrStream returns a CBR stream where chunk sizes equal nominal sizes, so
+// chunk-map behaviour must coincide with rate-map behaviour.
+func cbrStream(t testing.TB) Stream {
+	t.Helper()
+	v, err := media.NewCBR("cbr", media.DefaultLadder(), media.DefaultChunkDuration, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStream(v, 0)
+}
+
+func vbrStream(t testing.TB, seed int64) Stream {
+	t.Helper()
+	v, err := media.NewVBR(media.VBRConfig{Ladder: media.DefaultLadder(), NumChunks: 600}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStream(v, 0)
+}
+
+func testChunkMap(s Stream) ChunkMap {
+	l := s.Ladder()
+	return ChunkMap{
+		ChunkMin:  l.Min().BytesIn(s.ChunkDuration()),
+		ChunkMax:  l.Max().BytesIn(s.ChunkDuration()),
+		Reservoir: 90 * time.Second,
+		Cushion:   126 * time.Second,
+	}
+}
+
+func TestChunkMapEndpoints(t *testing.T) {
+	s := cbrStream(t)
+	m := testChunkMap(s)
+	if got := m.MaxChunk(0); got != m.ChunkMin {
+		t.Errorf("MaxChunk(0) = %d, want ChunkMin %d", got, m.ChunkMin)
+	}
+	if got := m.MaxChunk(90 * time.Second); got != m.ChunkMin {
+		t.Errorf("MaxChunk(reservoir) = %d, want ChunkMin", got)
+	}
+	if got := m.MaxChunk(216 * time.Second); got != m.ChunkMax {
+		t.Errorf("MaxChunk(ramp end) = %d, want ChunkMax %d", got, m.ChunkMax)
+	}
+	if got := m.MaxChunk(10 * time.Hour); got != m.ChunkMax {
+		t.Errorf("MaxChunk(huge) = %d, want ChunkMax", got)
+	}
+}
+
+// Property: the chunk map is monotone in buffer occupancy.
+func TestQuickChunkMapMonotone(t *testing.T) {
+	s := cbrStream(t)
+	m := testChunkMap(s)
+	f := func(aMs, bMs uint32) bool {
+		a := time.Duration(aMs%300000) * time.Millisecond
+		b := time.Duration(bMs%300000) * time.Millisecond
+		if a > b {
+			a, b = b, a
+		}
+		return m.MaxChunk(a) <= m.MaxChunk(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1ChunkMatchesRateMapOnCBR(t *testing.T) {
+	// On a CBR encode, chunk sizes are exactly V·R, so the chunk-map
+	// algorithm must agree with the rate-map algorithm at every buffer
+	// level and previous rate.
+	s := cbrStream(t)
+	cm := testChunkMap(s)
+	rm := RateMap{
+		Rmin:      s.Ladder().Min(),
+		Rmax:      s.Ladder().Max(),
+		Reservoir: cm.Reservoir,
+		Cushion:   cm.Cushion,
+	}
+	for prev := -1; prev < len(s.Ladder()); prev++ {
+		for b := time.Duration(0); b <= 240*time.Second; b += 3 * time.Second {
+			got := Algorithm1Chunk(cm, s, prev, 10, b)
+			want := Algorithm1(rm, s.Ladder(), prev, b)
+			if got != want {
+				t.Fatalf("prev=%d B=%v: chunk-map chose %d, rate-map %d", prev, b, got, want)
+			}
+		}
+	}
+}
+
+func TestAlgorithm1ChunkRegions(t *testing.T) {
+	s := vbrStream(t, 1)
+	m := testChunkMap(s)
+	top := len(s.Ladder()) - 1
+	if got := Algorithm1Chunk(m, s, top, 5, 30*time.Second); got != 0 {
+		t.Errorf("below reservoir: %d, want 0", got)
+	}
+	if got := Algorithm1Chunk(m, s, 0, 5, 230*time.Second); got != top {
+		t.Errorf("above cushion: %d, want top", got)
+	}
+	if got := Algorithm1Chunk(m, s, -1, 0, 0); got != 0 {
+		t.Errorf("first chunk on empty buffer: %d, want 0", got)
+	}
+}
+
+func TestAlgorithm1ChunkVariableSizesCauseSwitches(t *testing.T) {
+	// The Figure 21 phenomenon: with a fixed buffer level and map, VBR
+	// chunk-size variation alone flips the selected rate over time.
+	s := vbrStream(t, 7)
+	m := testChunkMap(s)
+	b := 150 * time.Second // mid-cushion
+	prev := 5
+	switches := 0
+	cur := prev
+	for k := 0; k < 300; k++ {
+		next := Algorithm1Chunk(m, s, cur, k, b)
+		if next != cur {
+			switches++
+			cur = next
+		}
+	}
+	if switches == 0 {
+		t.Error("VBR chunk variation should cause rate switches at constant buffer level")
+	}
+}
+
+func TestAlgorithm1ChunkEndOfTitleClamp(t *testing.T) {
+	s := vbrStream(t, 3)
+	m := testChunkMap(s)
+	// Decisions at and beyond the final chunk index must not panic and
+	// must return valid indices.
+	for _, k := range []int{s.NumChunks() - 1, s.NumChunks(), s.NumChunks() + 10} {
+		got := Algorithm1Chunk(m, s, 4, k, 150*time.Second)
+		if got < 0 || got >= len(s.Ladder()) {
+			t.Errorf("k=%d: invalid index %d", k, got)
+		}
+	}
+}
+
+// Property: Algorithm1Chunk always returns a valid index, and respects the
+// reservoir/upper-reservoir regions.
+func TestQuickAlgorithm1ChunkValid(t *testing.T) {
+	s := vbrStream(t, 11)
+	m := testChunkMap(s)
+	f := func(prevRaw int8, kRaw uint16, bMs uint32) bool {
+		prev := int(prevRaw)%(len(s.Ladder())+2) - 1
+		k := int(kRaw) % (s.NumChunks() + 5)
+		b := time.Duration(bMs%300000) * time.Millisecond
+		got := Algorithm1Chunk(m, s, prev, k, b)
+		if got < 0 || got >= len(s.Ladder()) {
+			return false
+		}
+		if prev >= 0 {
+			if b <= m.Reservoir && got != 0 {
+				return false
+			}
+			if b >= m.Reservoir+m.Cushion && got != len(s.Ladder())-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamPromotion(t *testing.T) {
+	v, err := media.NewCBR("x", media.DefaultLadder(), media.DefaultChunkDuration, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream(v, 560*units.Kbps)
+	if s.Ladder().Min() != 560*units.Kbps {
+		t.Errorf("promoted Rmin = %v", s.Ladder().Min())
+	}
+	// Session index 0 must map to the 560 kb/s encode.
+	want := (560 * units.Kbps).BytesIn(media.DefaultChunkDuration)
+	if got := s.ChunkSize(0, 0); got != want {
+		t.Errorf("ChunkSize(0,0) = %d, want %d", got, want)
+	}
+	if s.VideoIndex(0) != 2 {
+		t.Errorf("VideoIndex(0) = %d, want 2", s.VideoIndex(0))
+	}
+	if s.NominalChunkSize(0) != want {
+		t.Errorf("NominalChunkSize(0) = %d, want %d", s.NominalChunkSize(0), want)
+	}
+}

@@ -1,0 +1,209 @@
+package abr
+
+import (
+	"time"
+
+	"bba/internal/units"
+)
+
+// Control is a representative capacity-estimation ABR algorithm in the
+// mould of the paper's Figure 3 and its description of the production
+// default: "it picks a video rate primarily based on capacity estimation,
+// with buffer occupancy as a secondary signal".
+//
+// The estimator Ĉ is an exponentially weighted moving average of per-chunk
+// throughput. The selected rate is the highest ladder rate no greater than
+// F(B)·Ĉ, where the adjustment F(B) rises linearly from FMin on an empty
+// buffer to FMax once the buffer exceeds AdjustmentSpan — conservative when
+// the buffer is low, aggressive when it is high, exactly the pattern
+// Section 2.2 describes. Because F is a fixed compromise, a sharp capacity
+// drop leaves the lagging estimate too high and the adjustment "not small
+// enough to offset the difference" (Figure 4): the client rides a too-high
+// rate into an unnecessary rebuffer. That failure mode is intrinsic to this
+// design and is what the buffer-based algorithms eliminate.
+//
+// An up-switch additionally requires the adjusted estimate to clear the
+// candidate rate by UpMargin, a light hysteresis typical of deployed
+// estimator-based players.
+type Control struct {
+	// Alpha is the EWMA weight given to each new throughput sample.
+	Alpha float64
+	// FMin and FMax bound the buffer adjustment F(B).
+	FMin, FMax float64
+	// AdjustmentSpan is the buffer level at which F reaches FMax.
+	AdjustmentSpan time.Duration
+	// UpMargin is the relative headroom required to switch up (0.05 =
+	// the adjusted estimate must exceed the candidate rate by 5%).
+	UpMargin float64
+	// UpPersistence is how many consecutive decisions must agree before
+	// an up-switch is taken; production estimator players debounce their
+	// estimates this way. Zero or one switches immediately.
+	UpPersistence int
+	// PanicBuffer is the occupancy below which the algorithm abandons the
+	// estimate and requests R_min outright — the strongest form of the
+	// "conservative when the buffer is at risk" adjustment deployed
+	// players use. It is what keeps Control's rebuffer rate within tens
+	// of percent of the buffer-based algorithms rather than multiples;
+	// the residual gap is the paper's "unnecessary rebuffers".
+	PanicBuffer time.Duration
+	// DropCap bounds the estimate at DropCap × the most recent sample —
+	// the "fast down, slow up" asymmetry of tuned production estimators:
+	// one collapsed chunk immediately drags the usable estimate down,
+	// while recovery follows the slow EWMA. Zero disables the cap.
+	DropCap float64
+	// ProbeFraction enables full-buffer probing: a buffer above this
+	// fraction of capacity means the client is in the ON-OFF pattern,
+	// deliberately leaving capacity unused, so the tuned production
+	// algorithm steps one rung above its estimate to claim it. Zero
+	// disables probing.
+	ProbeFraction float64
+	// InitialEstimate seeds Ĉ before any chunk has been observed,
+	// modelling the stored throughput history a production player uses
+	// to pick its first rate. Zero means no history: start at R_min.
+	InitialEstimate units.BitRate
+
+	est     units.BitRate
+	prev    int
+	upVotes int
+}
+
+// NewControl returns a Control with parameters representative of the
+// then-default production algorithm's behaviour.
+func NewControl() *Control {
+	return &Control{
+		Alpha:          0.25,
+		FMin:           0.3,
+		FMax:           1.2,
+		AdjustmentSpan: 120 * time.Second,
+		UpMargin:       0.05,
+		UpPersistence:  2,
+		PanicBuffer:    20 * time.Second,
+		DropCap:        1.35,
+		ProbeFraction:  0.95,
+		prev:           -1,
+	}
+}
+
+// NewAggressiveControl returns the estimator configuration used to
+// reproduce Figure 4: a very slow estimator with no buffer adjustment at
+// all (F ≡ 1), which keeps requesting a too-high rate long after capacity
+// has collapsed.
+func NewAggressiveControl() *Control {
+	return &Control{
+		Alpha:          0.15,
+		FMin:           1.0,
+		FMax:           1.0,
+		AdjustmentSpan: time.Second,
+		UpMargin:       0,
+		prev:           -1,
+	}
+}
+
+// Name implements Algorithm.
+func (c *Control) Name() string { return "Control" }
+
+// Estimate returns the current capacity estimate Ĉ.
+func (c *Control) Estimate() units.BitRate { return c.est }
+
+// Next implements Algorithm.
+func (c *Control) Next(st State, s Stream) int {
+	l := s.Ladder()
+	if st.LastThroughput > 0 {
+		if c.est == 0 {
+			c.est = st.LastThroughput
+		} else {
+			c.est = units.BitRate(float64(c.est)*(1-c.Alpha) + float64(st.LastThroughput)*c.Alpha)
+		}
+	} else if c.est == 0 {
+		c.est = c.InitialEstimate
+	}
+
+	if c.est == 0 {
+		// No information at all: the only safe choice is R_min.
+		c.prev = 0
+		return 0
+	}
+
+	if st.PrevIndex >= 0 && st.Buffer < c.PanicBuffer {
+		// Panic: the buffer is nearly dry; no estimate justifies
+		// anything above R_min.
+		c.prev = 0
+		c.upVotes = 0
+		return 0
+	}
+
+	// Collapse detection: the fast-down path engages only when the last
+	// chunk's throughput could not sustain the rate currently streaming —
+	// ordinary sample wobble above the current rate never drags the
+	// estimate down.
+	usable := c.est
+	collapse := false
+	if c.DropCap > 0 && st.LastThroughput > 0 &&
+		c.prev >= 0 && st.LastThroughput < l[c.prev] {
+		if cap := st.LastThroughput.Scale(c.DropCap); usable > cap {
+			usable = cap
+			collapse = true
+		}
+	}
+	adjusted := usable.Scale(c.adjustment(st))
+	target := l.HighestAtMost(adjusted)
+
+	switch {
+	case c.prev < 0:
+		// First informed pick: no previous rate to be sticky about.
+	case target > c.prev:
+		// Up-switch hysteresis: clear the next rung by UpMargin, for
+		// UpPersistence consecutive decisions. While the buffer is
+		// still thin the persistence gate is waived — the production
+		// algorithm's fast startup ramp (Figure 16's context: it is
+		// BBA-1 that ramps slowly, not the Control).
+		next := l.NextUp(c.prev)
+		need := units.BitRate(float64(l[next]) * (1 + c.UpMargin))
+		switch {
+		case adjusted < need:
+			target = c.prev
+			c.upVotes = 0
+		default:
+			c.upVotes++
+			if c.upVotes < c.UpPersistence {
+				target = c.prev
+			} else {
+				c.upVotes = 0
+			}
+		}
+	case target < c.prev:
+		// Degrade gently — one rung at a time — unless the drop cap
+		// detected a genuine collapse, in which case fall straight to
+		// the capped target. Gentle drift keeps ordinary estimate
+		// wobble from carving deep rate dips; the collapse path and
+		// the panic floor handle the Figure 4 scenario.
+		if !collapse {
+			target = l.NextDown(c.prev)
+		}
+		c.upVotes = 0
+	default:
+		c.upVotes = 0
+	}
+
+	// Full-buffer probing: pinned at capacity with rate unchanged means
+	// the ON-OFF pattern is leaving headroom unused; claim one rung.
+	if c.ProbeFraction > 0 && st.BufferMax > 0 && target == c.prev && !collapse &&
+		st.Buffer >= time.Duration(c.ProbeFraction*float64(st.BufferMax)) {
+		target = l.NextUp(target)
+	}
+
+	c.prev = target
+	return target
+}
+
+// adjustment evaluates F(B).
+func (c *Control) adjustment(st State) float64 {
+	if c.AdjustmentSpan <= 0 {
+		return c.FMax
+	}
+	frac := float64(st.Buffer) / float64(c.AdjustmentSpan)
+	if frac > 1 {
+		frac = 1
+	}
+	return c.FMin + (c.FMax-c.FMin)*frac
+}

@@ -1,0 +1,215 @@
+package abr
+
+// Session-level invariant harness: every algorithm is driven through
+// randomized full sessions (random VBR titles, random decision inputs that
+// follow plausible buffer dynamics) and checked against the invariants its
+// design promises. This complements the scenario tests: the harness does
+// not know what a good decision is, only what can never happen.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bba/internal/media"
+	"bba/internal/units"
+)
+
+// driveSession feeds an algorithm a random but dynamically consistent
+// decision sequence and calls check after every decision.
+func driveSession(t *testing.T, seed int64, alg Algorithm, check func(step int, st State, decision int)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	v, err := media.NewVBR(media.VBRConfig{Ladder: media.DefaultLadder(), NumChunks: 400}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream(v, 0)
+	const bufferMax = 240 * time.Second
+
+	buffer := time.Duration(0)
+	prev := -1
+	var lastDl time.Duration
+	var lastTP units.BitRate
+	for k := 0; k < 300; k++ {
+		st := State{
+			Now:            time.Duration(k) * 4 * time.Second,
+			Buffer:         buffer,
+			BufferMax:      bufferMax,
+			PrevIndex:      prev,
+			NextChunk:      k,
+			LastDownload:   lastDl,
+			LastThroughput: lastTP,
+		}
+		decision := alg.Next(st, s)
+		if decision < 0 || decision >= len(s.Ladder()) {
+			t.Fatalf("step %d: decision %d outside the ladder", k, decision)
+		}
+		check(k, st, decision)
+
+		// Plausible dynamics: the chunk downloads at a random capacity;
+		// buffer adjusts accordingly and stays in range.
+		capacity := units.BitRate(200+rng.Intn(8000)) * units.Kbps
+		size := s.ChunkSize(decision, k)
+		lastDl = capacity.DurationFor(size)
+		lastTP = capacity
+		buffer += 4*time.Second - lastDl
+		if buffer < 0 {
+			buffer = 0
+		}
+		if buffer > bufferMax {
+			buffer = bufferMax
+		}
+		prev = decision
+	}
+}
+
+// BBA-0's invariants: R_min inside the reservoir, R_max in the upper
+// reservoir, and single-rung hysteresis (never skipping more than the map
+// suggests while inside the cushion).
+func TestQuickInvariantsBBA0(t *testing.T) {
+	f := func(seed int64) bool {
+		alg := NewBBA0()
+		ok := true
+		driveSession(t, seed, alg, func(step int, st State, decision int) {
+			if st.PrevIndex < 0 {
+				return
+			}
+			if st.Buffer <= alg.Reservoir && decision != 0 {
+				ok = false
+			}
+			if st.Buffer >= time.Duration(alg.RampEndFraction*float64(st.BufferMax)) && decision != 9 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BBA-1's invariants: R_min whenever the buffer is inside the (dynamic,
+// protection-shifted) reservoir.
+func TestQuickInvariantsBBA1(t *testing.T) {
+	f := func(seed int64) bool {
+		alg := NewBBA1()
+		ok := true
+		driveSession(t, seed, alg, func(step int, st State, decision int) {
+			if st.PrevIndex < 0 {
+				return
+			}
+			// The minimum possible reservoir is the clamp floor; below
+			// it the decision must be R_min regardless of protection.
+			if st.Buffer <= MinReservoir && decision != 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BBA-2's invariants: during startup the rate climbs at most one rung per
+// decision and never goes down; startup, once exited, never re-enters
+// (absent a seek).
+func TestQuickInvariantsBBA2(t *testing.T) {
+	f := func(seed int64) bool {
+		alg := NewBBA2()
+		ok := true
+		exited := false
+		driveSession(t, seed, alg, func(step int, st State, decision int) {
+			inStartup := alg.InStartup()
+			if exited && inStartup {
+				ok = false // re-entered without a seek
+			}
+			if !inStartup {
+				exited = true
+			}
+			if inStartup && st.PrevIndex >= 0 && decision > st.PrevIndex+1 {
+				ok = false // startup must climb one rung at a time
+			}
+			if inStartup && st.PrevIndex >= 0 && decision < st.PrevIndex {
+				ok = false // startup never steps down
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BBA-Others' invariants: the effective reservoir never shrinks, never
+// exceeds the clamp, and protection is never negative.
+func TestQuickInvariantsBBAOthers(t *testing.T) {
+	f := func(seed int64) bool {
+		alg := NewBBAOthers()
+		ok := true
+		last := time.Duration(0)
+		driveSession(t, seed, alg, func(step int, st State, decision int) {
+			r := alg.EffectiveReservoir()
+			if r < last || r > MaxReservoir {
+				ok = false
+			}
+			last = r
+			if alg.Protection() < 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Control's invariants: the panic floor always yields R_min, and the
+// estimate is always positive once seeded.
+func TestQuickInvariantsControl(t *testing.T) {
+	f := func(seed int64) bool {
+		alg := NewControl()
+		alg.InitialEstimate = 3 * units.Mbps
+		ok := true
+		driveSession(t, seed, alg, func(step int, st State, decision int) {
+			if st.PrevIndex >= 0 && st.Buffer < alg.PanicBuffer && decision != 0 {
+				ok = false
+			}
+			if step > 0 && alg.Estimate() <= 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The related-work controllers share the ladder-validity and panic
+// invariants.
+func TestQuickInvariantsRelatedWork(t *testing.T) {
+	mk := map[string]func() Algorithm{
+		"PID":     func() Algorithm { return NewBufferTarget() },
+		"ELASTIC": func() Algorithm { return NewElastic() },
+	}
+	for name, factory := range mk {
+		name, factory := name, factory
+		f := func(seed int64) bool {
+			alg := factory()
+			ok := true
+			driveSession(t, seed, alg, func(step int, st State, decision int) {
+				if st.PrevIndex >= 0 && st.Buffer < 15*time.Second && decision != 0 {
+					ok = false
+				}
+			})
+			return ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

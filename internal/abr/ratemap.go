@@ -1,0 +1,90 @@
+package abr
+
+import (
+	"time"
+
+	"bba/internal/media"
+	"bba/internal/units"
+)
+
+// RateMap is the piecewise-linear f(B) of the paper's Figure 6: R_min
+// within the reservoir, a linear ramp across the cushion, and R_max from
+// the top of the cushion (the upper reservoir) onward.
+//
+// A RateMap satisfies the Section 3.1 criteria: it is continuous, strictly
+// increasing on {B : R_min < f(B) < R_max}, and pinned with f(r) = R_min
+// and f(r+cu) = R_max.
+type RateMap struct {
+	Rmin, Rmax units.BitRate
+	Reservoir  time.Duration // r: f(B) = R_min for B ≤ r
+	Cushion    time.Duration // cu: f(B) = R_max for B ≥ r+cu
+}
+
+// Rate evaluates the continuous map at buffer occupancy b.
+func (m RateMap) Rate(b time.Duration) units.BitRate {
+	if b <= m.Reservoir || m.Cushion <= 0 {
+		return m.Rmin
+	}
+	if b >= m.Reservoir+m.Cushion {
+		return m.Rmax
+	}
+	frac := float64(b-m.Reservoir) / float64(m.Cushion)
+	return m.Rmin + units.BitRate(frac*float64(m.Rmax-m.Rmin))
+}
+
+// InSafeArea reports whether requesting a chunk of the map's suggested rate
+// at occupancy b keeps the algorithm in the paper's "safe area": the chunk
+// finishes downloading before the buffer falls below the reservoir even at
+// the worst tolerated capacity, V·f(B)/R_min ≤ B − r.
+func (m RateMap) InSafeArea(b, chunkDuration time.Duration) bool {
+	if b <= m.Reservoir {
+		// Inside the reservoir only R_min is requested; by convention
+		// that is safe (the buffer grows whenever C ≥ R_min).
+		return true
+	}
+	worstDownload := chunkDuration.Seconds() * float64(m.Rate(b)) / float64(m.Rmin)
+	return units.SecondsToDuration(worstDownload) <= b-m.Reservoir
+}
+
+// Algorithm1 is the paper's Algorithm 1: map the continuous f(B) onto the
+// discrete ladder with hysteresis. The rate stays at prev until f(B)
+// crosses the next-higher rate (Rate+) or next-lower rate (Rate−); the
+// buffer distance between adjacent rates is the natural cushion that makes
+// the video rate "sticky".
+//
+// prev is the previous session-ladder index, or negative before the first
+// chunk (which forces the map's direct suggestion, R_min on an empty
+// buffer). The returned index is always valid for l.
+func Algorithm1(m RateMap, l media.Ladder, prev int, b time.Duration) int {
+	top := len(l) - 1
+	if prev < 0 {
+		// First request: no previous rate to stick to; follow the map.
+		return l.HighestAtMost(m.Rate(b))
+	}
+	prev = l.Clamp(prev)
+
+	ratePlus := l.Max()
+	if prev != top {
+		ratePlus = l[l.NextUp(prev)]
+	}
+	rateMinus := l.Min()
+	if prev != 0 {
+		rateMinus = l[l.NextDown(prev)]
+	}
+
+	f := m.Rate(b)
+	switch {
+	case b <= m.Reservoir:
+		return 0
+	case b >= m.Reservoir+m.Cushion:
+		return top
+	case f >= ratePlus:
+		// Step up to max{R_i : R_i < f(B)}.
+		return l.HighestBelow(f)
+	case f <= rateMinus:
+		// Step down to min{R_i : R_i > f(B)}.
+		return l.LowestAbove(f)
+	default:
+		return prev
+	}
+}

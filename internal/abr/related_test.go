@@ -1,0 +1,122 @@
+package abr
+
+import (
+	"testing"
+	"time"
+
+	"bba/internal/units"
+)
+
+func TestBufferTargetControlDirection(t *testing.T) {
+	s := cbrStream(t)
+	// Same estimate, three buffer positions: below / at / above target.
+	pick := func(buf time.Duration) int {
+		c := NewBufferTarget()
+		c.InitialEstimate = 3 * units.Mbps
+		st := stateAt(buf, 3, 5)
+		st.PrevIndex = 3
+		return c.Next(st, s)
+	}
+	below := pick(40 * time.Second)
+	at := pick(120 * time.Second)
+	above := pick(220 * time.Second)
+	if !(below < at && at < above) {
+		t.Errorf("controller not monotone in buffer error: %d, %d, %d", below, at, above)
+	}
+	// At the set-point the adjustment is 1: pick = HighestAtMost(Ĉ).
+	if want := s.Ladder().HighestAtMost(3 * units.Mbps); at != want {
+		t.Errorf("at-target pick = %d, want %d", at, want)
+	}
+}
+
+func TestBufferTargetPanic(t *testing.T) {
+	s := cbrStream(t)
+	c := NewBufferTarget()
+	c.InitialEstimate = 5 * units.Mbps
+	st := stateAt(5*time.Second, 7, 3)
+	if got := c.Next(st, s); got != 0 {
+		t.Errorf("panic pick = %d, want R_min", got)
+	}
+}
+
+func TestBufferTargetNoInformation(t *testing.T) {
+	s := cbrStream(t)
+	if got := NewBufferTarget().Next(stateAt(0, -1, 0), s); got != 0 {
+		t.Errorf("uninformed pick = %d", got)
+	}
+}
+
+func TestElasticHarmonicFilterIsPessimistic(t *testing.T) {
+	s := cbrStream(t)
+	c := NewElastic()
+	// Four fast samples and one slow one: the harmonic mean must sit far
+	// below the arithmetic mean.
+	feeds := []units.BitRate{5 * units.Mbps, 5 * units.Mbps, 5 * units.Mbps, 5 * units.Mbps, 500 * units.Kbps}
+	for i, tp := range feeds {
+		st := stateAt(120*time.Second, 3, i)
+		st.LastThroughput = tp
+		c.Next(st, s)
+	}
+	h := c.harmonic()
+	if h > 2*units.Mbps {
+		t.Errorf("harmonic mean %v not pessimistic (arithmetic would be ≈4.1Mb/s)", h)
+	}
+	if h < 500*units.Kbps {
+		t.Errorf("harmonic mean %v below the slowest sample", h)
+	}
+}
+
+func TestElasticWindowSlides(t *testing.T) {
+	s := cbrStream(t)
+	c := NewElastic()
+	for i := 0; i < 20; i++ {
+		st := stateAt(120*time.Second, 3, i)
+		st.LastThroughput = units.BitRate(i+1) * units.Mbps
+		c.Next(st, s)
+	}
+	if len(c.samples) != c.Window {
+		t.Errorf("window holds %d samples, want %d", len(c.samples), c.Window)
+	}
+	// Only the last 5 samples (16..20 Mb/s) remain: harmonic ≈ 17.8 Mb/s.
+	if h := c.harmonic(); h < 16*units.Mbps || h > 20*units.Mbps {
+		t.Errorf("harmonic over the window = %v", h)
+	}
+}
+
+func TestElasticIntegralAntiWindup(t *testing.T) {
+	s := cbrStream(t)
+	c := NewElastic()
+	c.InitialEstimate = 3 * units.Mbps
+	// Hold the buffer far above target for many decisions: the integral
+	// must saturate, not grow without bound.
+	for i := 0; i < 500; i++ {
+		st := stateAt(235*time.Second, 5, i)
+		st.LastThroughput = 3 * units.Mbps
+		c.Next(st, s)
+	}
+	if c.integral > 30 || c.integral < -30 {
+		t.Errorf("integral wound up to %v", c.integral)
+	}
+}
+
+func TestElasticPanic(t *testing.T) {
+	s := cbrStream(t)
+	c := NewElastic()
+	c.InitialEstimate = 5 * units.Mbps
+	st := stateAt(5*time.Second, 7, 3)
+	if got := c.Next(st, s); got != 0 {
+		t.Errorf("panic pick = %d", got)
+	}
+}
+
+func TestRelatedByName(t *testing.T) {
+	for _, name := range []string{"PID", "ELASTIC"} {
+		a, err := NewByName(name)
+		if err != nil {
+			t.Fatalf("NewByName(%q): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Errorf("Name() = %q, want %q", a.Name(), name)
+		}
+	}
+}

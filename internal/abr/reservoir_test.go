@@ -1,0 +1,107 @@
+package abr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bba/internal/media"
+)
+
+func TestDynamicReservoirCBRClampsToMinimum(t *testing.T) {
+	// On a CBR encode every R_min chunk downloads in exactly V seconds at
+	// capacity R_min: the deficit is zero and the reservoir clamps to the
+	// 8-second minimum.
+	s := cbrStream(t)
+	if got := DynamicReservoir(s, 0, 0); got != MinReservoir {
+		t.Errorf("CBR reservoir = %v, want MinReservoir %v", got, MinReservoir)
+	}
+}
+
+func TestDynamicReservoirBounds(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := vbrStream(t, seed)
+		for k := 0; k < s.NumChunks(); k += 37 {
+			r := DynamicReservoir(s, k, 0)
+			if r < MinReservoir || r > MaxReservoir {
+				t.Fatalf("seed %d chunk %d: reservoir %v outside [%v, %v]", seed, k, r, MinReservoir, MaxReservoir)
+			}
+		}
+	}
+}
+
+func TestDynamicReservoirTracksSceneActivity(t *testing.T) {
+	// Build a title that is quiet for its first half and busy for its
+	// second half; the reservoir computed at the start of the busy part
+	// must exceed the one computed at the start of the quiet part.
+	ladder := media.DefaultLadder()
+	n := 240
+	quiet, err := media.NewVBR(media.VBRConfig{
+		Ladder: ladder, NumChunks: n,
+		SceneSigma: 0.01, MaxToAvg: 1.05, MinToAvg: 0.95,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forcing every chunk to at least 1.4× nominal (clamps above 1 defeat
+	// mean normalization) models a sustained action set-piece: at
+	// C = R_min each chunk adds a 0.4·V deficit, so the 480 s window
+	// accumulates ≈190 s and the reservoir pins at the 140 s clamp.
+	busy, err := media.NewVBR(media.VBRConfig{
+		Ladder: ladder, NumChunks: n,
+		SceneSigma: 0.8, MaxToAvg: 2, MinToAvg: 1.4,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq := DynamicReservoir(NewStream(quiet, 0), 0, 0)
+	rb := DynamicReservoir(NewStream(busy, 0), 0, 0)
+	if rq != MinReservoir {
+		t.Errorf("near-CBR reservoir = %v, want the minimum", rq)
+	}
+	if rb != MaxReservoir {
+		t.Errorf("sustained-heavy title reservoir = %v, want the %v clamp", rb, MaxReservoir)
+	}
+}
+
+func TestDynamicReservoirNearEndOfTitle(t *testing.T) {
+	s := vbrStream(t, 5)
+	// At the very last chunk there is nothing left to look ahead to.
+	if got := DynamicReservoir(s, s.NumChunks()-1, 0); got < MinReservoir || got > MaxReservoir {
+		t.Errorf("end-of-title reservoir = %v", got)
+	}
+	if got := DynamicReservoir(s, s.NumChunks()+100, 0); got != MinReservoir {
+		t.Errorf("past-end reservoir = %v, want MinReservoir", got)
+	}
+}
+
+func TestDynamicReservoirWindowDefault(t *testing.T) {
+	s := vbrStream(t, 9)
+	explicit := DynamicReservoir(s, 10, DefaultReservoirWindow)
+	defaulted := DynamicReservoir(s, 10, 0)
+	if explicit != defaulted {
+		t.Errorf("window 0 should default to %v: got %v vs %v", DefaultReservoirWindow, defaulted, explicit)
+	}
+}
+
+// Property: the reservoir is always within the paper's clamp and is
+// monotone in the window length (a longer lookahead can only reveal a worse
+// prefix).
+func TestQuickReservoirWindowMonotone(t *testing.T) {
+	s := vbrStream(t, 13)
+	f := func(kRaw uint16, w1, w2 uint16) bool {
+		k := int(kRaw) % s.NumChunks()
+		a := time.Duration(w1%600+1) * time.Second
+		b := time.Duration(w2%600+1) * time.Second
+		if a > b {
+			a, b = b, a
+		}
+		ra := DynamicReservoir(s, k, a)
+		rb := DynamicReservoir(s, k, b)
+		return ra <= rb && ra >= MinReservoir && rb <= MaxReservoir
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

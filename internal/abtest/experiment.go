@@ -1,0 +1,249 @@
+package abtest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"bba/internal/abr"
+	"bba/internal/media"
+	"bba/internal/metrics"
+	"bba/internal/player"
+	"bba/internal/stats"
+)
+
+// Group is one experiment arm: a name and a per-session algorithm factory.
+// The factory receives the session's user so estimator-based algorithms can
+// be seeded with the user's stored throughput history, as in production.
+type Group struct {
+	Name string
+	New  func(u User) abr.Algorithm
+}
+
+// StandardGroups returns the arms used across the paper's three
+// experiments: the production Control, the R_min Always lower bound, and
+// the four buffer-based algorithms.
+func StandardGroups() []Group {
+	return []Group{
+		{Name: "Control", New: func(u User) abr.Algorithm {
+			c := abr.NewControl()
+			c.InitialEstimate = u.History
+			return c
+		}},
+		{Name: "Rmin Always", New: func(User) abr.Algorithm { return abr.RminAlways{} }},
+		{Name: "BBA-0", New: func(User) abr.Algorithm { return abr.NewBBA0() }},
+		{Name: "BBA-1", New: func(User) abr.Algorithm { return abr.NewBBA1() }},
+		{Name: "BBA-2", New: func(User) abr.Algorithm { return abr.NewBBA2() }},
+		{Name: "BBA-Others", New: func(User) abr.Algorithm { return abr.NewBBAOthers() }},
+	}
+}
+
+// Config describes one experiment run.
+type Config struct {
+	// Seed makes the whole experiment deterministic.
+	Seed int64
+	// Days of simulated viewing (the paper's weekends span 3–4 days).
+	Days int
+	// SessionsPerWindow is the number of paired sessions per two-hour
+	// window per day (each session is streamed once per group).
+	SessionsPerWindow int
+	// Groups are the experiment arms; empty means StandardGroups.
+	Groups []Group
+	// Population tunes the synthetic user population.
+	Population PopulationConfig
+	// CatalogSize is the number of titles (default 24).
+	CatalogSize int
+	// Ladder is the encoding ladder (default media.DefaultLadder).
+	Ladder media.Ladder
+	// Parallelism bounds worker goroutines (default GOMAXPROCS).
+	Parallelism int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Days <= 0 {
+		c.Days = 3
+	}
+	if c.SessionsPerWindow <= 0 {
+		c.SessionsPerWindow = 40
+	}
+	if len(c.Groups) == 0 {
+		c.Groups = StandardGroups()
+	}
+	if c.CatalogSize <= 0 {
+		c.CatalogSize = 24
+	}
+	if c.Ladder == nil {
+		c.Ladder = media.DefaultLadder()
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Outcome is the aggregated result of an experiment.
+type Outcome struct {
+	// Windows holds each group's per-two-hour-window aggregates.
+	Windows map[string][]metrics.Window
+	// Sessions holds each group's raw per-session metrics, for
+	// significance testing.
+	Sessions map[string][]metrics.Session
+}
+
+// Run executes the experiment: for every day × window × session draw one
+// user (with trace and title) and stream that identical session once per
+// group. It is deterministic given cfg.Seed and parallelises across
+// sessions.
+func Run(cfg Config) (*Outcome, error) {
+	cfg.applyDefaults()
+	catalog, err := media.NewCatalog(cfg.CatalogSize, cfg.Ladder, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		day, window, i int
+	}
+	type sessionSet struct {
+		idx     int // global session index for deterministic assembly
+		metrics []metrics.Session
+		err     error
+	}
+
+	var jobs []job
+	for day := 0; day < cfg.Days; day++ {
+		for w := 0; w < metrics.WindowsPerDay; w++ {
+			for i := 0; i < cfg.SessionsPerWindow; i++ {
+				jobs = append(jobs, job{day, w, i})
+			}
+		}
+	}
+
+	results := make([]sessionSet, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for idx, j := range jobs {
+		wg.Add(1)
+		go func(idx int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[idx] = sessionSet{idx: idx}
+			ms, err := runPairedSession(cfg, catalog, j.day, j.window, j.i)
+			results[idx].metrics = ms
+			results[idx].err = err
+		}(idx, j)
+	}
+	wg.Wait()
+
+	out := &Outcome{
+		Windows:  make(map[string][]metrics.Window, len(cfg.Groups)),
+		Sessions: make(map[string][]metrics.Session, len(cfg.Groups)),
+	}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for gi, g := range cfg.Groups {
+			out.Sessions[g.Name] = append(out.Sessions[g.Name], r.metrics[gi])
+		}
+	}
+	for _, g := range cfg.Groups {
+		ws, err := metrics.Aggregate(out.Sessions[g.Name])
+		if err != nil {
+			return nil, err
+		}
+		out.Windows[g.Name] = ws
+	}
+	return out, nil
+}
+
+// runPairedSession draws one user and streams the identical session once
+// per group, returning one metrics.Session per group in group order.
+func runPairedSession(cfg Config, catalog *media.Catalog, day, window, i int) ([]metrics.Session, error) {
+	rng := sessionRNG(cfg.Seed, day, window, i)
+	u := DrawUser(cfg.Population, window, day, rng)
+	video := u.Pick(catalog)
+	stream := abr.NewStream(video, u.Rmin)
+
+	ms := make([]metrics.Session, len(cfg.Groups))
+	for gi, g := range cfg.Groups {
+		res, err := player.Run(player.Config{
+			Algorithm:  g.New(u),
+			Stream:     stream,
+			Trace:      u.Trace,
+			WatchLimit: u.WatchTime,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("abtest: day %d window %d session %d group %s: %w", day, window, i, g.Name, err)
+		}
+		ms[gi] = metrics.FromResult(res, window, day)
+	}
+	return ms, nil
+}
+
+// WriteCSV emits every group's per-window aggregates as CSV, one row per
+// (group, window), for external plotting:
+//
+//	group,window,sessions,playhours,rebuffers_per_playhour,avg_rate_kbps,
+//	steady_rate_kbps,switches_per_playhour,rebuffer_stddev_across_days,
+//	qoe_per_playhour
+func (o *Outcome) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "group,window,sessions,playhours,rebuffers_per_playhour,avg_rate_kbps,steady_rate_kbps,switches_per_playhour,rebuffer_stddev_across_days,qoe_per_playhour"); err != nil {
+		return err
+	}
+	groups := make([]string, 0, len(o.Windows))
+	for g := range o.Windows {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		for _, win := range o.Windows[g] {
+			if _, err := fmt.Fprintf(bw, "%s,%d,%d,%.3f,%.4f,%.1f,%.1f,%.2f,%.4f,%.1f\n",
+				g, win.Index, win.Sessions, win.PlayHours,
+				win.RebuffersPerPlayhour, win.AvgRateKbps, win.SteadyRateKbps,
+				win.SwitchesPerPlayhour, win.RebufferRateStdDev, win.QoEPerPlayhour); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// RebufferSamples returns a group's per-session rebuffers-per-playhour
+// samples, optionally restricted to a window set (nil = all windows).
+func (o *Outcome) RebufferSamples(group string, windows map[int]bool) []float64 {
+	var xs []float64
+	for _, s := range o.Sessions[group] {
+		if windows != nil && !windows[s.Window] {
+			continue
+		}
+		if s.PlayHours > 0 {
+			xs = append(xs, float64(s.Rebuffers)/s.PlayHours)
+		}
+	}
+	return xs
+}
+
+// SignificanceRebuffers runs a Welch t-test on per-session rebuffer rates
+// of two groups restricted to a window set — the test behind the paper's
+// footnotes 4 and 5 ("the hypothesis ... is not rejected at the 95%
+// confidence level").
+func (o *Outcome) SignificanceRebuffers(groupA, groupB string, windows map[int]bool) (stats.TTestResult, error) {
+	collect := func(name string) []float64 {
+		var xs []float64
+		for _, s := range o.Sessions[name] {
+			if windows != nil && !windows[s.Window] {
+				continue
+			}
+			if s.PlayHours > 0 {
+				xs = append(xs, float64(s.Rebuffers)/s.PlayHours)
+			}
+		}
+		return xs
+	}
+	return stats.WelchTTest(collect(groupA), collect(groupB))
+}

@@ -1,0 +1,197 @@
+package abtest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bba/internal/abr"
+	"bba/internal/metrics"
+)
+
+// smallConfig keeps experiment tests fast while exercising every code path.
+func smallConfig(seed int64) Config {
+	return Config{Seed: seed, Days: 1, SessionsPerWindow: 4, CatalogSize: 6}
+}
+
+func TestRunProducesAllGroups(t *testing.T) {
+	out, err := Run(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Control", "Rmin Always", "BBA-0", "BBA-1", "BBA-2", "BBA-Others"}
+	for _, g := range want {
+		ws, ok := out.Windows[g]
+		if !ok {
+			t.Fatalf("group %q missing", g)
+		}
+		if len(ws) != metrics.WindowsPerDay {
+			t.Fatalf("group %q has %d windows", g, len(ws))
+		}
+		if len(out.Sessions[g]) != 12*4 {
+			t.Fatalf("group %q has %d sessions, want 48", g, len(out.Sessions[g]))
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range a.Windows {
+		for i := range a.Windows[g] {
+			wa, wb := a.Windows[g][i], b.Windows[g][i]
+			if wa.RebuffersPerPlayhour != wb.RebuffersPerPlayhour ||
+				wa.AvgRateKbps != wb.AvgRateKbps ||
+				wa.SwitchesPerPlayhour != wb.SwitchesPerPlayhour {
+				t.Fatalf("group %s window %d differs between identical runs", g, i)
+			}
+		}
+	}
+}
+
+func TestRunPairsSessionsAcrossGroups(t *testing.T) {
+	out, err := Run(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paired design: every group plays the same (window, day) session
+	// slots, so play-hours line up closely (identical watch limits; small
+	// differences only from stall-truncated tails).
+	var ctrl, bound float64
+	for _, s := range out.Sessions["Control"] {
+		ctrl += s.PlayHours
+	}
+	for _, s := range out.Sessions["Rmin Always"] {
+		bound += s.PlayHours
+	}
+	if ctrl == 0 || bound == 0 {
+		t.Fatal("no play hours accumulated")
+	}
+	ratio := ctrl / bound
+	if ratio < 0.97 || ratio > 1.03 {
+		t.Errorf("paired groups diverge in play hours: ratio %.3f", ratio)
+	}
+}
+
+func TestRunCustomGroups(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.Groups = []Group{
+		{Name: "only", New: func(User) abr.Algorithm { return abr.RminAlways{} }},
+	}
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Windows) != 1 {
+		t.Fatalf("got %d groups", len(out.Windows))
+	}
+	for _, w := range out.Windows["only"] {
+		if w.SwitchesPerPlayhour != 0 {
+			t.Error("RminAlways switched")
+		}
+	}
+}
+
+// The paper's headline relationships, at reduced scale: the buffer-based
+// algorithms rebuffer less than Control at peak while Rmin Always bounds
+// everyone from below, and the degenerate baseline delivers the lowest
+// rate. Uses a moderate population so the comparison is stable.
+func TestRunHeadlineOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("moderate-scale experiment")
+	}
+	out, err := Run(Config{Seed: 42, Days: 2, SessionsPerWindow: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := func(g string) (rb, rate, sw float64) {
+		var ph float64
+		for _, w := range out.Windows[g] {
+			if !metrics.PeakWindows()[w.Index] {
+				continue
+			}
+			rb += w.RebuffersPerPlayhour * w.PlayHours
+			rate += w.AvgRateKbps * w.PlayHours
+			sw += w.SwitchesPerPlayhour * w.PlayHours
+			ph += w.PlayHours
+		}
+		return rb / ph, rate / ph, sw / ph
+	}
+	ctrlRb, _, ctrlSw := peak("Control")
+	boundRb, boundRate, _ := peak("Rmin Always")
+	for _, g := range []string{"BBA-0", "BBA-1", "BBA-2", "BBA-Others"} {
+		rb, rate, _ := peak(g)
+		if rb >= ctrlRb {
+			t.Errorf("%s peak rebuffer rate %.3f not below Control %.3f", g, rb, ctrlRb)
+		}
+		if rb < boundRb*0.8 {
+			t.Errorf("%s peak rebuffer rate %.3f implausibly below the lower bound %.3f", g, rb, boundRb)
+		}
+		if rate <= boundRate {
+			t.Errorf("%s rate %.0f not above the Rmin Always floor %.0f", g, rate, boundRate)
+		}
+	}
+	// Figure 9: BBA-0 switches far less than Control.
+	_, _, bba0Sw := peak("BBA-0")
+	if bba0Sw >= 0.7*ctrlSw {
+		t.Errorf("BBA-0 switch rate %.1f not well below Control %.1f", bba0Sw, ctrlSw)
+	}
+	// Figure 20: the chunk map makes BBA-1 switch more than Control.
+	_, _, bba1Sw := peak("BBA-1")
+	if bba1Sw <= ctrlSw {
+		t.Errorf("BBA-1 switch rate %.1f not above Control %.1f", bba1Sw, ctrlSw)
+	}
+}
+
+func TestSignificanceRebuffers(t *testing.T) {
+	out, err := Run(smallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A group against itself: identical samples, p = 1.
+	res, err := out.SignificanceRebuffers("BBA-1", "BBA-1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("self-comparison p = %v, want 1", res.P)
+	}
+	// Restricting to a window set must not error with enough sessions.
+	if _, err := out.SignificanceRebuffers("Control", "Rmin Always", metrics.OffPeakWindows()); err != nil {
+		t.Errorf("off-peak comparison failed: %v", err)
+	}
+}
+
+func TestOutcomeWriteCSV(t *testing.T) {
+	out, err := Run(smallConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + 6 groups × 12 windows.
+	if len(lines) != 1+6*12 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+6*12)
+	}
+	if !strings.HasPrefix(lines[0], "group,window,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Rows are grouped and sorted by group name.
+	if !strings.HasPrefix(lines[1], "BBA-0,0,") {
+		t.Errorf("first row = %q, want BBA-0 window 0", lines[1])
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 9 {
+			t.Fatalf("row %q has %d commas, want 9", line, got)
+		}
+	}
+}

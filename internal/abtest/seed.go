@@ -1,0 +1,30 @@
+package abtest
+
+import (
+	"math/rand"
+)
+
+// SessionRNG derives a deterministic, well-separated RNG for one session
+// from the experiment seed and the session's calendar coordinates. It is
+// exported so custom experiments (the figure generators, for instance) can
+// draw the exact population the main harness would.
+func SessionRNG(seed int64, day, window, i int) *rand.Rand {
+	return sessionRNG(seed, day, window, i)
+}
+
+// sessionRNG mixes the coordinates SplitMix64-style so neighbouring
+// coordinates produce unrelated streams regardless of worker scheduling.
+func sessionRNG(seed int64, day, window, i int) *rand.Rand {
+	x := uint64(seed)
+	for _, v := range [...]uint64{uint64(day) + 1, uint64(window) + 1, uint64(i) + 1} {
+		x += v * 0x9E3779B97F4A7C15
+		x = mix64(x)
+	}
+	return rand.New(rand.NewSource(int64(x)))
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,360 @@
+package dash
+
+import (
+	"context"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/buffer"
+	"bba/internal/media"
+	"bba/internal/player"
+	"bba/internal/units"
+)
+
+// ClientConfig describes one HTTP streaming session.
+type ClientConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient performs the requests; nil means http.DefaultClient.
+	// Shape its transport (see internal/netem) to emulate a constrained
+	// downstream path.
+	HTTPClient *http.Client
+	// Algorithm selects rates; a fresh per-session instance.
+	Algorithm abr.Algorithm
+	// Rmin applies the paper's footnote-3 promotion to this session.
+	Rmin units.BitRate
+	// BufferMax is the playback buffer capacity (default 240 s).
+	BufferMax time.Duration
+	// WatchLimit stops after this much delivered video; 0 plays the
+	// whole title.
+	WatchLimit time.Duration
+	// MaxRetries bounds per-chunk retry attempts on transport or server
+	// errors (default 3).
+	MaxRetries int
+	// UseMPD fetches the standards-shaped /manifest.mpd instead of the
+	// JSON manifest. An MPD carries no per-chunk sizes, so the client
+	// models every chunk at its nominal V·R size — the paper's situation
+	// before the Section 5 chunk map, and the reason the native manifest
+	// carries the size matrix.
+	UseMPD bool
+	// UseHLS drives the session from the HLS playlists (/master.m3u8 and
+	// the variant media playlists). Like the MPD it carries no sizes, so
+	// the client models nominal encodes. Mutually exclusive with UseMPD.
+	UseHLS bool
+	// Logf, when non-nil, receives per-chunk progress lines.
+	Logf func(format string, args ...any)
+}
+
+// ErrChunkFailed reports a chunk that could not be fetched within the retry
+// budget.
+var ErrChunkFailed = errors.New("dash: chunk fetch failed")
+
+// Stream runs a real-time HTTP streaming session: it fetches the manifest,
+// then downloads chunks one at a time — choosing each rate with the
+// configured algorithm, pacing requests against the playback buffer exactly
+// like the simulator's player, but over the wall clock and a real HTTP
+// connection. It returns the same Result type as the virtual-time player,
+// so all metrics helpers apply.
+func Stream(ctx context.Context, cfg ClientConfig) (*player.Result, error) {
+	if cfg.Algorithm == nil {
+		return nil, errors.New("dash: nil algorithm")
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	bufMax := cfg.BufferMax
+	if bufMax <= 0 {
+		bufMax = buffer.DefaultMax
+	}
+	retries := cfg.MaxRetries
+	if retries <= 0 {
+		retries = 3
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	var video *media.Video
+	switch {
+	case cfg.UseMPD && cfg.UseHLS:
+		return nil, errors.New("dash: UseMPD and UseHLS are mutually exclusive")
+	case cfg.UseMPD:
+		mpd, err := fetchMPD(ctx, httpc, cfg.BaseURL)
+		if err != nil {
+			return nil, err
+		}
+		video, err = videoFromMPD(mpd)
+		if err != nil {
+			return nil, fmt.Errorf("dash: bad MPD: %w", err)
+		}
+	case cfg.UseHLS:
+		var err error
+		video, err = videoFromHLS(ctx, httpc, cfg.BaseURL)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		manifest, err := fetchManifest(ctx, httpc, cfg.BaseURL)
+		if err != nil {
+			return nil, err
+		}
+		video, err = manifest.Video()
+		if err != nil {
+			return nil, fmt.Errorf("dash: bad manifest: %w", err)
+		}
+	}
+	stream := abr.NewStream(video, cfg.Rmin)
+	ladder := stream.Ladder()
+	v := stream.ChunkDuration()
+
+	buf := buffer.New(bufMax)
+	res := &player.Result{Algorithm: cfg.Algorithm.Name()}
+	sessionStart := time.Now()
+	var (
+		prevIdx   = -1
+		lastTP    units.BitRate
+		lastDl    time.Duration
+		lastBytes int64
+	)
+
+	for k := 0; k < stream.NumChunks(); k++ {
+		if cfg.WatchLimit > 0 && buf.Played()+buf.Level() >= cfg.WatchLimit {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+
+		// ON-OFF pacing.
+		if !buf.HasSpaceFor(v) {
+			wait := buf.TimeUntilSpaceFor(v)
+			time.Sleep(wait)
+			buf.Advance(wait)
+		}
+
+		now := time.Since(sessionStart)
+		st := abr.State{
+			Now:            now,
+			Buffer:         buf.Level(),
+			BufferMax:      bufMax,
+			PrevIndex:      prevIdx,
+			NextChunk:      k,
+			LastThroughput: lastTP,
+			LastDownload:   lastDl,
+			LastChunkBytes: lastBytes,
+		}
+		idx := ladder.Clamp(cfg.Algorithm.Next(st, stream))
+
+		start := time.Now()
+		n, err := fetchChunk(ctx, httpc, cfg.BaseURL, stream.VideoIndex(idx), k, retries)
+		dl := time.Since(start)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			res.Incomplete = true
+			res.Rebuffers++
+			break
+		}
+		buf.Advance(dl)
+		if k == 0 {
+			res.JoinDelay = time.Since(sessionStart)
+		}
+		if err := buf.AddChunk(v); err != nil {
+			return nil, err
+		}
+
+		if prevIdx >= 0 && idx != prevIdx {
+			res.Switches++
+		}
+		lastTP = units.Throughput(n, dl)
+		lastDl = dl
+		lastBytes = n
+		res.Chunks = append(res.Chunks, player.ChunkRecord{
+			Index:       k,
+			RateIndex:   idx,
+			Rate:        ladder[idx],
+			Bytes:       n,
+			Start:       time.Since(sessionStart) - dl,
+			Download:    dl,
+			Throughput:  lastTP,
+			BufferAfter: buf.Level(),
+		})
+		prevIdx = idx
+		logf("chunk %d: rate=%v bytes=%d dl=%v buffer=%v", k, ladder[idx], n, dl.Round(time.Millisecond), buf.Level().Round(100*time.Millisecond))
+	}
+
+	// Account the buffered tail as watched; no need to sleep through it.
+	buf.Resume()
+	remaining := buf.Level()
+	if cfg.WatchLimit > 0 {
+		if left := cfg.WatchLimit - buf.Played(); left < remaining {
+			remaining = left
+		}
+	}
+	if remaining > 0 {
+		buf.Advance(remaining)
+	}
+
+	res.Played = buf.Played()
+	res.Rebuffers += buf.Rebuffers()
+	res.StallTime += buf.StallTime()
+	res.End = time.Since(sessionStart)
+	return res, nil
+}
+
+// fetchMPD retrieves and parses the standards manifest.
+func fetchMPD(ctx context.Context, c *http.Client, base string) (MPD, error) {
+	var m MPD
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/manifest.mpd", nil)
+	if err != nil {
+		return m, err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return m, fmt.Errorf("dash: MPD fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return m, fmt.Errorf("dash: MPD fetch: status %s", resp.Status)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return m, err
+	}
+	if err := xml.Unmarshal(raw, &m); err != nil {
+		return m, fmt.Errorf("dash: MPD parse: %w", err)
+	}
+	return m, nil
+}
+
+// videoFromHLS reconstructs a nominal-size title from the HLS playlists:
+// the master supplies the ladder, the first variant's media playlist the
+// segment count and duration. Segments are then addressed through the same
+// /chunk/{rate}/{index} convention the playlists point at.
+func videoFromHLS(ctx context.Context, c *http.Client, base string) (*media.Video, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/master.m3u8", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dash: master playlist fetch: %w", err)
+	}
+	master, err := ParseMasterPlaylist(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dash: master playlist fetch: status %s", resp.Status)
+	}
+	ladder := master.Ladder()
+	if err := ladder.Validate(); err != nil {
+		return nil, fmt.Errorf("dash: HLS ladder: %w", err)
+	}
+
+	req, err = http.NewRequestWithContext(ctx, http.MethodGet, base+master.Variants[0].URI, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err = c.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dash: media playlist fetch: %w", err)
+	}
+	pl, err := ParseMediaPlaylist(io.LimitReader(resp.Body, 8<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(pl.SegmentSecs) == 0 || pl.SegmentSecs[0] <= 0 {
+		return nil, fmt.Errorf("dash: media playlist has no usable segment durations")
+	}
+	v := units.SecondsToDuration(pl.SegmentSecs[0])
+	return media.NewCBR("hls", ladder, v, len(pl.SegmentURIs))
+}
+
+// videoFromMPD reconstructs a nominal-size (CBR-shaped) title from the MPD.
+func videoFromMPD(m MPD) (*media.Video, error) {
+	ladder := m.Ladder()
+	if err := ladder.Validate(); err != nil {
+		return nil, err
+	}
+	v := m.ChunkDuration()
+	if v <= 0 {
+		return nil, fmt.Errorf("dash: MPD has no usable segment duration")
+	}
+	total, err := m.Duration()
+	if err != nil {
+		return nil, err
+	}
+	chunks := int(total / v)
+	if chunks <= 0 {
+		return nil, fmt.Errorf("dash: MPD presentation shorter than one segment")
+	}
+	return media.NewCBR("mpd", ladder, v, chunks)
+}
+
+func fetchManifest(ctx context.Context, c *http.Client, base string) (Manifest, error) {
+	var m Manifest
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/manifest.json", nil)
+	if err != nil {
+		return m, err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return m, fmt.Errorf("dash: manifest fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return m, fmt.Errorf("dash: manifest fetch: status %s", resp.Status)
+	}
+	if err := jsonDecode(resp.Body, &m); err != nil {
+		return m, fmt.Errorf("dash: manifest decode: %w", err)
+	}
+	return m, nil
+}
+
+// fetchChunk downloads one chunk with retries, returning the byte count.
+func fetchChunk(ctx context.Context, c *http.Client, base string, rate, k, retries int) (int64, error) {
+	url := fmt.Sprintf("%s/chunk/%d/%d", base, rate, k)
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(time.Duration(attempt) * 100 * time.Millisecond):
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("status %s", resp.Status)
+			continue
+		}
+		n, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("%w: %s after %d attempts: %v", ErrChunkFailed, url, retries, lastErr)
+}

@@ -1,0 +1,315 @@
+package dash
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/media"
+	"bba/internal/netem"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+func testVideo(t testing.TB, chunks int, v time.Duration) *media.Video {
+	t.Helper()
+	vid, err := media.NewVBR(media.VBRConfig{
+		Title:         "e2e",
+		Ladder:        media.DefaultLadder(),
+		ChunkDuration: v,
+		NumChunks:     chunks,
+	}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vid
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	orig := testVideo(t, 20, media.DefaultChunkDuration)
+	m := ManifestFor(orig)
+	back, err := m.Video()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumChunks() != orig.NumChunks() || back.ChunkDuration != orig.ChunkDuration {
+		t.Fatal("shape lost in round trip")
+	}
+	for ri := range orig.Ladder {
+		if back.Ladder[ri] != orig.Ladder[ri] {
+			t.Fatalf("ladder rate %d differs", ri)
+		}
+		for k := 0; k < orig.NumChunks(); k++ {
+			if back.ChunkSize(ri, k) != orig.ChunkSize(ri, k) {
+				t.Fatalf("size (%d,%d) differs", ri, k)
+			}
+		}
+	}
+}
+
+func TestServerServesManifestAndChunks(t *testing.T) {
+	video := testVideo(t, 10, media.DefaultChunkDuration)
+	srv, err := NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := jsonDecode(resp.Body, &m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.NumChunks != 10 || len(m.LadderBps) != len(video.Ladder) {
+		t.Fatalf("manifest shape: %+v", m)
+	}
+
+	// A chunk's body length must match the advertised size.
+	resp, err = http.Get(ts.URL + "/chunk/3/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if n != video.ChunkSize(3, 5) {
+		t.Errorf("chunk body %d bytes, want %d", n, video.ChunkSize(3, 5))
+	}
+
+	// Out-of-range and malformed requests 404/400 without panicking.
+	for _, path := range []string{"/chunk/99/0", "/chunk/0/999", "/chunk/x/y", "/chunk/1", "/nope"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("path %q unexpectedly succeeded", path)
+		}
+	}
+	if srv.Requests() == 0 {
+		t.Error("request counter did not move")
+	}
+}
+
+func TestStreamEndToEnd(t *testing.T) {
+	// Short chunks keep the real-time session fast: 24 × 500 ms = 12 s of
+	// video over a fast loopback link completes in well under a second of
+	// wall time (downloads are quick, the buffer never fills).
+	video := testVideo(t, 24, 500*time.Millisecond)
+	srv, err := NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	res, err := Stream(context.Background(), ClientConfig{
+		BaseURL:   ts.URL,
+		Algorithm: abr.NewBBA2(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != 24 {
+		t.Fatalf("downloaded %d chunks, want 24", len(res.Chunks))
+	}
+	if res.Played != 12*time.Second {
+		t.Errorf("played %v, want 12s", res.Played)
+	}
+	if res.Rebuffers != 0 {
+		t.Errorf("rebuffers = %d on loopback", res.Rebuffers)
+	}
+	// On an unconstrained link the rate must climb off R_min.
+	last := res.Chunks[len(res.Chunks)-1]
+	if last.RateIndex == 0 {
+		t.Error("rate never climbed on a fast link")
+	}
+}
+
+func TestStreamThroughShapedLink(t *testing.T) {
+	// End-to-end through a 2 Mb/s shaped connection: the client must
+	// settle near the ladder rung the link supports, not at R_max.
+	video := testVideo(t, 16, 500*time.Millisecond)
+	srv, err := NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	linkTrace := trace.Constant(2*units.Mbps, time.Hour)
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			c, err := (&net.Dialer{}).DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			return netem.NewConn(c, netem.NewShaper(linkTrace)), nil
+		},
+	}
+	res, err := Stream(context.Background(), ClientConfig{
+		BaseURL:    ts.URL,
+		HTTPClient: &http.Client{Transport: transport},
+		Algorithm:  abr.NewBBA2(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured throughput on downloads must reflect the shaping: no chunk
+	// can have seen much more than 2 Mb/s.
+	for _, c := range res.Chunks {
+		if c.Throughput > 4*units.Mbps {
+			t.Errorf("chunk %d measured %v through a 2Mb/s link", c.Index, c.Throughput)
+		}
+	}
+}
+
+func TestStreamRetriesTransientFailures(t *testing.T) {
+	video := testVideo(t, 8, 500*time.Millisecond)
+	srv, err := NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk 3 fails on its first attempt only.
+	failed := false
+	srv.FailChunk = func(rate, chunk int) bool {
+		if chunk == 3 && !failed {
+			failed = true
+			return true
+		}
+		return false
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	res, err := Stream(context.Background(), ClientConfig{
+		BaseURL:   ts.URL,
+		Algorithm: abr.NewBBA0(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete {
+		t.Error("transient failure should have been retried")
+	}
+	if len(res.Chunks) != 8 {
+		t.Errorf("downloaded %d chunks, want 8", len(res.Chunks))
+	}
+}
+
+func TestStreamGivesUpAfterPersistentFailures(t *testing.T) {
+	video := testVideo(t, 8, 500*time.Millisecond)
+	srv, err := NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.FailChunk = func(rate, chunk int) bool { return chunk == 2 }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	res, err := Stream(context.Background(), ClientConfig{
+		BaseURL:    ts.URL,
+		Algorithm:  abr.NewBBA0(),
+		MaxRetries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incomplete {
+		t.Error("persistent failure should mark the session incomplete")
+	}
+	if len(res.Chunks) != 2 {
+		t.Errorf("downloaded %d chunks before the dead chunk, want 2", len(res.Chunks))
+	}
+}
+
+func TestStreamWatchLimit(t *testing.T) {
+	video := testVideo(t, 40, 500*time.Millisecond)
+	srv, err := NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	limit := 5 * time.Second
+	res, err := Stream(context.Background(), ClientConfig{
+		BaseURL:    ts.URL,
+		Algorithm:  abr.NewBBA2(),
+		WatchLimit: limit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Played != limit {
+		t.Errorf("played %v, want %v", res.Played, limit)
+	}
+}
+
+func TestStreamContextCancellation(t *testing.T) {
+	video := testVideo(t, 40, 500*time.Millisecond)
+	srv, err := NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Latency = 50 * time.Millisecond
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	_, err = Stream(ctx, ClientConfig{BaseURL: ts.URL, Algorithm: abr.NewBBA0()})
+	if err == nil {
+		t.Fatal("cancelled stream returned no error")
+	}
+}
+
+func TestStreamBadBaseURL(t *testing.T) {
+	_, err := Stream(context.Background(), ClientConfig{
+		BaseURL:   "http://127.0.0.1:1", // nothing listens here
+		Algorithm: abr.NewBBA0(),
+	})
+	if err == nil || !strings.Contains(err.Error(), "manifest") {
+		t.Errorf("err = %v, want manifest fetch failure", err)
+	}
+	if _, err := Stream(context.Background(), ClientConfig{BaseURL: "x"}); err == nil {
+		t.Error("nil algorithm accepted")
+	}
+}
+
+func TestStreamRminPromotion(t *testing.T) {
+	video := testVideo(t, 8, 500*time.Millisecond)
+	srv, err := NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	res, err := Stream(context.Background(), ClientConfig{
+		BaseURL:   ts.URL,
+		Algorithm: abr.RminAlways{},
+		Rmin:      560 * units.Kbps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Chunks {
+		if c.Rate != 560*units.Kbps {
+			t.Fatalf("chunk %d at %v, want promoted R_min 560kb/s", c.Index, c.Rate)
+		}
+	}
+}

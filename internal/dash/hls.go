@@ -1,0 +1,202 @@
+package dash
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"bba/internal/media"
+	"bba/internal/units"
+)
+
+// HLS playlist support: alongside the MPD, the server can describe the
+// title as an Apple HTTP Live Streaming master playlist (one variant per
+// ladder rung) with per-variant media playlists enumerating the chunk
+// URLs. Like the MPD, HLS carries no per-chunk byte sizes, so an
+// HLS-driven client sees nominal encodes only; the JSON manifest remains
+// the full-information source for the chunk map. The point of shipping
+// both is interop: the chunk server speaks the two formats the streaming
+// world actually uses.
+
+// WriteMasterPlaylist renders the HLS master playlist for v: one variant
+// stream per ladder rung, pointing at /playlist/{rate}.m3u8.
+func WriteMasterPlaylist(w io.Writer, v *media.Video) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "#EXTM3U")
+	fmt.Fprintln(bw, "#EXT-X-VERSION:3")
+	for i, r := range v.Ladder {
+		fmt.Fprintf(bw, "#EXT-X-STREAM-INF:BANDWIDTH=%d,CODECS=\"avc1.4d401f\"\n", int64(r))
+		fmt.Fprintf(bw, "/playlist/%d.m3u8\n", i)
+	}
+	return bw.Flush()
+}
+
+// WriteMediaPlaylist renders the media playlist for one ladder rung:
+// every chunk as an EXTINF entry addressing the shared /chunk URLs.
+func WriteMediaPlaylist(w io.Writer, v *media.Video, rate int) error {
+	if rate < 0 || rate >= len(v.Ladder) {
+		return fmt.Errorf("dash: rate index %d out of range", rate)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "#EXTM3U")
+	fmt.Fprintln(bw, "#EXT-X-VERSION:3")
+	fmt.Fprintf(bw, "#EXT-X-TARGETDURATION:%d\n", int(v.ChunkDuration.Seconds()+0.999))
+	fmt.Fprintln(bw, "#EXT-X-MEDIA-SEQUENCE:0")
+	fmt.Fprintln(bw, "#EXT-X-PLAYLIST-TYPE:VOD")
+	secs := v.ChunkDuration.Seconds()
+	for k := 0; k < v.NumChunks(); k++ {
+		fmt.Fprintf(bw, "#EXTINF:%.3f,\n", secs)
+		fmt.Fprintf(bw, "/chunk/%d/%d\n", rate, k)
+	}
+	fmt.Fprintln(bw, "#EXT-X-ENDLIST")
+	return bw.Flush()
+}
+
+// MasterPlaylist is the parsed form of an HLS master playlist.
+type MasterPlaylist struct {
+	// Variants are the advertised streams in playlist order.
+	Variants []Variant
+}
+
+// Variant is one EXT-X-STREAM-INF entry.
+type Variant struct {
+	Bandwidth units.BitRate
+	URI       string
+}
+
+// Ladder returns the variants' bandwidths as a rate ladder (playlist
+// order, which this server emits ascending).
+func (m MasterPlaylist) Ladder() media.Ladder {
+	var l media.Ladder
+	for _, v := range m.Variants {
+		l = append(l, v.Bandwidth)
+	}
+	return l
+}
+
+// ParseMasterPlaylist reads an HLS master playlist.
+func ParseMasterPlaylist(r io.Reader) (MasterPlaylist, error) {
+	var m MasterPlaylist
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "#EXTM3U" {
+		return m, fmt.Errorf("dash: not an m3u8 playlist")
+	}
+	var pending *Variant
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "#EXT-X-STREAM-INF:"):
+			attrs := line[len("#EXT-X-STREAM-INF:"):]
+			v := Variant{}
+			for _, kv := range splitAttrs(attrs) {
+				key, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					continue
+				}
+				if key == "BANDWIDTH" {
+					bw, err := strconv.ParseInt(val, 10, 64)
+					if err != nil {
+						return m, fmt.Errorf("dash: bad BANDWIDTH %q: %w", val, err)
+					}
+					v.Bandwidth = units.BitRate(bw)
+				}
+			}
+			pending = &v
+		case line == "" || strings.HasPrefix(line, "#"):
+			// Other tags and blanks pass through.
+		default:
+			if pending != nil {
+				pending.URI = line
+				m.Variants = append(m.Variants, *pending)
+				pending = nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return m, err
+	}
+	if len(m.Variants) == 0 {
+		return m, fmt.Errorf("dash: master playlist has no variants")
+	}
+	return m, nil
+}
+
+// MediaPlaylist is the parsed form of a media playlist.
+type MediaPlaylist struct {
+	TargetDuration time.Duration
+	SegmentURIs    []string
+	SegmentSecs    []float64
+	Ended          bool
+}
+
+// ParseMediaPlaylist reads an HLS media playlist.
+func ParseMediaPlaylist(r io.Reader) (MediaPlaylist, error) {
+	var m MediaPlaylist
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() || strings.TrimSpace(sc.Text()) != "#EXTM3U" {
+		return m, fmt.Errorf("dash: not an m3u8 playlist")
+	}
+	var pendingDur float64
+	var havePending bool
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "#EXT-X-TARGETDURATION:"):
+			secs, err := strconv.Atoi(line[len("#EXT-X-TARGETDURATION:"):])
+			if err != nil {
+				return m, fmt.Errorf("dash: bad target duration: %w", err)
+			}
+			m.TargetDuration = time.Duration(secs) * time.Second
+		case strings.HasPrefix(line, "#EXTINF:"):
+			spec := strings.TrimSuffix(line[len("#EXTINF:"):], ",")
+			secs, err := strconv.ParseFloat(strings.Split(spec, ",")[0], 64)
+			if err != nil {
+				return m, fmt.Errorf("dash: bad EXTINF %q: %w", spec, err)
+			}
+			pendingDur = secs
+			havePending = true
+		case line == "#EXT-X-ENDLIST":
+			m.Ended = true
+		case line == "" || strings.HasPrefix(line, "#"):
+		default:
+			if havePending {
+				m.SegmentURIs = append(m.SegmentURIs, line)
+				m.SegmentSecs = append(m.SegmentSecs, pendingDur)
+				havePending = false
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return m, err
+	}
+	if len(m.SegmentURIs) == 0 {
+		return m, fmt.Errorf("dash: media playlist has no segments")
+	}
+	return m, nil
+}
+
+// splitAttrs splits an attribute list on commas outside quoted strings.
+func splitAttrs(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for _, r := range s {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package dash
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/media"
+)
+
+func TestMasterPlaylistRoundTrip(t *testing.T) {
+	video := testVideo(t, 20, media.DefaultChunkDuration)
+	var buf bytes.Buffer
+	if err := WriteMasterPlaylist(&buf, video); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMasterPlaylist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Variants) != len(video.Ladder) {
+		t.Fatalf("%d variants, want %d", len(m.Variants), len(video.Ladder))
+	}
+	ladder := m.Ladder()
+	if err := ladder.Validate(); err != nil {
+		t.Fatalf("parsed ladder invalid: %v", err)
+	}
+	for i, v := range m.Variants {
+		if v.Bandwidth != video.Ladder[i] {
+			t.Errorf("variant %d bandwidth %v, want %v", i, v.Bandwidth, video.Ladder[i])
+		}
+		if v.URI != fmt.Sprintf("/playlist/%d.m3u8", i) {
+			t.Errorf("variant %d uri %q", i, v.URI)
+		}
+	}
+}
+
+func TestMediaPlaylistRoundTrip(t *testing.T) {
+	video := testVideo(t, 12, media.DefaultChunkDuration)
+	var buf bytes.Buffer
+	if err := WriteMediaPlaylist(&buf, video, 3); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMediaPlaylist(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.SegmentURIs) != 12 {
+		t.Fatalf("%d segments, want 12", len(m.SegmentURIs))
+	}
+	if !m.Ended {
+		t.Error("VOD playlist missing ENDLIST")
+	}
+	if m.TargetDuration != 4*time.Second {
+		t.Errorf("target duration %v", m.TargetDuration)
+	}
+	for k, uri := range m.SegmentURIs {
+		if uri != fmt.Sprintf("/chunk/3/%d", k) {
+			t.Errorf("segment %d uri %q", k, uri)
+		}
+		if m.SegmentSecs[k] != 4 {
+			t.Errorf("segment %d duration %v", k, m.SegmentSecs[k])
+		}
+	}
+	if err := WriteMediaPlaylist(io.Discard, video, 99); err == nil {
+		t.Error("out-of-range rate accepted")
+	}
+}
+
+func TestParsePlaylistErrors(t *testing.T) {
+	if _, err := ParseMasterPlaylist(strings.NewReader("not a playlist")); err == nil {
+		t.Error("garbage master accepted")
+	}
+	if _, err := ParseMasterPlaylist(strings.NewReader("#EXTM3U\n")); err == nil {
+		t.Error("variant-free master accepted")
+	}
+	if _, err := ParseMasterPlaylist(strings.NewReader("#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=oops\nx\n")); err == nil {
+		t.Error("bad bandwidth accepted")
+	}
+	if _, err := ParseMediaPlaylist(strings.NewReader("nope")); err == nil {
+		t.Error("garbage media accepted")
+	}
+	if _, err := ParseMediaPlaylist(strings.NewReader("#EXTM3U\n#EXT-X-ENDLIST\n")); err == nil {
+		t.Error("segment-free media accepted")
+	}
+	if _, err := ParseMediaPlaylist(strings.NewReader("#EXTM3U\n#EXTINF:abc,\nseg\n")); err == nil {
+		t.Error("bad EXTINF accepted")
+	}
+}
+
+func TestServerServesHLS(t *testing.T) {
+	video := testVideo(t, 10, media.DefaultChunkDuration)
+	srv, err := NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/master.m3u8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	master, err := ParseMasterPlaylist(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Follow variant 2's URI to its media playlist, then its first
+	// segment to a chunk body.
+	resp, err = http.Get(ts.URL + master.Variants[2].URI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mediaPl, err := ParseMediaPlaylist(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + mediaPl.SegmentURIs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if n != video.ChunkSize(2, 0) {
+		t.Errorf("segment body %d bytes, want %d", n, video.ChunkSize(2, 0))
+	}
+	// Unknown variants 404.
+	resp, err = http.Get(ts.URL + "/playlist/99.m3u8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown variant returned %s", resp.Status)
+	}
+}
+
+func TestSplitAttrs(t *testing.T) {
+	got := splitAttrs(`BANDWIDTH=1000,CODECS="avc1,mp4a",RESOLUTION=1280x720`)
+	if len(got) != 3 {
+		t.Fatalf("split into %d parts: %v", len(got), got)
+	}
+	if got[1] != `CODECS="avc1,mp4a"` {
+		t.Errorf("quoted comma split: %q", got[1])
+	}
+}
+
+func TestStreamViaHLS(t *testing.T) {
+	video := testVideo(t, 16, 500*time.Millisecond)
+	srv, err := NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	res, err := Stream(context.Background(), ClientConfig{
+		BaseURL:   ts.URL,
+		Algorithm: abr.NewBBA2(),
+		UseHLS:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != 16 {
+		t.Fatalf("downloaded %d chunks, want 16", len(res.Chunks))
+	}
+	if res.Rebuffers != 0 {
+		t.Errorf("rebuffers = %d", res.Rebuffers)
+	}
+}
+
+func TestStreamManifestModesExclusive(t *testing.T) {
+	_, err := Stream(context.Background(), ClientConfig{
+		BaseURL:   "http://127.0.0.1:1",
+		Algorithm: abr.NewBBA0(),
+		UseMPD:    true,
+		UseHLS:    true,
+	})
+	if err == nil {
+		t.Error("UseMPD+UseHLS accepted")
+	}
+}

@@ -1,0 +1,14 @@
+package dash
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonDecode decodes a single JSON document from r, rejecting unknown
+// fields so manifest drift is caught early.
+func jsonDecode(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

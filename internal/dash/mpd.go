@@ -1,0 +1,134 @@
+package dash
+
+import (
+	"encoding/xml"
+	"fmt"
+	"time"
+
+	"bba/internal/media"
+	"bba/internal/units"
+)
+
+// This file renders the served title as a standard MPEG-DASH Media
+// Presentation Description (MPD), the manifest format every off-the-shelf
+// DASH player consumes. The MPD carries the rate ladder (one
+// Representation per rung) and a SegmentTemplate addressing the same
+// /chunk/{rate}/{index} URLs the native client uses; what it cannot carry
+// is the per-chunk size matrix, which is why BBA-1's reservoir and chunk
+// map use the richer JSON manifest. The pairing mirrors the paper's
+// deployment: a standards-shaped transport with a side channel of encoding
+// metadata for the algorithm.
+
+// MPD is the root of a Media Presentation Description (static profile).
+type MPD struct {
+	XMLName                   xml.Name `xml:"MPD"`
+	XMLNS                     string   `xml:"xmlns,attr"`
+	Profiles                  string   `xml:"profiles,attr"`
+	Type                      string   `xml:"type,attr"`
+	MediaPresentationDuration string   `xml:"mediaPresentationDuration,attr"`
+	MinBufferTime             string   `xml:"minBufferTime,attr"`
+	Period                    Period   `xml:"Period"`
+}
+
+// Period is the single playback period of a static presentation.
+type Period struct {
+	ID            string        `xml:"id,attr"`
+	Duration      string        `xml:"duration,attr"`
+	AdaptationSet AdaptationSet `xml:"AdaptationSet"`
+}
+
+// AdaptationSet groups the video representations.
+type AdaptationSet struct {
+	ContentType     string           `xml:"contentType,attr"`
+	SegmentAligned  bool             `xml:"segmentAlignment,attr"`
+	SegmentTemplate SegmentTemplate  `xml:"SegmentTemplate"`
+	Representations []Representation `xml:"Representation"`
+}
+
+// SegmentTemplate addresses chunks by representation id and number.
+type SegmentTemplate struct {
+	Media       string `xml:"media,attr"`
+	StartNumber int    `xml:"startNumber,attr"`
+	Duration    int64  `xml:"duration,attr"`
+	Timescale   int64  `xml:"timescale,attr"`
+}
+
+// Representation is one ladder rung.
+type Representation struct {
+	ID        string `xml:"id,attr"`
+	Bandwidth int64  `xml:"bandwidth,attr"`
+	Codecs    string `xml:"codecs,attr"`
+	MimeType  string `xml:"mimeType,attr"`
+}
+
+// MPDFor renders the DASH manifest describing v.
+func MPDFor(v *media.Video) MPD {
+	const timescale = 1000 // milliseconds
+	m := MPD{
+		XMLNS:                     "urn:mpeg:dash:schema:mpd:2011",
+		Profiles:                  "urn:mpeg:dash:profile:isoff-on-demand:2011",
+		Type:                      "static",
+		MediaPresentationDuration: xsDuration(v.Duration()),
+		MinBufferTime:             xsDuration(v.ChunkDuration),
+		Period: Period{
+			ID:       "0",
+			Duration: xsDuration(v.Duration()),
+			AdaptationSet: AdaptationSet{
+				ContentType:    "video",
+				SegmentAligned: true,
+				SegmentTemplate: SegmentTemplate{
+					Media:       "/chunk/$RepresentationID$/$Number$",
+					StartNumber: 0,
+					Duration:    v.ChunkDuration.Milliseconds(),
+					Timescale:   timescale,
+				},
+			},
+		},
+	}
+	for i, r := range v.Ladder {
+		m.Period.AdaptationSet.Representations = append(m.Period.AdaptationSet.Representations, Representation{
+			ID:        fmt.Sprint(i),
+			Bandwidth: int64(r),
+			Codecs:    "avc1.4d401f",
+			MimeType:  "video/mp4",
+		})
+	}
+	return m
+}
+
+// Ladder extracts the rate ladder the MPD advertises.
+func (m MPD) Ladder() media.Ladder {
+	var l media.Ladder
+	for _, r := range m.Period.AdaptationSet.Representations {
+		l = append(l, units.BitRate(r.Bandwidth))
+	}
+	return l
+}
+
+// ChunkDuration extracts the segment duration.
+func (m MPD) ChunkDuration() time.Duration {
+	st := m.Period.AdaptationSet.SegmentTemplate
+	if st.Timescale <= 0 {
+		return 0
+	}
+	return time.Duration(st.Duration) * time.Second / time.Duration(st.Timescale)
+}
+
+// xsDuration renders an xs:duration ("PT123.456S") as MPDs use.
+func xsDuration(d time.Duration) string {
+	return fmt.Sprintf("PT%.3fS", d.Seconds())
+}
+
+// parseXSDuration reads the "PTxx.xxxS" subset this package emits.
+func parseXSDuration(s string) (time.Duration, error) {
+	var secs float64
+	if _, err := fmt.Sscanf(s, "PT%fS", &secs); err != nil {
+		return 0, fmt.Errorf("dash: bad xs:duration %q: %w", s, err)
+	}
+	return time.Duration(secs * float64(time.Second)), nil
+}
+
+// Duration extracts the presentation duration.
+func (m MPD) Duration() (time.Duration, error) {
+	return parseXSDuration(m.MediaPresentationDuration)
+}

@@ -1,0 +1,184 @@
+// Package dash is the HTTP streaming substrate: a chunk server and a
+// streaming client that exercise the ABR algorithms over a real HTTP path —
+// TCP connections, HTTP requests, measured per-chunk downloads — instead of
+// the virtual-time simulator. It mirrors the production setup the paper
+// describes: "the client requests chunks of video from the server", each
+// chunk a separate HTTP object, with the player measuring "how fast chunks
+// arrive to estimate capacity".
+//
+// The server publishes a JSON manifest (ladder, chunk duration and the full
+// per-chunk size matrix, which BBA-1's reservoir and chunk map need), a
+// standards-shaped MPEG-DASH MPD at /manifest.mpd for interop, and serves
+// deterministic filler bytes for every (rate, chunk) pair. Fault injection —
+// added latency and per-chunk failures — supports testing the client's
+// error handling.
+package dash
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"bba/internal/media"
+	"bba/internal/units"
+)
+
+// Manifest is the JSON document describing a title.
+type Manifest struct {
+	Title           string  `json:"title"`
+	ChunkDurationMS int64   `json:"chunkDurationMs"`
+	LadderBps       []int64 `json:"ladderBps"`
+	NumChunks       int     `json:"numChunks"`
+	// SizesBytes is indexed [rateIndex][chunkIndex].
+	SizesBytes [][]int64 `json:"sizesBytes"`
+}
+
+// ManifestFor builds the manifest describing v.
+func ManifestFor(v *media.Video) Manifest {
+	m := Manifest{
+		Title:           v.Title,
+		ChunkDurationMS: v.ChunkDuration.Milliseconds(),
+		NumChunks:       v.NumChunks(),
+	}
+	for _, r := range v.Ladder {
+		m.LadderBps = append(m.LadderBps, int64(r))
+	}
+	for ri := range v.Ladder {
+		m.SizesBytes = append(m.SizesBytes, v.ChunkSizes(ri))
+	}
+	return m
+}
+
+// Video reconstructs the media.Video the manifest describes.
+func (m Manifest) Video() (*media.Video, error) {
+	ladder := make(media.Ladder, len(m.LadderBps))
+	for i, bps := range m.LadderBps {
+		ladder[i] = units.BitRate(bps)
+	}
+	return media.FromSizes(m.Title, ladder, time.Duration(m.ChunkDurationMS)*time.Millisecond, m.SizesBytes)
+}
+
+// Server serves one title over HTTP:
+//
+//	GET /manifest.json                 full-information manifest
+//	GET /manifest.mpd                  MPEG-DASH MPD
+//	GET /master.m3u8                   HLS master playlist
+//	GET /playlist/{rateIndex}.m3u8     HLS media playlist
+//	GET /chunk/{rateIndex}/{chunkIndex}
+//
+// It implements http.Handler and is safe for concurrent use.
+type Server struct {
+	video    *media.Video
+	manifest []byte
+	mpd      []byte
+
+	// Latency is added before each chunk response (first-byte delay).
+	Latency time.Duration
+	// FailChunk, when non-nil, makes matching chunk requests fail with
+	// a 503 — fault injection for client retry tests.
+	FailChunk func(rate, chunk int) bool
+
+	requests atomic.Int64
+}
+
+// NewServer builds a Server for v.
+func NewServer(v *media.Video) (*Server, error) {
+	raw, err := json.Marshal(ManifestFor(v))
+	if err != nil {
+		return nil, err
+	}
+	mpd, err := xml.MarshalIndent(MPDFor(v), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return &Server{video: v, manifest: raw, mpd: append([]byte(xml.Header), mpd...)}, nil
+}
+
+// Requests returns the number of chunk requests served (including injected
+// failures).
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/manifest.json":
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(s.manifest)
+	case r.URL.Path == "/manifest.mpd":
+		w.Header().Set("Content-Type", "application/dash+xml")
+		w.Write(s.mpd)
+	case r.URL.Path == "/master.m3u8":
+		w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
+		WriteMasterPlaylist(w, s.video)
+	case strings.HasPrefix(r.URL.Path, "/playlist/"):
+		s.serveMediaPlaylist(w, r)
+	case strings.HasPrefix(r.URL.Path, "/chunk/"):
+		s.serveChunk(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveMediaPlaylist serves /playlist/{rate}.m3u8.
+func (s *Server) serveMediaPlaylist(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/playlist/"), ".m3u8")
+	rate, err := strconv.Atoi(name)
+	if err != nil || rate < 0 || rate >= len(s.video.Ladder) {
+		http.Error(w, "unknown variant", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
+	WriteMediaPlaylist(w, s.video, rate)
+}
+
+func (s *Server) serveChunk(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/chunk/"), "/")
+	if len(parts) != 2 {
+		http.Error(w, "want /chunk/{rate}/{index}", http.StatusBadRequest)
+		return
+	}
+	rate, err1 := strconv.Atoi(parts[0])
+	chunk, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil ||
+		rate < 0 || rate >= len(s.video.Ladder) ||
+		chunk < 0 || chunk >= s.video.NumChunks() {
+		http.Error(w, "chunk out of range", http.StatusNotFound)
+		return
+	}
+	if s.FailChunk != nil && s.FailChunk(rate, chunk) {
+		http.Error(w, "injected failure", http.StatusServiceUnavailable)
+		return
+	}
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
+	size := s.video.ChunkSize(rate, chunk)
+	w.Header().Set("Content-Type", "video/mp4")
+	w.Header().Set("Content-Length", fmt.Sprint(size))
+	writeFiller(w, size)
+}
+
+// writeFiller streams size bytes of deterministic filler.
+func writeFiller(w http.ResponseWriter, size int64) {
+	const blockSize = 32 * 1024
+	block := make([]byte, blockSize)
+	for i := range block {
+		block[i] = byte('A' + i%26)
+	}
+	for size > 0 {
+		n := int64(blockSize)
+		if n > size {
+			n = size
+		}
+		if _, err := w.Write(block[:n]); err != nil {
+			return
+		}
+		size -= n
+	}
+}

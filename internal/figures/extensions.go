@@ -1,0 +1,322 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/abtest"
+	"bba/internal/media"
+	"bba/internal/player"
+	"bba/internal/qoe"
+	"bba/internal/stats"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+// ShortVideoSessions tests the conclusion's prediction: "in any setting
+// where the startup phase is a significant fraction of the overall video
+// playback, estimation may be valuable (e.g., for short videos)". It runs
+// paired populations at several session lengths and reports the average-
+// rate gap of the pure buffer-based BBA-1 versus the estimation-assisted
+// BBA-2 and the estimator Control: the shorter the sessions, the bigger
+// BBA-1's deficit.
+func ShortVideoSessions() (*Figure, error) {
+	fig := &Figure{
+		ID:     "ext-shortvideo",
+		Title:  "Extension (conclusion): the startup penalty versus session length",
+		XLabel: "median session length",
+		YLabel: "average-rate deficit of BBA-1 (kb/s)",
+	}
+	vsBBA2 := Series{Name: "BBA2−BBA1"}
+	vsCtl := Series{Name: "Ctl−BBA1"}
+	groups := []abtest.Group{
+		{Name: "Control", New: func(u abtest.User) abr.Algorithm {
+			c := abr.NewControl()
+			c.InitialEstimate = u.History
+			return c
+		}},
+		{Name: "BBA-1", New: func(abtest.User) abr.Algorithm { return abr.NewBBA1() }},
+		{Name: "BBA-2", New: func(abtest.User) abr.Algorithm { return abr.NewBBA2() }},
+	}
+	avgRate := func(out *abtest.Outcome, g string) float64 {
+		var sum, hours float64
+		for _, w := range out.Windows[g] {
+			sum += w.AvgRateKbps * w.PlayHours
+			hours += w.PlayHours
+		}
+		if hours == 0 {
+			return 0
+		}
+		return sum / hours
+	}
+	for _, mean := range []time.Duration{6 * time.Minute, 12 * time.Minute, 25 * time.Minute, 50 * time.Minute} {
+		out, err := abtest.Run(abtest.Config{
+			Seed:              ExperimentSeed + 13,
+			Days:              1,
+			SessionsPerWindow: 50,
+			Groups:            groups,
+			Population:        abtest.PopulationConfig{MeanWatch: mean},
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%dm", int(mean.Minutes()))
+		d2 := avgRate(out, "BBA-2") - avgRate(out, "BBA-1")
+		dc := avgRate(out, "Control") - avgRate(out, "BBA-1")
+		vsBBA2.Points = append(vsBBA2.Points, Point{X: label, Y: d2})
+		vsCtl.Points = append(vsCtl.Points, Point{X: label, Y: dc})
+	}
+	fig.Series = []Series{vsBBA2, vsCtl}
+	first, last := vsBBA2.Points[0].Y, vsBBA2.Points[len(vsBBA2.Points)-1].Y
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("BBA-2's advantage over BBA-1 shrinks from %.0f kb/s at 6-minute sessions to %.0f kb/s at 50-minute sessions", first, last),
+		"paper's conclusion: the shorter the playback, the larger the share of the startup phase — and the more the capacity-estimated ramp is worth",
+	)
+	return fig, nil
+}
+
+// QoERanking folds the paper's three separately-reported axes — video
+// rate, rebuffering and switching — into the linear QoE score the
+// follow-on literature uses, and ranks every algorithm on one paired
+// peak-hour population.
+func QoERanking() (*Figure, error) {
+	catalog, err := media.NewCatalog(24, media.DefaultLadder(), ExperimentSeed)
+	if err != nil {
+		return nil, err
+	}
+	algs := []struct {
+		name string
+		mk   func(abtest.User) abr.Algorithm
+	}{
+		{"Control", func(u abtest.User) abr.Algorithm {
+			c := abr.NewControl()
+			c.InitialEstimate = u.History
+			return c
+		}},
+		{"Rmin Always", func(abtest.User) abr.Algorithm { return abr.RminAlways{} }},
+		{"BBA-0", func(abtest.User) abr.Algorithm { return abr.NewBBA0() }},
+		{"BBA-1", func(abtest.User) abr.Algorithm { return abr.NewBBA1() }},
+		{"BBA-2", func(abtest.User) abr.Algorithm { return abr.NewBBA2() }},
+		{"BBA-Others", func(abtest.User) abr.Algorithm { return abr.NewBBAOthers() }},
+		{"PID", func(u abtest.User) abr.Algorithm {
+			c := abr.NewBufferTarget()
+			c.InitialEstimate = u.History
+			return c
+		}},
+		{"ELASTIC", func(u abtest.User) abr.Algorithm {
+			c := abr.NewElastic()
+			c.InitialEstimate = u.History
+			return c
+		}},
+	}
+	weights := qoe.Default()
+	const sessions = 250
+	totals := make([]float64, len(algs))
+	var hours float64
+	for i := 0; i < sessions; i++ {
+		rng := abtest.SessionRNG(ExperimentSeed+29, 0, 0, i)
+		u := abtest.DrawUser(abtest.PopulationConfig{}, 0, 0, rng) // peak window
+		stream := abr.NewStream(u.Pick(catalog), u.Rmin)
+		for ai, a := range algs {
+			res, err := player.Run(player.Config{
+				Algorithm:  a.mk(u),
+				Stream:     stream,
+				Trace:      u.Trace,
+				WatchLimit: u.WatchTime,
+			})
+			if err != nil {
+				return nil, err
+			}
+			totals[ai] += qoe.Score(res, weights).QoE
+			if ai == 0 {
+				hours += res.PlayHours()
+			}
+		}
+	}
+	fig := &Figure{
+		ID:     "ext-qoe",
+		Title:  "Extension: linear QoE ranking at peak (quality − 5·stall − |Δquality|)",
+		XLabel: "algorithm",
+		YLabel: "QoE per playhour",
+	}
+	s := Series{Name: "QoE/h"}
+	best, bestV := "", math.Inf(-1)
+	for ai, a := range algs {
+		v := totals[ai] / hours
+		s.Points = append(s.Points, Point{X: a.name, Y: v})
+		if v > bestV {
+			best, bestV = a.name, v
+		}
+	}
+	fig.Series = []Series{s}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("best composite QoE at peak: %s (%.0f per playhour)", best, bestV),
+		"every buffer-based algorithm outscores the Control; note how a fixed stall weight can still let a rate-aggressive controller edge ahead despite several times the rebuffer rate — the composite understates the paper's primary concern",
+	)
+	return fig, nil
+}
+
+// RelatedWorkComparison runs the buffer-aware estimator controllers the
+// paper's related work discusses — a Tian-and-Liu-style buffer-target PID
+// [20] and an ELASTIC-style harmonic-filter controller [5] — against BBA-2
+// and the Control, on the same paired weekend population.
+func RelatedWorkComparison() (*Figure, error) {
+	groups := []abtest.Group{
+		{Name: "Control", New: func(u abtest.User) abr.Algorithm {
+			c := abr.NewControl()
+			c.InitialEstimate = u.History
+			return c
+		}},
+		{Name: "BBA-2", New: func(abtest.User) abr.Algorithm { return abr.NewBBA2() }},
+		{Name: "PID", New: func(u abtest.User) abr.Algorithm {
+			c := abr.NewBufferTarget()
+			c.InitialEstimate = u.History
+			return c
+		}},
+		{Name: "ELASTIC", New: func(u abtest.User) abr.Algorithm {
+			c := abr.NewElastic()
+			c.InitialEstimate = u.History
+			return c
+		}},
+	}
+	out, err := ablationExperiment("relatedwork", groups)
+	if err != nil {
+		return nil, err
+	}
+	names := []string{"Control", "BBA-2", "PID", "ELASTIC"}
+	fig := summaryFigure("ext-relatedwork",
+		"Extension (§2.2/§8): buffer-aware estimator controllers vs the buffer-based approach",
+		out, names,
+		"paper's framing: prior work adjusts capacity estimates with the buffer; BBA inverts the design — the buffer picks the rate, estimation assists only at startup")
+	return fig, nil
+}
+
+// BufferOccupancy shows where each algorithm's buffer actually lives in
+// steady state — the mechanism behind every safety difference the A/B
+// figures measure. Rmin Always pins the buffer at the top; Control
+// oscillates high; the chunk-mapped BBA algorithms settle mid-cushion,
+// lifted by their outage protection.
+func BufferOccupancy() (*Figure, error) {
+	catalog, err := media.NewCatalog(24, media.DefaultLadder(), ExperimentSeed)
+	if err != nil {
+		return nil, err
+	}
+	algs := []struct {
+		name string
+		mk   func(abtest.User) abr.Algorithm
+	}{
+		{"Rmin Always", func(abtest.User) abr.Algorithm { return abr.RminAlways{} }},
+		{"Control", func(u abtest.User) abr.Algorithm {
+			c := abr.NewControl()
+			c.InitialEstimate = u.History
+			return c
+		}},
+		{"BBA-0", func(abtest.User) abr.Algorithm { return abr.NewBBA0() }},
+		{"BBA-1", func(abtest.User) abr.Algorithm { return abr.NewBBA1() }},
+		{"BBA-2", func(abtest.User) abr.Algorithm { return abr.NewBBA2() }},
+		{"BBA-Others", func(abtest.User) abr.Algorithm { return abr.NewBBAOthers() }},
+	}
+	fig := &Figure{
+		ID:     "ext-buffer",
+		Title:  "Extension: steady-state buffer occupancy by algorithm (peak population)",
+		XLabel: "algorithm",
+		YLabel: "buffer seconds (percentiles over steady-state chunks)",
+	}
+	p25s := Series{Name: "p25"}
+	p50s := Series{Name: "median"}
+	p75s := Series{Name: "p75"}
+	const sessions = 120
+	for _, a := range algs {
+		var levels []float64
+		for i := 0; i < sessions; i++ {
+			rng := abtest.SessionRNG(ExperimentSeed+31, 0, 0, i)
+			u := abtest.DrawUser(abtest.PopulationConfig{}, 0, 0, rng)
+			stream := abr.NewStream(u.Pick(catalog), u.Rmin)
+			res, err := player.Run(player.Config{
+				Algorithm:  a.mk(u),
+				Stream:     stream,
+				Trace:      u.Trace,
+				WatchLimit: u.WatchTime,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, c := range res.Chunks {
+				if c.Start >= 2*time.Minute { // steady state per Fig. 18
+					levels = append(levels, c.BufferAfter.Seconds())
+				}
+			}
+		}
+		p25, err := stats.Percentile(levels, 25)
+		if err != nil {
+			return nil, err
+		}
+		p50, _ := stats.Percentile(levels, 50)
+		p75, _ := stats.Percentile(levels, 75)
+		p25s.Points = append(p25s.Points, Point{X: a.name, Y: p25})
+		p50s.Points = append(p50s.Points, Point{X: a.name, Y: p50})
+		p75s.Points = append(p75s.Points, Point{X: a.name, Y: p75})
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%-11s buffer p25/median/p75 = %.0f / %.0f / %.0f s",
+			a.name, p25, p50, p75))
+	}
+	fig.Series = []Series{p25s, p50s, p75s}
+	fig.Notes = append(fig.Notes,
+		"the buffer level entering a fade is what decides survival: the bound keeps the full 240 s, the chunk-mapped algorithms hold the reservoir-plus-cushion equilibrium the §7.1 protection raises",
+	)
+	return fig, nil
+}
+
+// SeekStartup exercises the other startup trigger the paper names —
+// "seeking to a new point" — with sessions that seek every two minutes on
+// a fast link: every seek flushes the buffer and re-enters startup, so the
+// estimation-assisted ramp compounds.
+func SeekStartup() (*Figure, error) {
+	ladder := media.DefaultLadder()[:8]
+	video, err := media.NewCBR("seek-demo", ladder, media.DefaultChunkDuration, 1800)
+	if err != nil {
+		return nil, err
+	}
+	stream := abr.NewStream(video, 0)
+	tr := trace.Constant(25*units.Mbps, 2*time.Hour)
+	seeks := []player.Seek{
+		{AfterPlayed: 2 * time.Minute, ToChunk: 400},
+		{AfterPlayed: 4 * time.Minute, ToChunk: 800},
+		{AfterPlayed: 6 * time.Minute, ToChunk: 1200},
+		{AfterPlayed: 8 * time.Minute, ToChunk: 1600},
+	}
+
+	fig := &Figure{
+		ID:     "ext-seek",
+		Title:  "Extension (§6): seek-heavy viewing re-enters the startup phase",
+		XLabel: "algorithm",
+		YLabel: "average video rate (kb/s), 10-minute session with 4 seeks",
+	}
+	s := Series{Name: "avg rate"}
+	for _, mk := range []func() abr.Algorithm{
+		func() abr.Algorithm { return abr.NewBBA1() },
+		func() abr.Algorithm { return abr.NewBBA2() },
+		func() abr.Algorithm { return abr.NewBBAOthers() },
+	} {
+		alg := mk()
+		res, err := player.Run(player.Config{
+			Algorithm:  alg,
+			Stream:     stream,
+			Trace:      tr,
+			WatchLimit: 10 * time.Minute,
+			Seeks:      seeks,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Points = append(s.Points, Point{X: alg.Name(), Y: res.AvgRateKbps()})
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%-10s %.0f kb/s over %d executed seeks, %d rebuffers",
+			alg.Name(), res.AvgRateKbps(), len(res.Seeks), res.Rebuffers))
+	}
+	fig.Series = []Series{s}
+	fig.Notes = append(fig.Notes,
+		"each seek flushes the buffer; BBA-2's ΔB ramp recovers the steady rate within seconds while BBA-1 re-climbs the cushion",
+	)
+	return fig, nil
+}

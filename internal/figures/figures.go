@@ -1,0 +1,185 @@
+// Package figures regenerates every figure of the paper's evaluation.
+// Each generator returns a Figure — named series over a labelled axis plus
+// computed notes comparing the reproduction against the paper's reported
+// shape — and is wired to a benchmark in the repository root and to the
+// abtest command.
+//
+// The A/B figures (7–9, 14–15, 17–20, 22–24) all derive from one weekend-
+// scale experiment over the same paired population; the experiment runs
+// once per scale and is cached, exactly as the paper's figures all read
+// from the same deployment weekend.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"bba/internal/abtest"
+	"bba/internal/metrics"
+)
+
+// Scale selects the population size of the cached A/B experiment.
+type Scale int
+
+const (
+	// Quick runs a reduced weekend (2 days × 80 sessions/window): a few
+	// seconds, adequate for smoke checks.
+	Quick Scale = iota
+	// Full runs the reference weekend (3 days × 160 sessions/window)
+	// used for EXPERIMENTS.md.
+	Full
+)
+
+// ExperimentSeed fixes the reference experiment; change it to resample the
+// population.
+const ExperimentSeed = 2014
+
+// Point is one X-labelled sample of a series.
+type Point struct {
+	X string
+	Y float64
+}
+
+// Series is a named line in a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure is a reproduced table/plot: the series the paper's figure shows,
+// plus notes stating the shape comparison.
+type Figure struct {
+	ID     string // e.g. "fig07b"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// WriteTable renders the figure as an aligned text table followed by its
+// notes.
+func (f *Figure) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(f.ID), f.Title); err != nil {
+		return err
+	}
+	if len(f.Series) > 0 {
+		fmt.Fprintf(w, "%-22s", f.XLabel)
+		for _, s := range f.Series {
+			fmt.Fprintf(w, "%16s", truncate(s.Name, 15))
+		}
+		fmt.Fprintln(w)
+		for i := range longestSeries(f.Series).Points {
+			fmt.Fprintf(w, "%-22s", f.Series[seriesWithPoint(f.Series, i)].Points[i].X)
+			for _, s := range f.Series {
+				if i < len(s.Points) {
+					fmt.Fprintf(w, "%16.3f", s.Points[i].Y)
+				} else {
+					fmt.Fprintf(w, "%16s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "(Y axis: %s)\n", f.YLabel)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "  * %s\n", n)
+	}
+	return nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func longestSeries(ss []Series) Series {
+	best := ss[0]
+	for _, s := range ss[1:] {
+		if len(s.Points) > len(best.Points) {
+			best = s
+		}
+	}
+	return best
+}
+
+func seriesWithPoint(ss []Series, i int) int {
+	for j, s := range ss {
+		if i < len(s.Points) {
+			return j
+		}
+	}
+	return 0
+}
+
+var (
+	expMu    sync.Mutex
+	expCache = map[Scale]*abtest.Outcome{}
+)
+
+// ExperimentOutcome returns the cached weekend A/B experiment at the given
+// scale, running it on first use.
+func ExperimentOutcome(scale Scale) (*abtest.Outcome, error) {
+	expMu.Lock()
+	defer expMu.Unlock()
+	if out, ok := expCache[scale]; ok {
+		return out, nil
+	}
+	cfg := abtest.Config{Seed: ExperimentSeed, Days: 2, SessionsPerWindow: 80}
+	if scale == Full {
+		cfg.Days = 3
+		cfg.SessionsPerWindow = 160
+	}
+	out, err := abtest.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	expCache[scale] = out
+	return out, nil
+}
+
+// windowPoints converts a per-window series into labelled points.
+func windowPoints(ys []float64) []Point {
+	pts := make([]Point, len(ys))
+	for i, y := range ys {
+		pts[i] = Point{X: metrics.WindowLabel(i), Y: y}
+	}
+	return pts
+}
+
+// peakAvg averages a per-window metric over the paper's peak windows,
+// weighting by each window's play-hours.
+func peakAvg(ws []metrics.Window, f func(metrics.Window) float64) float64 {
+	var sum, hours float64
+	for _, w := range ws {
+		if !metrics.PeakWindows()[w.Index] {
+			continue
+		}
+		sum += f(w) * w.PlayHours
+		hours += w.PlayHours
+	}
+	if hours == 0 {
+		return 0
+	}
+	return sum / hours
+}
+
+// offPeakAvg is peakAvg over the off-peak windows.
+func offPeakAvg(ws []metrics.Window, f func(metrics.Window) float64) float64 {
+	var sum, hours float64
+	for _, w := range ws {
+		if !metrics.OffPeakWindows()[w.Index] {
+			continue
+		}
+		sum += f(w) * w.PlayHours
+		hours += w.PlayHours
+	}
+	if hours == 0 {
+		return 0
+	}
+	return sum / hours
+}

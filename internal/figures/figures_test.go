@@ -1,0 +1,114 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bba/internal/metrics"
+)
+
+func TestAllGeneratorsProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full figure suite")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			fig, err := e.Gen(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fig.ID == "" || fig.Title == "" {
+				t.Error("figure missing identity")
+			}
+			if len(fig.Series) == 0 {
+				t.Error("figure has no series")
+			}
+			for _, s := range fig.Series {
+				if len(s.Points) == 0 {
+					t.Errorf("series %q empty", s.Name)
+				}
+			}
+			if len(fig.Notes) == 0 {
+				t.Error("figure has no paper-comparison notes")
+			}
+			var buf bytes.Buffer
+			if err := fig.WriteTable(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), strings.ToUpper(fig.ID)) {
+				t.Error("rendered table missing figure id")
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("Fig10VBRChunkSizes"); !ok {
+		t.Error("known figure not found")
+	}
+	if _, ok := Lookup("Fig99Nothing"); ok {
+		t.Error("unknown figure found")
+	}
+}
+
+func TestExperimentOutcomeCached(t *testing.T) {
+	a, err := ExperimentOutcome(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExperimentOutcome(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("experiment not cached")
+	}
+}
+
+// The paper's headline shape, asserted at Quick scale on the exact cached
+// experiment every A/B figure reads from: at peak, every buffer-based
+// algorithm rebuffers less than Control and more than (or near) the bound.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the weekend experiment")
+	}
+	out, err := ExperimentOutcome(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := func(g string) float64 {
+		return peakAvg(out.Windows[g], func(w metrics.Window) float64 { return w.RebuffersPerPlayhour })
+	}
+	ctrl := rb("Control")
+	bound := rb("Rmin Always")
+	if ctrl <= bound {
+		t.Fatalf("Control %.3f not above the bound %.3f", ctrl, bound)
+	}
+	for _, g := range []string{"BBA-0", "BBA-1", "BBA-2", "BBA-Others"} {
+		v := rb(g)
+		if v >= ctrl {
+			t.Errorf("%s peak rebuffer rate %.3f not below Control %.3f", g, v, ctrl)
+		}
+		if v < bound*0.7 {
+			t.Errorf("%s peak rebuffer rate %.3f implausibly below the bound %.3f", g, v, bound)
+		}
+	}
+}
+
+func TestWriteMarkdownQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every figure")
+	}
+	var buf bytes.Buffer
+	if err := WriteMarkdown(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 7(a,b)", "Figure 18", "BenchmarkFig16StartupRamp", "ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package fluid
+
+// Cross-validation between the fluid model and the discrete chunk engine:
+// the same admissible map, run through both, must agree on the steady-state
+// behaviour. This ties the theory package to the simulator the experiments
+// use — if either drifts, this test catches it.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/media"
+	"bba/internal/player"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+func TestFluidMatchesDiscreteEngine(t *testing.T) {
+	const (
+		reservoir = 20.0
+		rampEnd   = 216.0
+	)
+	f := Linear(rmin, rmax, reservoir, rampEnd)
+
+	// The same map as a discrete algorithm.
+	discrete := abr.NewCustom("xval", func(b, _ time.Duration) units.BitRate {
+		return f(b.Seconds())
+	})
+
+	tr := trace.Markov(trace.MarkovConfig{
+		Base:      2 * units.Mbps,
+		Sigma:     0.5,
+		MeanDwell: 20 * time.Second,
+		Duration:  4 * time.Hour,
+		Floor:     300 * units.Kbps,
+		Ceiling:   4500 * units.Kbps,
+	}, rand.New(rand.NewSource(14)))
+
+	fluidRes, err := Integrate(Config{Map: f, Rmin: rmin, Rmax: rmax, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	video, err := media.NewCBR("xval", media.DefaultLadder(), media.DefaultChunkDuration, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discreteRes, err := player.Run(player.Config{
+		Algorithm:  discrete,
+		Stream:     abr.NewStream(video, 0),
+		Trace:      tr,
+		WatchLimit: 4 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Agreement criteria: both rebuffer-free (C ≥ 300 kb/s > R_min), and
+	// long-run average rates within 10% of each other (the discrete
+	// engine quantizes to the ladder and pays a startup transient).
+	if fluidRes.Rebuffered {
+		t.Error("fluid model rebuffered")
+	}
+	if discreteRes.Rebuffers != 0 {
+		t.Errorf("discrete engine rebuffered %d times", discreteRes.Rebuffers)
+	}
+	fluidRate := fluidRes.AvgSelectedKbps
+	discreteRate := discreteRes.AvgRateKbps()
+	if rel := math.Abs(fluidRate-discreteRate) / fluidRate; rel > 0.10 {
+		t.Errorf("fluid avg %.0f vs discrete avg %.0f kb/s: %.1f%% apart, want ≤10%%",
+			fluidRate, discreteRate, 100*rel)
+	}
+}

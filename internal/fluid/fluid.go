@@ -1,0 +1,198 @@
+// Package fluid verifies the paper's Section 3.1 theorems in the idealized
+// model they are stated for: infinitesimal chunks (the rate adjusts
+// continuously), a continuum of available rates between R_min and R_max,
+// CBR encoding, and an infinitely long video.
+//
+// In that model the buffer evolves by the ODE
+//
+//	dB/dt = C(t)/f(B) − 1
+//
+// (data arrives at C(t) and is consumed at the selected rate f(B); one
+// second of video plays per second). The theorems, proved in the paper's
+// technical report and checked numerically here for arbitrary admissible
+// rate maps:
+//
+//  1. No unnecessary rebuffering: if C(t) ≥ R_min for all t and
+//     f(B) → R_min as B → 0, the buffer never runs dry.
+//  2. Rate maximization: if f is increasing and eventually reaches R_max,
+//     the average selected rate converges to the average capacity whenever
+//     R_min < C(t) < R_max for all t.
+//
+// The integrator is a fixed-step RK4 over the piecewise-constant capacity
+// trace; admissible maps are supplied as ordinary functions and validated
+// for the theorem's hypotheses (continuous, increasing, pinned ends).
+package fluid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+// RateMapFunc is a continuous rate map f(B): buffer seconds → bit rate.
+type RateMapFunc func(bufferSeconds float64) units.BitRate
+
+// Linear returns the canonical admissible map: R_min through the reservoir,
+// then linear to R_max at rampEnd.
+func Linear(rmin, rmax units.BitRate, reservoir, rampEnd float64) RateMapFunc {
+	return func(b float64) units.BitRate {
+		switch {
+		case b <= reservoir:
+			return rmin
+		case b >= rampEnd:
+			return rmax
+		default:
+			frac := (b - reservoir) / (rampEnd - reservoir)
+			return rmin + units.BitRate(frac*float64(rmax-rmin))
+		}
+	}
+}
+
+// Validate checks the Section 3.1 admissibility criteria on [0, maxBuffer]:
+// f is within [rmin, rmax], non-decreasing, pinned at both ends, and
+// without jumps larger than continuity tolerance at the probe resolution.
+func Validate(f RateMapFunc, rmin, rmax units.BitRate, maxBuffer float64) error {
+	const probes = 2048
+	if f(0) != rmin {
+		return fmt.Errorf("fluid: f(0) = %v, want pinned at R_min %v", f(0), rmin)
+	}
+	if f(maxBuffer) != rmax {
+		return fmt.Errorf("fluid: f(maxBuffer) = %v, want pinned at R_max %v", f(maxBuffer), rmax)
+	}
+	// A jump bigger than a few times the expected per-step increment of a
+	// monotone continuous function indicates a discontinuity.
+	maxJump := 16 * float64(rmax-rmin) / probes
+	if minJump := float64(rmax-rmin) / 100; maxJump < minJump {
+		maxJump = minJump
+	}
+	prev := f(0)
+	for i := 1; i <= probes; i++ {
+		b := maxBuffer * float64(i) / probes
+		cur := f(b)
+		if cur < rmin || cur > rmax {
+			return fmt.Errorf("fluid: f(%.2f) = %v outside [R_min, R_max]", b, cur)
+		}
+		if cur < prev {
+			return fmt.Errorf("fluid: f decreasing at B = %.2f", b)
+		}
+		if float64(cur-prev) > maxJump {
+			return fmt.Errorf("fluid: f jumps by %v near B = %.2f; not continuous", cur-prev, b)
+		}
+		prev = cur
+	}
+	return nil
+}
+
+// Result is the outcome of a fluid-limit integration.
+type Result struct {
+	// Rebuffered reports whether the buffer ever hit zero while capacity
+	// was at or above R_min (an unnecessary rebuffer).
+	Rebuffered bool
+	// RebufferAt is the first such time.
+	RebufferAt time.Duration
+	// AvgSelectedKbps is the time-average of f(B(t)).
+	AvgSelectedKbps float64
+	// AvgCapacityKbps is the time-average of min(max(C, Rmin), Rmax) —
+	// the capacity clipped to the feasible band, which is what theorem 2
+	// compares against.
+	AvgCapacityKbps float64
+	// FinalBuffer is B(T).
+	FinalBuffer float64
+}
+
+// Config drives one integration.
+type Config struct {
+	Map        RateMapFunc
+	Rmin, Rmax units.BitRate
+	Trace      *trace.Trace
+	// Horizon is the integration span (default: the trace length).
+	Horizon time.Duration
+	// Step is the RK4 step (default 50 ms).
+	Step time.Duration
+	// InitialBuffer is B(0) in seconds (default 0).
+	InitialBuffer float64
+	// MaxBuffer caps B (the playback buffer size; default 240).
+	MaxBuffer float64
+}
+
+// Integrate runs the fluid model.
+func Integrate(cfg Config) (*Result, error) {
+	if cfg.Map == nil {
+		return nil, errors.New("fluid: nil rate map")
+	}
+	if cfg.Trace == nil {
+		return nil, errors.New("fluid: nil trace")
+	}
+	horizon := cfg.Horizon
+	if horizon <= 0 {
+		horizon = cfg.Trace.Total()
+	}
+	step := cfg.Step
+	if step <= 0 {
+		step = 50 * time.Millisecond
+	}
+	maxBuffer := cfg.MaxBuffer
+	if maxBuffer <= 0 {
+		maxBuffer = 240
+	}
+
+	h := step.Seconds()
+	b := cfg.InitialBuffer
+	res := &Result{}
+	var rateIntegral, capIntegral float64
+
+	deriv := func(b float64, c units.BitRate) float64 {
+		r := cfg.Map(clampF(b, 0, maxBuffer))
+		if r <= 0 {
+			return 0
+		}
+		return float64(c)/float64(r) - 1
+	}
+
+	steps := int(horizon / step)
+	for i := 0; i < steps; i++ {
+		t := time.Duration(i) * step
+		c := cfg.Trace.RateAt(t)
+
+		// Accumulate the theorem-2 averages at the step start.
+		rateIntegral += cfg.Map(clampF(b, 0, maxBuffer)).Kilobits() * h
+		capIntegral += c.Clamp(cfg.Rmin, cfg.Rmax).Kilobits() * h
+
+		// Classic RK4 on dB/dt with capacity frozen within the step
+		// (the trace is piecewise constant at this resolution).
+		k1 := deriv(b, c)
+		k2 := deriv(b+h/2*k1, c)
+		k3 := deriv(b+h/2*k2, c)
+		k4 := deriv(b+h*k3, c)
+		b += h / 6 * (k1 + 2*k2 + 2*k3 + k4)
+
+		if b > maxBuffer {
+			b = maxBuffer
+		}
+		if b < 0 {
+			// A strictly negative buffer is a playback deficit. An
+			// empty-but-balanced buffer (C = R_min at B = 0) is not a
+			// rebuffer: consumption exactly matches arrival.
+			if b < -1e-9 && c >= cfg.Rmin && !res.Rebuffered {
+				res.Rebuffered = true
+				res.RebufferAt = t
+			}
+			b = 0
+		}
+	}
+	span := (time.Duration(steps) * step).Seconds()
+	if span > 0 {
+		res.AvgSelectedKbps = rateIntegral / span
+		res.AvgCapacityKbps = capIntegral / span
+	}
+	res.FinalBuffer = b
+	return res, nil
+}
+
+func clampF(v, lo, hi float64) float64 {
+	return math.Min(math.Max(v, lo), hi)
+}

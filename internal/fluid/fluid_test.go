@@ -1,0 +1,281 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+const (
+	rmin = 235 * units.Kbps
+	rmax = 5000 * units.Kbps
+)
+
+// randomAdmissibleMap builds a random continuous, increasing map pinned at
+// both ends: a piecewise-linear interpolation through sorted random knots.
+func randomAdmissibleMap(rng *rand.Rand, maxBuffer float64) RateMapFunc {
+	n := 3 + rng.Intn(6)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		// Evenly spaced knots with mild jitter keep slopes bounded, so
+		// Validate's continuity heuristic accepts every generated map.
+		xs[i] = maxBuffer * (float64(i+1) + 0.5*rng.Float64() - 0.25) / float64(n+1)
+		ys[i] = rng.Float64()
+	}
+	// Sorted ys over increasing xs is monotone.
+	sortFloats(xs)
+	sortFloats(ys)
+	return func(b float64) units.BitRate {
+		switch {
+		case b <= 0:
+			return rmin
+		case b >= maxBuffer:
+			return rmax
+		}
+		// Find the surrounding knots (with virtual endpoints).
+		x0, y0 := 0.0, 0.0
+		x1, y1 := maxBuffer, 1.0
+		for i := 0; i < n; i++ {
+			if xs[i] <= b && xs[i] > x0 {
+				x0, y0 = xs[i], ys[i]
+			}
+			if xs[i] >= b && xs[i] < x1 {
+				x1, y1 = xs[i], ys[i]
+			}
+		}
+		frac := y0
+		if x1 > x0 {
+			frac = y0 + (y1-y0)*(b-x0)/(x1-x0)
+		}
+		return rmin + units.BitRate(frac*float64(rmax-rmin))
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestValidateAcceptsLinear(t *testing.T) {
+	f := Linear(rmin, rmax, 20, 216)
+	if err := Validate(f, rmin, rmax, 240); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadMaps(t *testing.T) {
+	cases := []struct {
+		name string
+		f    RateMapFunc
+	}{
+		{"not pinned at zero", func(b float64) units.BitRate { return rmax }},
+		{"not pinned at max", func(b float64) units.BitRate { return rmin }},
+		{"decreasing", func(b float64) units.BitRate {
+			switch {
+			case b <= 0:
+				return rmin
+			case b >= 240:
+				return rmax
+			case b < 120:
+				return 3000 * units.Kbps
+			default:
+				return 1000 * units.Kbps
+			}
+		}},
+		{"discontinuous", func(b float64) units.BitRate {
+			switch {
+			case b <= 0:
+				return rmin
+			case b < 120:
+				return rmin
+			default:
+				return rmax
+			}
+		}},
+		{"out of band", func(b float64) units.BitRate {
+			switch {
+			case b <= 0:
+				return rmin
+			case b >= 240:
+				return rmax
+			default:
+				return 9000 * units.Kbps
+			}
+		}},
+	}
+	for _, c := range cases {
+		if err := Validate(c.f, rmin, rmax, 240); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestIntegrateValidation(t *testing.T) {
+	if _, err := Integrate(Config{Trace: trace.Constant(units.Mbps, time.Minute)}); err == nil {
+		t.Error("nil map accepted")
+	}
+	if _, err := Integrate(Config{Map: Linear(rmin, rmax, 20, 216), Rmin: rmin, Rmax: rmax}); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+// Theorem 1 for the canonical map: C(t) ≥ R_min everywhere → no rebuffer,
+// even with capacity oscillating wildly.
+func TestTheorem1Linear(t *testing.T) {
+	tr := trace.Markov(trace.MarkovConfig{
+		Base:     1200 * units.Kbps,
+		Sigma:    1.4,
+		Duration: 2 * time.Hour,
+		Floor:    rmin,
+	}, rand.New(rand.NewSource(9)))
+	res, err := Integrate(Config{
+		Map:   Linear(rmin, rmax, 20, 216),
+		Rmin:  rmin,
+		Rmax:  rmax,
+		Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebuffered {
+		t.Fatalf("fluid model rebuffered at %v with C ≥ R_min", res.RebufferAt)
+	}
+}
+
+// Theorem 1, property form: ANY admissible map avoids rebuffering whenever
+// C(t) ≥ R_min.
+func TestQuickTheorem1AnyAdmissibleMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomAdmissibleMap(rng, 240)
+		if err := Validate(m, rmin, rmax, 240); err != nil {
+			// The generator should only produce admissible maps.
+			t.Fatalf("generator produced inadmissible map: %v", err)
+		}
+		tr := trace.Markov(trace.MarkovConfig{
+			Base:     1000 * units.Kbps,
+			Sigma:    1.2,
+			Duration: time.Hour,
+			Floor:    rmin,
+		}, rng)
+		res, err := Integrate(Config{Map: m, Rmin: rmin, Rmax: rmax, Trace: tr})
+		if err != nil {
+			return false
+		}
+		return !res.Rebuffered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorem 2: with R_min < C(t) < R_max, the average selected rate matches
+// the average capacity (after the buffer-filling transient).
+func TestTheorem2RateMaximization(t *testing.T) {
+	tr := trace.Markov(trace.MarkovConfig{
+		Base:      2 * units.Mbps,
+		Sigma:     0.5,
+		MeanDwell: 20 * time.Second,
+		Duration:  6 * time.Hour,
+		Floor:     300 * units.Kbps,
+		Ceiling:   4500 * units.Kbps,
+	}, rand.New(rand.NewSource(4)))
+	res, err := Integrate(Config{
+		Map:   Linear(rmin, rmax, 20, 216),
+		Rmin:  rmin,
+		Rmax:  rmax,
+		Trace: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebuffered {
+		t.Fatal("rebuffered with R_min < C < R_max")
+	}
+	rel := math.Abs(res.AvgSelectedKbps-res.AvgCapacityKbps) / res.AvgCapacityKbps
+	if rel > 0.05 {
+		t.Errorf("avg selected %.0f vs avg capacity %.0f: %.1f%% apart, want ≤5%%",
+			res.AvgSelectedKbps, res.AvgCapacityKbps, 100*rel)
+	}
+}
+
+// Theorem 2, property form over random admissible maps. Convergence speed
+// depends on the map's shape, so the tolerance is looser than for the
+// canonical map but the average must still track capacity.
+func TestQuickTheorem2AnyAdmissibleMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomAdmissibleMap(rng, 240)
+		tr := trace.Markov(trace.MarkovConfig{
+			Base:      2 * units.Mbps,
+			Sigma:     0.4,
+			MeanDwell: 30 * time.Second,
+			Duration:  6 * time.Hour,
+			Floor:     400 * units.Kbps,
+			Ceiling:   4500 * units.Kbps,
+		}, rng)
+		res, err := Integrate(Config{Map: m, Rmin: rmin, Rmax: rmax, Trace: tr})
+		if err != nil || res.Rebuffered {
+			return false
+		}
+		rel := math.Abs(res.AvgSelectedKbps-res.AvgCapacityKbps) / res.AvgCapacityKbps
+		return rel <= 0.10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The counter-example direction: a map that is NOT pinned at R_min (it
+// floors at a higher rate) CAN rebuffer even with C ≥ R_min — the
+// hypothesis matters.
+func TestTheorem1HypothesisNecessary(t *testing.T) {
+	floor := 1500 * units.Kbps
+	notPinned := func(b float64) units.BitRate {
+		v := Linear(rmin, rmax, 20, 216)(b)
+		if v < floor {
+			return floor
+		}
+		return v
+	}
+	tr := trace.Constant(500*units.Kbps, time.Hour) // ≥ R_min but < the floor
+	res, err := Integrate(Config{
+		Map:           notPinned,
+		Rmin:          rmin,
+		Rmax:          rmax,
+		Trace:         tr,
+		InitialBuffer: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rebuffered {
+		t.Error("un-pinned map avoided rebuffering; the counter-example should fail")
+	}
+}
+
+// At capacity above R_max the buffer converges to full and the selected
+// rate to R_max.
+func TestConvergenceToRmax(t *testing.T) {
+	res, err := Integrate(Config{
+		Map:   Linear(rmin, rmax, 20, 216),
+		Rmin:  rmin,
+		Rmax:  rmax,
+		Trace: trace.Constant(8*units.Mbps, time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalBuffer < 239 {
+		t.Errorf("final buffer %.1f, want ≈240 (full)", res.FinalBuffer)
+	}
+}

@@ -1,0 +1,50 @@
+package media
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Catalog is a fixed set of titles sessions draw from. Building the
+// catalogue once and sharing it across experiment groups mirrors the paper's
+// setup, where all test groups stream the same production library.
+type Catalog struct {
+	videos []*Video
+}
+
+// NewCatalog generates n VBR titles on the given ladder, deterministically
+// from seed. Title lengths vary from about 20 minutes to 2 hours, roughly
+// the range between an episode and a film.
+func NewCatalog(n int, ladder Ladder, seed int64) (*Catalog, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("media: catalogue needs at least one title, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Catalog{videos: make([]*Video, n)}
+	for i := range c.videos {
+		// 300–1800 chunks of 4 s: 20 min – 2 h.
+		numChunks := 300 + rng.Intn(1501)
+		v, err := NewVBR(VBRConfig{
+			Title:     fmt.Sprintf("title-%03d", i),
+			Ladder:    ladder,
+			NumChunks: numChunks,
+		}, rng)
+		if err != nil {
+			return nil, err
+		}
+		c.videos[i] = v
+	}
+	return c, nil
+}
+
+// Len returns the number of titles.
+func (c *Catalog) Len() int { return len(c.videos) }
+
+// Pick returns title i modulo the catalogue size, so any non-negative
+// draw maps to a title.
+func (c *Catalog) Pick(i int) *Video {
+	if i < 0 {
+		i = -i
+	}
+	return c.videos[i%len(c.videos)]
+}

@@ -1,0 +1,185 @@
+package media
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bba/internal/units"
+)
+
+func TestDefaultLadder(t *testing.T) {
+	l := DefaultLadder()
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Min() != 235*units.Kbps {
+		t.Errorf("Rmin = %v, want 235kb/s", l.Min())
+	}
+	if l.Max() != 5000*units.Kbps {
+		t.Errorf("Rmax = %v, want 5Mb/s", l.Max())
+	}
+	if len(l) != 10 {
+		t.Errorf("ladder has %d rates, want 10", len(l))
+	}
+}
+
+func TestLadderValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		l    Ladder
+		ok   bool
+	}{
+		{"empty", Ladder{}, false},
+		{"single", Ladder{units.Mbps}, true},
+		{"descending", Ladder{2 * units.Mbps, units.Mbps}, false},
+		{"duplicate", Ladder{units.Mbps, units.Mbps}, false},
+		{"zero rate", Ladder{0, units.Mbps}, false},
+		{"negative", Ladder{-units.Mbps, units.Mbps}, false},
+		{"good", DefaultLadder(), true},
+	}
+	for _, c := range cases {
+		err := c.l.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestLadderNavigation(t *testing.T) {
+	l := DefaultLadder()
+	if l.NextUp(0) != 1 || l.NextDown(1) != 0 {
+		t.Error("basic navigation broken")
+	}
+	top := len(l) - 1
+	if l.NextUp(top) != top {
+		t.Error("NextUp should saturate at the top (Rate+ = Rmax)")
+	}
+	if l.NextDown(0) != 0 {
+		t.Error("NextDown should saturate at the bottom (Rate− = Rmin)")
+	}
+	if l.Clamp(-3) != 0 || l.Clamp(99) != top {
+		t.Error("Clamp broken")
+	}
+}
+
+func TestHighestBelowLowestAbove(t *testing.T) {
+	l := Ladder{235 * units.Kbps, 560 * units.Kbps, 1050 * units.Kbps}
+	cases := []struct {
+		r           units.BitRate
+		below, abov int
+	}{
+		{100 * units.Kbps, 0, 0},  // below everything
+		{235 * units.Kbps, 0, 1},  // exactly Rmin: nothing strictly below
+		{400 * units.Kbps, 0, 1},  // between 235 and 560
+		{560 * units.Kbps, 0, 2},  // exactly mid
+		{600 * units.Kbps, 1, 2},  //
+		{1050 * units.Kbps, 1, 2}, // exactly Rmax: nothing strictly above
+		{9 * units.Mbps, 2, 2},    // above everything
+	}
+	for _, c := range cases {
+		if got := l.HighestBelow(c.r); got != c.below {
+			t.Errorf("HighestBelow(%v) = %d, want %d", c.r, got, c.below)
+		}
+		if got := l.LowestAbove(c.r); got != c.abov {
+			t.Errorf("LowestAbove(%v) = %d, want %d", c.r, got, c.abov)
+		}
+	}
+}
+
+func TestHighestAtMost(t *testing.T) {
+	l := Ladder{235 * units.Kbps, 560 * units.Kbps, 1050 * units.Kbps}
+	cases := []struct {
+		r    units.BitRate
+		want int
+	}{
+		{100 * units.Kbps, 0},
+		{235 * units.Kbps, 0},
+		{559 * units.Kbps, 0},
+		{560 * units.Kbps, 1},
+		{2 * units.Mbps, 2},
+	}
+	for _, c := range cases {
+		if got := l.HighestAtMost(c.r); got != c.want {
+			t.Errorf("HighestAtMost(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestIndexOf(t *testing.T) {
+	l := DefaultLadder()
+	if got := l.IndexOf(560 * units.Kbps); got != 2 {
+		t.Errorf("IndexOf(560kb/s) = %d, want 2", got)
+	}
+	if got := l.IndexOf(999 * units.Kbps); got != -1 {
+		t.Errorf("IndexOf(unknown) = %d, want -1", got)
+	}
+}
+
+func TestFromMin(t *testing.T) {
+	l := DefaultLadder()
+	// The paper's footnote-3 promotion: Rmin becomes 560 kb/s.
+	sub := l.FromMin(560 * units.Kbps)
+	if sub.Min() != 560*units.Kbps {
+		t.Errorf("promoted Rmin = %v", sub.Min())
+	}
+	if sub.Max() != l.Max() {
+		t.Errorf("Rmax changed: %v", sub.Max())
+	}
+	if len(sub) != len(l)-2 {
+		t.Errorf("sub-ladder length = %d", len(sub))
+	}
+	// Rmin between rungs rounds up.
+	if got := l.FromMin(300 * units.Kbps).Min(); got != 375*units.Kbps {
+		t.Errorf("FromMin(300k) starts at %v", got)
+	}
+	// Absurd Rmin keeps at least the top rung.
+	if got := l.FromMin(100 * units.Mbps); len(got) != 1 || got.Min() != l.Max() {
+		t.Errorf("FromMin above ladder = %v", got)
+	}
+}
+
+// Property: for any r, HighestBelow(r) is strictly below r unless r ≤ Rmin,
+// and LowestAbove(r) is strictly above r unless r ≥ Rmax.
+func TestQuickLadderBounds(t *testing.T) {
+	l := DefaultLadder()
+	f := func(kbps uint16) bool {
+		r := units.BitRate(kbps) * units.Kbps
+		hb, la := l.HighestBelow(r), l.LowestAbove(r)
+		if r > l.Min() && l[hb] >= r {
+			return false
+		}
+		if r < l.Max() && l[la] <= r {
+			return false
+		}
+		return hb >= 0 && hb < len(l) && la >= 0 && la < len(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLadder(t *testing.T) {
+	l, err := ParseLadder("235, 560,1750")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l) != 3 || l[0] != 235*units.Kbps || l[2] != 1750*units.Kbps {
+		t.Errorf("parsed %v", l)
+	}
+	if got := l.String(); got != "235,560,1750" {
+		t.Errorf("String() = %q", got)
+	}
+	for _, bad := range []string{"", "abc", "560,235", "0,100", "235,235"} {
+		if _, err := ParseLadder(bad); err == nil {
+			t.Errorf("ladder %q accepted", bad)
+		}
+	}
+	// Round trip of the default ladder.
+	back, err := ParseLadder(DefaultLadder().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(DefaultLadder()) {
+		t.Error("default ladder did not round trip")
+	}
+}

@@ -1,0 +1,289 @@
+package media
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Video is a title encoded at every ladder rate, split into fixed-duration
+// chunks. Chunk sizes are fixed at construction, so a Video is safe for
+// concurrent use.
+type Video struct {
+	Title         string
+	Ladder        Ladder
+	ChunkDuration time.Duration // V in the paper; 4 s in the Netflix player
+	sizes         [][]int64     // [rateIndex][chunkIndex] bytes
+}
+
+// DefaultChunkDuration is the paper's chunk length ("four seconds per chunk
+// in our service").
+const DefaultChunkDuration = 4 * time.Second
+
+// NumChunks returns how many chunks the title has.
+func (v *Video) NumChunks() int { return len(v.sizes[0]) }
+
+// Duration returns the title's playback duration.
+func (v *Video) Duration() time.Duration {
+	return time.Duration(v.NumChunks()) * v.ChunkDuration
+}
+
+// ChunkSize returns the size in bytes of chunk k at ladder index rate.
+// It panics on out-of-range arguments: indices always originate inside the
+// library, so a violation is a programming error, not an input error.
+func (v *Video) ChunkSize(rate, k int) int64 {
+	if rate < 0 || rate >= len(v.sizes) {
+		panic(fmt.Sprintf("media: rate index %d out of range [0,%d)", rate, len(v.sizes)))
+	}
+	if k < 0 || k >= len(v.sizes[rate]) {
+		panic(fmt.Sprintf("media: chunk index %d out of range [0,%d)", k, len(v.sizes[rate])))
+	}
+	return v.sizes[rate][k]
+}
+
+// NominalChunkSize returns the average chunk size V·R implied by the
+// nominal rate — "Chunk_min and Chunk_max represent the average chunk size
+// in R_min and R_max" in the paper's chunk-map construction.
+func (v *Video) NominalChunkSize(rate int) int64 {
+	return v.Ladder[rate].BytesIn(v.ChunkDuration)
+}
+
+// MeasuredAvgChunkSize returns the empirical mean chunk size at a rate.
+func (v *Video) MeasuredAvgChunkSize(rate int) int64 {
+	var sum int64
+	for _, s := range v.sizes[rate] {
+		sum += s
+	}
+	return sum / int64(len(v.sizes[rate]))
+}
+
+// MaxToAvgRatio returns the ratio of the largest chunk to the nominal
+// average at a rate — the paper's "e", about 2 in their system.
+func (v *Video) MaxToAvgRatio(rate int) float64 {
+	var max int64
+	for _, s := range v.sizes[rate] {
+		if s > max {
+			max = s
+		}
+	}
+	return float64(max) / float64(v.NominalChunkSize(rate))
+}
+
+// ChunkSizes returns a copy of all chunk sizes at a rate, in bytes.
+func (v *Video) ChunkSizes(rate int) []int64 {
+	out := make([]int64, len(v.sizes[rate]))
+	copy(out, v.sizes[rate])
+	return out
+}
+
+// NewCBR builds a constant-bitrate title: every chunk at rate R has exactly
+// V·R bytes. CBR is assumption 3 of the paper's Section 3 idealized model
+// and is what BBA-0 was (implicitly) designed for.
+func NewCBR(title string, ladder Ladder, chunkDuration time.Duration, numChunks int) (*Video, error) {
+	if err := ladder.Validate(); err != nil {
+		return nil, err
+	}
+	if chunkDuration <= 0 {
+		return nil, fmt.Errorf("media: non-positive chunk duration %v", chunkDuration)
+	}
+	if numChunks <= 0 {
+		return nil, fmt.Errorf("media: non-positive chunk count %d", numChunks)
+	}
+	v := &Video{Title: title, Ladder: ladder, ChunkDuration: chunkDuration}
+	v.sizes = make([][]int64, len(ladder))
+	for ri, r := range ladder {
+		size := r.BytesIn(chunkDuration)
+		row := make([]int64, numChunks)
+		for k := range row {
+			row[k] = size
+		}
+		v.sizes[ri] = row
+	}
+	return v, nil
+}
+
+// FromSizes builds a Video from an explicit chunk-size matrix indexed as
+// sizes[rateIndex][chunkIndex]. It is how a client reconstructs a title
+// from a manifest. The matrix is copied.
+func FromSizes(title string, ladder Ladder, chunkDuration time.Duration, sizes [][]int64) (*Video, error) {
+	if err := ladder.Validate(); err != nil {
+		return nil, err
+	}
+	if chunkDuration <= 0 {
+		return nil, fmt.Errorf("media: non-positive chunk duration %v", chunkDuration)
+	}
+	if len(sizes) != len(ladder) {
+		return nil, fmt.Errorf("media: %d size rows for a %d-rate ladder", len(sizes), len(ladder))
+	}
+	if len(sizes[0]) == 0 {
+		return nil, fmt.Errorf("media: no chunks")
+	}
+	v := &Video{Title: title, Ladder: ladder, ChunkDuration: chunkDuration}
+	v.sizes = make([][]int64, len(sizes))
+	for ri, row := range sizes {
+		if len(row) != len(sizes[0]) {
+			return nil, fmt.Errorf("media: rate %d has %d chunks, rate 0 has %d", ri, len(row), len(sizes[0]))
+		}
+		for k, s := range row {
+			if s <= 0 {
+				return nil, fmt.Errorf("media: rate %d chunk %d has non-positive size %d", ri, k, s)
+			}
+		}
+		v.sizes[ri] = append([]int64(nil), row...)
+	}
+	return v, nil
+}
+
+// VBRConfig parameterizes the scene-based variable-bitrate model.
+type VBRConfig struct {
+	Title         string
+	Ladder        Ladder
+	ChunkDuration time.Duration // default DefaultChunkDuration
+	NumChunks     int           // default 1800 (a two-hour title at 4 s chunks)
+
+	// MeanSceneChunks is the average scene length in chunks; scene lengths
+	// are geometric. Default 8 (about 30 s scenes).
+	MeanSceneChunks float64
+	// MeanSequenceChunks is the average length of a sequence — a run of
+	// related scenes sharing a baseline activity (an action set-piece, a
+	// quiet dialogue stretch, the opening credits). Default 45 (about
+	// three minutes). Sequences are what make the Figure 12 reservoir
+	// calculation matter: a sustained heavy sequence at R_min needs far
+	// more reservoir than BBA-0's fixed 90 seconds anticipates.
+	MeanSequenceChunks float64
+	// SequenceSigma is the log-stddev of per-sequence baseline activity.
+	// Default 0.35.
+	SequenceSigma float64
+	// MaxToAvg bounds the instantaneous-to-nominal rate ratio; the paper
+	// measures e ≈ 2 (Figure 10). Default 2.
+	MaxToAvg float64
+	// MinToAvg bounds the quiet end (opening credits encode "very few
+	// bits"). Default 0.25.
+	MinToAvg float64
+	// SceneSigma is the log-stddev of per-scene activity. Default 0.45,
+	// which together with the clamps reproduces Figure 10's spread.
+	SceneSigma float64
+	// ChunkJitter is the relative stddev of per-chunk noise within a
+	// scene. Default 0.2.
+	ChunkJitter float64
+}
+
+func (c *VBRConfig) applyDefaults() {
+	if c.ChunkDuration <= 0 {
+		c.ChunkDuration = DefaultChunkDuration
+	}
+	if c.NumChunks <= 0 {
+		c.NumChunks = 1800
+	}
+	if c.MeanSceneChunks <= 0 {
+		c.MeanSceneChunks = 8
+	}
+	if c.MeanSequenceChunks <= 0 {
+		c.MeanSequenceChunks = 45
+	}
+	if c.SequenceSigma <= 0 {
+		c.SequenceSigma = 0.35
+	}
+	if c.MaxToAvg <= 0 {
+		c.MaxToAvg = 2
+	}
+	if c.MinToAvg <= 0 {
+		c.MinToAvg = 0.25
+	}
+	if c.SceneSigma <= 0 {
+		c.SceneSigma = 0.45
+	}
+	if c.ChunkJitter <= 0 {
+		c.ChunkJitter = 0.2
+	}
+}
+
+// NewVBR builds a variable-bitrate title. The activity process (scenes and
+// per-chunk jitter) is drawn once and shared across all ladder rates, then
+// normalized so that each encode's mean chunk size equals its nominal V·R
+// within rounding. The generator is deterministic given rng's state.
+func NewVBR(cfg VBRConfig, rng *rand.Rand) (*Video, error) {
+	cfg.applyDefaults()
+	if err := cfg.Ladder.Validate(); err != nil {
+		return nil, err
+	}
+	factors := sceneFactors(cfg, rng)
+	v := &Video{Title: cfg.Title, Ladder: cfg.Ladder, ChunkDuration: cfg.ChunkDuration}
+	v.sizes = make([][]int64, len(cfg.Ladder))
+	for ri, r := range cfg.Ladder {
+		nominal := float64(r.BytesIn(cfg.ChunkDuration))
+		row := make([]int64, cfg.NumChunks)
+		for k, f := range factors {
+			size := int64(nominal * f)
+			if size < 1 {
+				size = 1
+			}
+			row[k] = size
+		}
+		v.sizes[ri] = row
+	}
+	return v, nil
+}
+
+// sceneFactors draws the shared activity process: a two-level model with
+// per-sequence baseline activity (minutes) modulated by per-scene activity
+// (tens of seconds) and per-chunk jitter, clamped to [MinToAvg, MaxToAvg]
+// and renormalized to mean 1.
+func sceneFactors(cfg VBRConfig, rng *rand.Rand) []float64 {
+	factors := make([]float64, cfg.NumChunks)
+	k := 0
+	seqLeft := 0
+	seqActivity := 1.0
+	for k < cfg.NumChunks {
+		if seqLeft <= 0 {
+			seqLeft = geometric(cfg.MeanSequenceChunks, rng)
+			seqActivity = math.Exp(cfg.SequenceSigma * rng.NormFloat64())
+		}
+		sceneLen := geometric(cfg.MeanSceneChunks, rng)
+		activity := clamp(seqActivity*math.Exp(cfg.SceneSigma*rng.NormFloat64()), cfg.MinToAvg, cfg.MaxToAvg)
+		for i := 0; i < sceneLen && k < cfg.NumChunks; i++ {
+			jitter := 1 + cfg.ChunkJitter*rng.NormFloat64()
+			if jitter < 0.5 {
+				jitter = 0.5
+			}
+			factors[k] = clamp(activity*jitter, cfg.MinToAvg, cfg.MaxToAvg)
+			k++
+			seqLeft--
+		}
+	}
+	// Renormalize to mean 1 so the nominal rate is the true average rate,
+	// then reclamp: a second pass keeps both properties within tolerance.
+	for pass := 0; pass < 2; pass++ {
+		var sum float64
+		for _, f := range factors {
+			sum += f
+		}
+		mean := sum / float64(len(factors))
+		for i := range factors {
+			factors[i] = clamp(factors[i]/mean, cfg.MinToAvg, cfg.MaxToAvg)
+		}
+	}
+	return factors
+}
+
+// geometric draws a geometric length with the given mean, at least 1 and
+// at most 8× the mean.
+func geometric(mean float64, rng *rand.Rand) int {
+	n := 1
+	p := 1 / mean
+	for rng.Float64() > p && n < int(8*mean) {
+		n++
+	}
+	return n
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

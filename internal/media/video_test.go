@@ -1,0 +1,208 @@
+package media
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bba/internal/units"
+)
+
+func TestNewCBR(t *testing.T) {
+	v, err := NewCBR("cbr", DefaultLadder(), DefaultChunkDuration, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumChunks() != 100 {
+		t.Errorf("NumChunks = %d", v.NumChunks())
+	}
+	if v.Duration() != 400*time.Second {
+		t.Errorf("Duration = %v", v.Duration())
+	}
+	// Every chunk equals the nominal size; 3 Mb/s chunks are 1.5 MB.
+	ri := v.Ladder.IndexOf(3000 * units.Kbps)
+	for k := 0; k < v.NumChunks(); k++ {
+		if got := v.ChunkSize(ri, k); got != 1_500_000 {
+			t.Fatalf("chunk %d = %d bytes, want 1500000", k, got)
+		}
+	}
+	if v.MaxToAvgRatio(ri) != 1 {
+		t.Errorf("CBR max/avg = %v, want 1", v.MaxToAvgRatio(ri))
+	}
+}
+
+func TestNewCBRValidation(t *testing.T) {
+	if _, err := NewCBR("x", Ladder{}, time.Second, 10); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := NewCBR("x", DefaultLadder(), 0, 10); err == nil {
+		t.Error("zero chunk duration accepted")
+	}
+	if _, err := NewCBR("x", DefaultLadder(), time.Second, 0); err == nil {
+		t.Error("zero chunks accepted")
+	}
+}
+
+func TestChunkSizePanics(t *testing.T) {
+	v, _ := NewCBR("x", DefaultLadder(), DefaultChunkDuration, 10)
+	for _, c := range []struct{ rate, k int }{{-1, 0}, {99, 0}, {0, -1}, {0, 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ChunkSize(%d,%d) did not panic", c.rate, c.k)
+				}
+			}()
+			v.ChunkSize(c.rate, c.k)
+		}()
+	}
+}
+
+func TestNewVBRFigure10Statistics(t *testing.T) {
+	// Figure 10: 4-second chunks of a 3 Mb/s encode average 1.5 MB with a
+	// max-to-average ratio around 2.
+	rng := rand.New(rand.NewSource(10))
+	v, err := NewVBR(VBRConfig{Title: "black-hawk-down", Ladder: DefaultLadder(), NumChunks: 1800}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := v.Ladder.IndexOf(3000 * units.Kbps)
+	nominal := v.NominalChunkSize(ri)
+	if nominal != 1_500_000 {
+		t.Fatalf("nominal = %d", nominal)
+	}
+	avg := v.MeasuredAvgChunkSize(ri)
+	if ratio := float64(avg) / float64(nominal); ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("measured avg %d deviates from nominal %d by %.1f%%", avg, nominal, 100*(ratio-1))
+	}
+	e := v.MaxToAvgRatio(ri)
+	if e < 1.5 || e > 2.05 {
+		t.Errorf("max/avg ratio e = %v, want ≈2 (paper's measured value)", e)
+	}
+	// Some chunks should be well below average (static scenes / credits).
+	var min int64 = 1 << 62
+	for _, s := range v.ChunkSizes(ri) {
+		if s < min {
+			min = s
+		}
+	}
+	if float64(min)/float64(nominal) > 0.6 {
+		t.Errorf("smallest chunk only %.2f of nominal; VBR spread too narrow", float64(min)/float64(nominal))
+	}
+}
+
+func TestNewVBRSharedScenes(t *testing.T) {
+	// The activity factor is shared across rates: the size ratio between
+	// two encodes of the same chunk must equal the nominal rate ratio.
+	rng := rand.New(rand.NewSource(3))
+	v, err := NewVBR(VBRConfig{Title: "x", Ladder: DefaultLadder(), NumChunks: 200}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 0, len(v.Ladder)-1
+	want := float64(v.Ladder[hi]) / float64(v.Ladder[lo])
+	for k := 0; k < v.NumChunks(); k++ {
+		got := float64(v.ChunkSize(hi, k)) / float64(v.ChunkSize(lo, k))
+		if got < want*0.99 || got > want*1.01 {
+			t.Fatalf("chunk %d cross-rate ratio %.3f, want %.3f", k, got, want)
+		}
+	}
+}
+
+func TestNewVBRDeterministic(t *testing.T) {
+	cfg := VBRConfig{Title: "x", Ladder: DefaultLadder(), NumChunks: 300}
+	a, err := NewVBR(cfg, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewVBR(cfg, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < a.NumChunks(); k++ {
+		if a.ChunkSize(0, k) != b.ChunkSize(0, k) {
+			t.Fatalf("chunk %d differs between same-seed builds", k)
+		}
+	}
+}
+
+func TestNewVBRDefaults(t *testing.T) {
+	v, err := NewVBR(VBRConfig{Ladder: DefaultLadder()}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ChunkDuration != DefaultChunkDuration {
+		t.Errorf("chunk duration = %v", v.ChunkDuration)
+	}
+	if v.NumChunks() != 1800 {
+		t.Errorf("num chunks = %d", v.NumChunks())
+	}
+	if v.Duration() != 2*time.Hour {
+		t.Errorf("duration = %v", v.Duration())
+	}
+}
+
+func TestNewVBRBadLadder(t *testing.T) {
+	if _, err := NewVBR(VBRConfig{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty ladder accepted")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c, err := NewCatalog(5, DefaultLadder(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 5 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	// Pick wraps and accepts negatives.
+	if c.Pick(0) != c.Pick(5) {
+		t.Error("Pick should wrap modulo the catalogue size")
+	}
+	if c.Pick(-3) == nil {
+		t.Error("negative pick should still return a title")
+	}
+	// Titles have sane durations.
+	for i := 0; i < c.Len(); i++ {
+		d := c.Pick(i).Duration()
+		if d < 20*time.Minute || d > 2*time.Hour {
+			t.Errorf("title %d duration %v outside [20m, 2h]", i, d)
+		}
+	}
+	// Determinism.
+	c2, err := NewCatalog(5, DefaultLadder(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Pick(2).NumChunks() != c2.Pick(2).NumChunks() {
+		t.Error("same-seed catalogues differ")
+	}
+	if _, err := NewCatalog(0, DefaultLadder(), 1); err == nil {
+		t.Error("empty catalogue accepted")
+	}
+}
+
+// Property: every VBR chunk size stays within the configured envelope of the
+// nominal size, at every rate.
+func TestQuickVBREnvelope(t *testing.T) {
+	f := func(seed int64) bool {
+		v, err := NewVBR(VBRConfig{Ladder: DefaultLadder(), NumChunks: 120}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		for ri := range v.Ladder {
+			nominal := float64(v.NominalChunkSize(ri))
+			for k := 0; k < v.NumChunks(); k++ {
+				f := float64(v.ChunkSize(ri, k)) / nominal
+				if f < 0.2 || f > 2.1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

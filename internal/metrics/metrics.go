@@ -1,0 +1,225 @@
+// Package metrics turns per-session results into the aggregates the
+// paper's figures report: rebuffers per playhour, average delivered video
+// rate, steady-state rate, and switch rate, grouped into the two-hour GMT
+// windows used on every time axis, with across-day variance for error bars
+// and normalization against the Control group.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bba/internal/player"
+	"bba/internal/qoe"
+	"bba/internal/stats"
+)
+
+// WindowsPerDay is the number of two-hour windows the paper's figures bin
+// results into.
+const WindowsPerDay = 12
+
+// Session is one streaming session's contribution to the aggregates.
+type Session struct {
+	// Window is the two-hour GMT window (0 = 0:00–2:00 GMT, ...) the
+	// session started in.
+	Window int
+	// Day distinguishes repeated days for error bars.
+	Day int
+
+	PlayHours       float64
+	Rebuffers       int
+	Switches        int
+	AvgRateKbps     float64
+	SteadyRateKbps  float64 // 0 when the session never reached steady state
+	SteadyReached   bool
+	StartupRateKbps float64
+	// QoE is the session's composite quality-of-experience score under
+	// qoe.Default weights.
+	QoE float64
+}
+
+// FromResult extracts a Session from a player result.
+func FromResult(r *player.Result, window, day int) Session {
+	steady := r.SteadyAvgRateKbps()
+	return Session{
+		Window:          window,
+		Day:             day,
+		PlayHours:       r.PlayHours(),
+		Rebuffers:       r.Rebuffers,
+		Switches:        r.Switches,
+		AvgRateKbps:     r.AvgRateKbps(),
+		SteadyRateKbps:  steady,
+		SteadyReached:   steady > 0,
+		StartupRateKbps: r.StartupAvgRateKbps(),
+		QoE:             qoe.Score(r, qoe.Default()).QoE,
+	}
+}
+
+// Window is a two-hour aggregate of one experiment group.
+type Window struct {
+	Index    int
+	Sessions int
+
+	PlayHours            float64
+	RebuffersPerPlayhour float64
+	SwitchesPerPlayhour  float64
+	AvgRateKbps          float64 // play-hour weighted
+	SteadyRateKbps       float64 // play-hour weighted over steady sessions
+	StartupRateKbps      float64
+	QoEPerPlayhour       float64
+
+	// RebufferRateByDay holds the per-day rebuffer rates behind the
+	// paper's error bars; RebufferRateStdDev is their spread.
+	RebufferRateByDay  []float64
+	RebufferRateStdDev float64
+}
+
+// Aggregate bins sessions into two-hour windows. Sessions with invalid
+// windows are rejected.
+func Aggregate(sessions []Session) ([]Window, error) {
+	type acc struct {
+		sessions  int
+		playHours float64
+		rebuffers int
+		switches  int
+		rateWt    float64 // Σ avgRate·playHours
+		steadyWt  float64
+		steadyH   float64
+		startWt   float64
+		startN    int
+		qoeSum    float64
+		byDay     map[int]*dayAcc
+	}
+	accs := make([]acc, WindowsPerDay)
+	for i := range accs {
+		accs[i].byDay = make(map[int]*dayAcc)
+	}
+	for i, s := range sessions {
+		if s.Window < 0 || s.Window >= WindowsPerDay {
+			return nil, fmt.Errorf("metrics: session %d has window %d outside [0,%d)", i, s.Window, WindowsPerDay)
+		}
+		a := &accs[s.Window]
+		a.sessions++
+		a.playHours += s.PlayHours
+		a.rebuffers += s.Rebuffers
+		a.switches += s.Switches
+		a.rateWt += s.AvgRateKbps * s.PlayHours
+		if s.SteadyReached {
+			a.steadyWt += s.SteadyRateKbps * s.PlayHours
+			a.steadyH += s.PlayHours
+		}
+		if s.StartupRateKbps > 0 {
+			a.startWt += s.StartupRateKbps
+			a.startN++
+		}
+		a.qoeSum += s.QoE
+		d := a.byDay[s.Day]
+		if d == nil {
+			d = &dayAcc{}
+			a.byDay[s.Day] = d
+		}
+		d.playHours += s.PlayHours
+		d.rebuffers += s.Rebuffers
+	}
+
+	out := make([]Window, WindowsPerDay)
+	for i := range accs {
+		a := &accs[i]
+		w := Window{Index: i, Sessions: a.sessions, PlayHours: a.playHours}
+		if a.playHours > 0 {
+			w.RebuffersPerPlayhour = float64(a.rebuffers) / a.playHours
+			w.SwitchesPerPlayhour = float64(a.switches) / a.playHours
+			w.AvgRateKbps = a.rateWt / a.playHours
+			w.QoEPerPlayhour = a.qoeSum / a.playHours
+		}
+		if a.steadyH > 0 {
+			w.SteadyRateKbps = a.steadyWt / a.steadyH
+		}
+		if a.startN > 0 {
+			w.StartupRateKbps = a.startWt / float64(a.startN)
+		}
+		days := make([]int, 0, len(a.byDay))
+		for day := range a.byDay {
+			days = append(days, day)
+		}
+		sort.Ints(days)
+		for _, day := range days {
+			if d := a.byDay[day]; d.playHours > 0 {
+				w.RebufferRateByDay = append(w.RebufferRateByDay, float64(d.rebuffers)/d.playHours)
+			}
+		}
+		w.RebufferRateStdDev = stats.StdDev(w.RebufferRateByDay)
+		out[i] = w
+	}
+	return out, nil
+}
+
+type dayAcc struct {
+	playHours float64
+	rebuffers int
+}
+
+// NormalizeRebuffers expresses each window's rebuffer rate as a fraction of
+// the control group's rate in the same window (the paper's Figures 7b, 14b,
+// 19b, 24b). Windows where the control rate is zero yield 0.
+func NormalizeRebuffers(group, control []Window) []float64 {
+	out := make([]float64, len(group))
+	for i := range group {
+		if i < len(control) && control[i].RebuffersPerPlayhour > 0 {
+			out[i] = group[i].RebuffersPerPlayhour / control[i].RebuffersPerPlayhour
+		}
+	}
+	return out
+}
+
+// NormalizeSwitches expresses switch rates relative to control (Figures 9,
+// 20, 22).
+func NormalizeSwitches(group, control []Window) []float64 {
+	out := make([]float64, len(group))
+	for i := range group {
+		if i < len(control) && control[i].SwitchesPerPlayhour > 0 {
+			out[i] = group[i].SwitchesPerPlayhour / control[i].SwitchesPerPlayhour
+		}
+	}
+	return out
+}
+
+// RateDeltaKbps returns per-window control-minus-group average video rate,
+// the quantity on the Y axis of Figures 8, 15, 17 and 23.
+func RateDeltaKbps(control, group []Window) []float64 {
+	out := make([]float64, len(group))
+	for i := range group {
+		if i < len(control) {
+			out[i] = control[i].AvgRateKbps - group[i].AvgRateKbps
+		}
+	}
+	return out
+}
+
+// SteadyRateDeltaKbps is RateDeltaKbps on the steady-state rate (Figure 18).
+func SteadyRateDeltaKbps(control, group []Window) []float64 {
+	out := make([]float64, len(group))
+	for i := range group {
+		if i < len(control) {
+			out[i] = control[i].SteadyRateKbps - group[i].SteadyRateKbps
+		}
+	}
+	return out
+}
+
+// WindowLabel renders a window index as its GMT span, e.g. "04-06 GMT".
+func WindowLabel(i int) string {
+	return fmt.Sprintf("%02d-%02d GMT", i*2, i*2+2)
+}
+
+// PeakWindows reports which windows cover the US evening peak the paper
+// highlights (8pm–1am EDT = 0:00–5:00 GMT, windows 0, 1 and 2).
+func PeakWindows() map[int]bool { return map[int]bool{0: true, 1: true, 2: true} }
+
+// OffPeakWindows reports the "middle-of-night period in the USA just after
+// peak viewing (6am–12pm GMT)": windows 3, 4 and 5.
+func OffPeakWindows() map[int]bool { return map[int]bool{3: true, 4: true, 5: true} }
+
+// WindowStart returns the GMT start offset of window i within a day.
+func WindowStart(i int) time.Duration { return time.Duration(i) * 2 * time.Hour }

@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bba/internal/player"
+	"bba/internal/units"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromResult(t *testing.T) {
+	r := &player.Result{
+		Algorithm: "BBA-2",
+		Played:    30 * time.Minute,
+		Rebuffers: 2,
+		Switches:  7,
+		Chunks: []player.ChunkRecord{
+			{Start: 0, Rate: 235 * units.Kbps},
+			{Start: 30 * time.Second, Rate: 1050 * units.Kbps},
+			{Start: 3 * time.Minute, Rate: 3000 * units.Kbps},
+			{Start: 4 * time.Minute, Rate: 3000 * units.Kbps},
+		},
+	}
+	s := FromResult(r, 3, 1)
+	if s.Window != 3 || s.Day != 1 {
+		t.Errorf("window/day = %d/%d", s.Window, s.Day)
+	}
+	if !almost(s.PlayHours, 0.5, 1e-9) {
+		t.Errorf("playhours = %v", s.PlayHours)
+	}
+	if s.Rebuffers != 2 || s.Switches != 7 {
+		t.Error("counts not carried over")
+	}
+	if !s.SteadyReached || s.SteadyRateKbps != 3000 {
+		t.Errorf("steady = %v (reached=%v), want 3000", s.SteadyRateKbps, s.SteadyReached)
+	}
+	if s.StartupRateKbps != (235.0+1050.0)/2 {
+		t.Errorf("startup = %v", s.StartupRateKbps)
+	}
+}
+
+func TestAggregateBasics(t *testing.T) {
+	sessions := []Session{
+		{Window: 0, Day: 0, PlayHours: 1, Rebuffers: 2, Switches: 10, AvgRateKbps: 1000, SteadyRateKbps: 1200, SteadyReached: true},
+		{Window: 0, Day: 0, PlayHours: 3, Rebuffers: 0, Switches: 2, AvgRateKbps: 2000, SteadyRateKbps: 2200, SteadyReached: true},
+		{Window: 5, Day: 0, PlayHours: 2, Rebuffers: 4, Switches: 0, AvgRateKbps: 500},
+	}
+	ws, err := Aggregate(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != WindowsPerDay {
+		t.Fatalf("got %d windows", len(ws))
+	}
+	w0 := ws[0]
+	if w0.Sessions != 2 || w0.PlayHours != 4 {
+		t.Errorf("w0 sessions/playhours = %d/%v", w0.Sessions, w0.PlayHours)
+	}
+	if !almost(w0.RebuffersPerPlayhour, 0.5, 1e-9) {
+		t.Errorf("w0 rebuffer rate = %v, want 0.5", w0.RebuffersPerPlayhour)
+	}
+	if !almost(w0.SwitchesPerPlayhour, 3, 1e-9) {
+		t.Errorf("w0 switch rate = %v, want 3", w0.SwitchesPerPlayhour)
+	}
+	// Play-hour weighted: (1000·1 + 2000·3)/4 = 1750.
+	if !almost(w0.AvgRateKbps, 1750, 1e-9) {
+		t.Errorf("w0 avg rate = %v, want 1750", w0.AvgRateKbps)
+	}
+	// Steady weighted: (1200·1 + 2200·3)/4 = 1950.
+	if !almost(w0.SteadyRateKbps, 1950, 1e-9) {
+		t.Errorf("w0 steady rate = %v, want 1950", w0.SteadyRateKbps)
+	}
+	if ws[5].RebuffersPerPlayhour != 2 {
+		t.Errorf("w5 rebuffer rate = %v", ws[5].RebuffersPerPlayhour)
+	}
+	// Empty windows stay zero.
+	if ws[7].Sessions != 0 || ws[7].RebuffersPerPlayhour != 0 {
+		t.Error("empty window not zero")
+	}
+}
+
+func TestAggregatePerDayVariance(t *testing.T) {
+	sessions := []Session{
+		{Window: 2, Day: 0, PlayHours: 1, Rebuffers: 1},
+		{Window: 2, Day: 1, PlayHours: 1, Rebuffers: 3},
+		{Window: 2, Day: 2, PlayHours: 1, Rebuffers: 2},
+	}
+	ws, err := Aggregate(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := ws[2]
+	if len(w.RebufferRateByDay) != 3 {
+		t.Fatalf("byDay = %v", w.RebufferRateByDay)
+	}
+	// Days are ordered: 1, 3, 2 rebuffers/hour.
+	if w.RebufferRateByDay[0] != 1 || w.RebufferRateByDay[1] != 3 || w.RebufferRateByDay[2] != 2 {
+		t.Errorf("byDay = %v", w.RebufferRateByDay)
+	}
+	if !almost(w.RebufferRateStdDev, 1, 1e-9) {
+		t.Errorf("stddev = %v, want 1", w.RebufferRateStdDev)
+	}
+}
+
+func TestAggregateRejectsBadWindow(t *testing.T) {
+	if _, err := Aggregate([]Session{{Window: 12}}); err == nil {
+		t.Error("window 12 accepted")
+	}
+	if _, err := Aggregate([]Session{{Window: -1}}); err == nil {
+		t.Error("window -1 accepted")
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	control := make([]Window, WindowsPerDay)
+	group := make([]Window, WindowsPerDay)
+	for i := range control {
+		control[i] = Window{RebuffersPerPlayhour: 2, SwitchesPerPlayhour: 10, AvgRateKbps: 2000, SteadyRateKbps: 2100}
+		group[i] = Window{RebuffersPerPlayhour: 1.5, SwitchesPerPlayhour: 4, AvgRateKbps: 1900, SteadyRateKbps: 2200}
+	}
+	nr := NormalizeRebuffers(group, control)
+	if !almost(nr[0], 0.75, 1e-9) {
+		t.Errorf("normalized rebuffers = %v", nr[0])
+	}
+	ns := NormalizeSwitches(group, control)
+	if !almost(ns[3], 0.4, 1e-9) {
+		t.Errorf("normalized switches = %v", ns[3])
+	}
+	rd := RateDeltaKbps(control, group)
+	if !almost(rd[5], 100, 1e-9) {
+		t.Errorf("rate delta = %v", rd[5])
+	}
+	sd := SteadyRateDeltaKbps(control, group)
+	if !almost(sd[5], -100, 1e-9) {
+		t.Errorf("steady delta = %v", sd[5])
+	}
+	// Zero control denominators yield zero.
+	if got := NormalizeRebuffers(group, make([]Window, WindowsPerDay)); got[0] != 0 {
+		t.Errorf("zero control: %v", got[0])
+	}
+}
+
+func TestWindowHelpers(t *testing.T) {
+	if got := WindowLabel(0); got != "00-02 GMT" {
+		t.Errorf("label = %q", got)
+	}
+	if got := WindowLabel(11); got != "22-24 GMT" {
+		t.Errorf("label = %q", got)
+	}
+	if !PeakWindows()[0] || PeakWindows()[5] {
+		t.Error("peak windows wrong")
+	}
+	if !OffPeakWindows()[4] || OffPeakWindows()[0] {
+		t.Error("off-peak windows wrong")
+	}
+	if WindowStart(3) != 6*time.Hour {
+		t.Errorf("WindowStart(3) = %v", WindowStart(3))
+	}
+}
+
+func TestQoEAggregation(t *testing.T) {
+	sessions := []Session{
+		{Window: 1, PlayHours: 1, QoE: 100},
+		{Window: 1, PlayHours: 3, QoE: 300},
+	}
+	ws, err := Aggregate(sessions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(ws[1].QoEPerPlayhour, 100, 1e-9) {
+		t.Errorf("QoE/h = %v, want (100+300)/4 = 100", ws[1].QoEPerPlayhour)
+	}
+}
+
+func TestFromResultQoE(t *testing.T) {
+	r := &player.Result{
+		Played: time.Hour,
+		Chunks: []player.ChunkRecord{
+			{Rate: 3000 * units.Kbps},
+			{Rate: 3000 * units.Kbps},
+		},
+	}
+	s := FromResult(r, 0, 0)
+	// Two 3 Mb/s chunks, no stalls, no switches: QoE = 6 under the
+	// default linear weights.
+	if !almost(s.QoE, 6, 1e-9) {
+		t.Errorf("QoE = %v, want 6", s.QoE)
+	}
+}

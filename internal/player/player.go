@@ -1,0 +1,353 @@
+// Package player is the chunk-granularity playback engine: it drives an
+// ABR algorithm against a capacity trace and a video title, reproducing the
+// client model of the paper's Figures 2 and 11.
+//
+// The engine runs in virtual time. The client requests one chunk at a time
+// (it "cannot cancel an ongoing video chunk download"), observes how long
+// the download took, lets the playback buffer drain meanwhile, and asks the
+// algorithm for the next rate only when the chunk completes. When the
+// buffer fills, the client idles until there is space before requesting
+// again — the ON-OFF pattern discussed in Section 8. When it empties
+// mid-download, playback freezes: a rebuffer event.
+//
+// Because everything is driven by download-completion arithmetic over the
+// trace integral, thousands of multi-hour sessions simulate in milliseconds
+// while remaining observationally identical to a wall-clock player.
+package player
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/buffer"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+// Config describes one streaming session.
+type Config struct {
+	// Algorithm is the rate-selection algorithm; a fresh per-session
+	// instance (algorithms are stateful).
+	Algorithm abr.Algorithm
+	// Stream is the session's view of the title (possibly with a
+	// promoted R_min).
+	Stream abr.Stream
+	// Trace is the capacity process the downloads run against.
+	Trace *trace.Trace
+	// BufferMax is the playback buffer capacity; 0 means the paper's
+	// 240 s browser-player buffer.
+	BufferMax time.Duration
+	// WatchLimit stops the session after this much video has been
+	// delivered to the viewer; 0 watches the whole title.
+	WatchLimit time.Duration
+	// ResumeThreshold is the occupancy a stalled player waits for before
+	// restarting playback; 0 means buffer.DefaultResume, negative means
+	// resume on the first chunk.
+	ResumeThreshold time.Duration
+	// Seeks are viewer seeks, in ascending AfterPlayed order: once that
+	// much video has been delivered, the buffer is flushed and the next
+	// request jumps to ToChunk. Startup-capable algorithms re-enter
+	// their startup phase (abr.SeekAware).
+	Seeks []Seek
+}
+
+// Seek is one viewer seek.
+type Seek struct {
+	// AfterPlayed triggers the seek once this much video has played.
+	AfterPlayed time.Duration
+	// ToChunk is the chunk index playback jumps to.
+	ToChunk int
+}
+
+// SeekRecord logs an executed seek.
+type SeekRecord struct {
+	// At is the session clock when the seek happened.
+	At time.Duration
+	// ToChunk is where playback jumped.
+	ToChunk int
+	// JoinDelay is the wait for the first post-seek chunk.
+	JoinDelay time.Duration
+}
+
+// ChunkRecord logs one downloaded chunk.
+type ChunkRecord struct {
+	Index       int           // chunk index within the title
+	RateIndex   int           // session-ladder index it was fetched at
+	Rate        units.BitRate // nominal rate of that ladder entry
+	Bytes       int64         // actual chunk size
+	Start       time.Duration // session clock when the request was issued
+	Download    time.Duration // transfer duration
+	Throughput  units.BitRate // measured capacity during the transfer
+	BufferAfter time.Duration // buffer occupancy right after arrival
+}
+
+// Result is the complete outcome of one session.
+type Result struct {
+	Algorithm string
+	Chunks    []ChunkRecord
+
+	// JoinDelay is the time to the first chunk (excluded from playback
+	// metrics, as in the paper).
+	JoinDelay time.Duration
+	// Played is total video time delivered to the viewer.
+	Played time.Duration
+	// Rebuffers is the number of rebuffer events.
+	Rebuffers int
+	// StallTime is the total time playback was frozen.
+	StallTime time.Duration
+	// Switches is the number of video-rate changes between consecutive
+	// chunks.
+	Switches int
+	// Incomplete marks a session whose download could never finish
+	// (the trace ended in a permanent outage).
+	Incomplete bool
+	// Seeks logs the viewer seeks that executed.
+	Seeks []SeekRecord
+	// End is the session clock when the session finished.
+	End time.Duration
+}
+
+// ErrNoProgress is returned when the first chunk can never download (the
+// trace is a dead link from the start).
+var ErrNoProgress = errors.New("player: download cannot make progress")
+
+// Run simulates the session to completion and returns its Result.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Algorithm == nil {
+		return nil, errors.New("player: nil algorithm")
+	}
+	if cfg.Trace == nil {
+		return nil, errors.New("player: nil trace")
+	}
+	bufMax := cfg.BufferMax
+	if bufMax <= 0 {
+		bufMax = buffer.DefaultMax
+	}
+	s := cfg.Stream
+	v := s.ChunkDuration()
+	ladder := s.Ladder()
+
+	buf := buffer.New(bufMax)
+	if cfg.ResumeThreshold != 0 {
+		buf.SetResume(cfg.ResumeThreshold)
+	}
+	res := &Result{Algorithm: cfg.Algorithm.Name()}
+	var (
+		now       time.Duration
+		prevIdx   = -1
+		lastTP    units.BitRate
+		lastDl    time.Duration
+		lastBytes int64
+	)
+
+	seeks := cfg.Seeks
+	justSought := false
+	for k := 0; k < s.NumChunks(); k++ {
+		// Execute a pending seek once enough video has been delivered.
+		if len(seeks) > 0 && buf.Played() >= seeks[0].AfterPlayed {
+			target := seeks[0].ToChunk
+			seeks = seeks[1:]
+			if target >= 0 && target < s.NumChunks() {
+				buf.Flush()
+				if sa, ok := cfg.Algorithm.(abr.SeekAware); ok {
+					sa.Seeked()
+				}
+				res.Seeks = append(res.Seeks, SeekRecord{At: now, ToChunk: target})
+				k = target
+				justSought = true
+			}
+		}
+		// Stop requesting once the buffer already holds everything the
+		// viewer will watch — unless a seek is still pending, which will
+		// discard that buffer.
+		if len(seeks) == 0 && cfg.WatchLimit > 0 && buf.Played()+buf.Level() >= cfg.WatchLimit {
+			break
+		}
+
+		// ON-OFF: wait for space before the next request.
+		if !buf.HasSpaceFor(v) {
+			wait := buf.TimeUntilSpaceFor(v)
+			buf.Advance(wait)
+			now += wait
+		}
+
+		st := abr.State{
+			Now:            now,
+			Buffer:         buf.Level(),
+			BufferMax:      bufMax,
+			PrevIndex:      prevIdx,
+			NextChunk:      k,
+			LastThroughput: lastTP,
+			LastDownload:   lastDl,
+			LastChunkBytes: lastBytes,
+		}
+		idx := ladder.Clamp(cfg.Algorithm.Next(st, s))
+		bytes := s.ChunkSize(idx, k)
+
+		dl, ok := cfg.Trace.DownloadTime(now, bytes)
+		if !ok {
+			// Permanent outage: playback drains whatever is buffered
+			// and freezes forever.
+			if k == 0 {
+				return nil, ErrNoProgress
+			}
+			res.Incomplete = true
+			res.Rebuffers++
+			break
+		}
+
+		buf.Advance(dl)
+		now += dl
+		if k == 0 {
+			res.JoinDelay = now
+		}
+		if justSought {
+			res.Seeks[len(res.Seeks)-1].JoinDelay = dl
+			justSought = false
+		}
+		// Overflow is impossible here because of the ON-OFF wait; an
+		// error would indicate an engine bug, so surface it loudly.
+		if err := buf.AddChunk(v); err != nil {
+			return nil, err
+		}
+
+		if prevIdx >= 0 && idx != prevIdx {
+			res.Switches++
+		}
+		lastTP = units.Throughput(bytes, dl)
+		lastDl = dl
+		lastBytes = bytes
+		res.Chunks = append(res.Chunks, ChunkRecord{
+			Index:       k,
+			RateIndex:   idx,
+			Rate:        ladder[idx],
+			Bytes:       bytes,
+			Start:       now - dl,
+			Download:    dl,
+			Throughput:  lastTP,
+			BufferAfter: buf.Level(),
+		})
+		prevIdx = idx
+	}
+
+	// Play out the tail of the buffer (up to the watch limit). For an
+	// incomplete session this is the video the viewer still sees before
+	// the permanent freeze. With no further downloads coming, a pending
+	// stall ends now rather than waiting for the resume threshold.
+	buf.Resume()
+	remaining := buf.Level()
+	if cfg.WatchLimit > 0 {
+		if left := cfg.WatchLimit - buf.Played(); left < remaining {
+			remaining = left
+		}
+	}
+	if remaining > 0 {
+		buf.Advance(remaining)
+		now += remaining
+	}
+
+	res.Played = buf.Played()
+	res.Rebuffers += buf.Rebuffers()
+	res.StallTime += buf.StallTime()
+	res.End = now
+	return res, nil
+}
+
+// WriteChunkCSV emits the per-chunk log as CSV
+// ("start_s,index,rate_kbps,bytes,download_s,throughput_kbps,buffer_s"),
+// the raw series behind the time-series figures.
+func (r *Result) WriteChunkCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "start_s,index,rate_kbps,bytes,download_s,throughput_kbps,buffer_s"); err != nil {
+		return err
+	}
+	for _, c := range r.Chunks {
+		if _, err := fmt.Fprintf(bw, "%.3f,%d,%.0f,%d,%.3f,%.0f,%.3f\n",
+			c.Start.Seconds(), c.Index, c.Rate.Kilobits(), c.Bytes,
+			c.Download.Seconds(), c.Throughput.Kilobits(), c.BufferAfter.Seconds()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// PlayHours returns the played time in hours.
+func (r *Result) PlayHours() float64 { return r.Played.Hours() }
+
+// RebuffersPerPlayhour is the paper's headline metric.
+func (r *Result) RebuffersPerPlayhour() float64 {
+	h := r.PlayHours()
+	if h == 0 {
+		return 0
+	}
+	return float64(r.Rebuffers) / h
+}
+
+// SwitchesPerPlayhour is the video-switching-rate metric of Figures 9, 20
+// and 22.
+func (r *Result) SwitchesPerPlayhour() float64 {
+	h := r.PlayHours()
+	if h == 0 {
+		return 0
+	}
+	return float64(r.Switches) / h
+}
+
+// AvgRateKbps is the delivered average video rate: each chunk contributes
+// its nominal rate weighted by its fixed playback duration.
+func (r *Result) AvgRateKbps() float64 {
+	if len(r.Chunks) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range r.Chunks {
+		sum += c.Rate.Kilobits()
+	}
+	return sum / float64(len(r.Chunks))
+}
+
+// SteadyAvgRateKbps is the average video rate excluding the session's first
+// two minutes — the paper's Figure 18 approximation of steady state. It
+// returns 0 when the session never reaches steady state.
+func (r *Result) SteadyAvgRateKbps() float64 {
+	return r.avgRateAfter(2 * time.Minute)
+}
+
+// StartupAvgRateKbps is the average rate over the first minute, the metric
+// behind "the BBA-1 algorithm achieves 700kb/s less than the Control" in
+// the first 60 seconds.
+func (r *Result) StartupAvgRateKbps() float64 {
+	var sum float64
+	n := 0
+	for _, c := range r.Chunks {
+		if c.Start >= time.Minute {
+			break
+		}
+		sum += c.Rate.Kilobits()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func (r *Result) avgRateAfter(cutoff time.Duration) float64 {
+	var sum float64
+	n := 0
+	for _, c := range r.Chunks {
+		if c.Start < cutoff {
+			continue
+		}
+		sum += c.Rate.Kilobits()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

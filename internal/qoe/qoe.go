@@ -1,0 +1,96 @@
+// Package qoe scores sessions with the linear quality-of-experience model
+// that the literature around the paper settled on (Dobrian et al. [7],
+// Krishnan and Sitaraman [11], and the models later used to train and
+// evaluate ABR systems): per-second video quality, minus a rebuffering
+// penalty, minus a smoothness penalty for rate switches.
+//
+//	QoE = Σ_k q(R_k)·V − μ·stall_seconds − τ·Σ_k |q(R_{k+1}) − q(R_k)|
+//
+// The paper itself deliberately focuses on the rebuffer/rate trade-off
+// ("the buffer-based approach can serve as a foundation when considering
+// other metrics"); this package is that consideration: it folds the three
+// axes the paper measures separately into one comparable score.
+package qoe
+
+import (
+	"math"
+
+	"bba/internal/player"
+)
+
+// Quality maps a video rate in kb/s to perceptual quality units.
+type Quality func(kbps float64) float64
+
+// LinearQuality scores quality proportionally to bitrate (q = rate/1000),
+// the simplest published choice.
+func LinearQuality(kbps float64) float64 { return kbps / 1000 }
+
+// LogQuality scores with diminishing returns, q = log(rate/R_min-ish),
+// reflecting that 1 Mb/s → 2 Mb/s matters more than 4 Mb/s → 5 Mb/s.
+func LogQuality(kbps float64) float64 {
+	if kbps <= 0 {
+		return 0
+	}
+	return math.Log(kbps / 235)
+}
+
+// Weights parameterizes the linear model.
+type Weights struct {
+	// Quality maps bitrate to quality units (default LinearQuality).
+	Quality Quality
+	// RebufferPenalty is μ, quality units charged per stalled second.
+	// The common choice pairs μ with the top quality (a stalled second
+	// is as bad as a top-rate second is good).
+	RebufferPenalty float64
+	// SwitchPenalty is τ, quality units charged per unit of quality
+	// change between consecutive chunks.
+	SwitchPenalty float64
+}
+
+// Default returns the weight set most evaluations use: linear quality,
+// μ = top-rate quality (5.0 for a 5 Mb/s ladder), τ = 1.
+func Default() Weights {
+	return Weights{Quality: LinearQuality, RebufferPenalty: 5, SwitchPenalty: 1}
+}
+
+// Score computes the session's total QoE and its three components.
+func Score(res *player.Result, w Weights) Breakdown {
+	if w.Quality == nil {
+		w.Quality = LinearQuality
+	}
+	var b Breakdown
+	var prevQ float64
+	for i, c := range res.Chunks {
+		q := w.Quality(c.Rate.Kilobits())
+		b.QualityTotal += q
+		if i > 0 {
+			b.SwitchTotal += math.Abs(q - prevQ)
+		}
+		prevQ = q
+	}
+	b.StallTotal = res.StallTime.Seconds()
+	b.QoE = b.QualityTotal - w.RebufferPenalty*b.StallTotal - w.SwitchPenalty*b.SwitchTotal
+	return b
+}
+
+// Breakdown is a scored session.
+type Breakdown struct {
+	// QoE is the total score.
+	QoE float64
+	// QualityTotal is Σ q(R_k) over chunks.
+	QualityTotal float64
+	// StallTotal is stalled seconds (unweighted).
+	StallTotal float64
+	// SwitchTotal is Σ |Δq| over adjacent chunks (unweighted).
+	SwitchTotal float64
+}
+
+// PerHour normalizes the score by played time so sessions of different
+// lengths compare.
+func (b Breakdown) PerHour(res *player.Result) float64 {
+	h := res.PlayHours()
+	if h == 0 {
+		return 0
+	}
+	return b.QoE / h
+}

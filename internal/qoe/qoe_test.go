@@ -1,0 +1,95 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bba/internal/player"
+	"bba/internal/units"
+)
+
+func session(rates []units.BitRate, stall time.Duration, played time.Duration) *player.Result {
+	res := &player.Result{Played: played, StallTime: stall}
+	for i, r := range rates {
+		res.Chunks = append(res.Chunks, player.ChunkRecord{Index: i, Rate: r})
+	}
+	return res
+}
+
+func TestScoreComponents(t *testing.T) {
+	res := session([]units.BitRate{1000 * units.Kbps, 3000 * units.Kbps, 3000 * units.Kbps},
+		2*time.Second, time.Minute)
+	b := Score(res, Default())
+	// Linear quality: 1 + 3 + 3 = 7.
+	if !almost(b.QualityTotal, 7, 1e-9) {
+		t.Errorf("quality = %v, want 7", b.QualityTotal)
+	}
+	// One switch of |3−1| = 2.
+	if !almost(b.SwitchTotal, 2, 1e-9) {
+		t.Errorf("switch = %v, want 2", b.SwitchTotal)
+	}
+	if b.StallTotal != 2 {
+		t.Errorf("stall = %v", b.StallTotal)
+	}
+	// QoE = 7 − 5·2 − 1·2 = −5.
+	if !almost(b.QoE, -5, 1e-9) {
+		t.Errorf("QoE = %v, want -5", b.QoE)
+	}
+}
+
+func TestScoreOrdersObviousCases(t *testing.T) {
+	w := Default()
+	steadyHigh := Score(session([]units.BitRate{3000 * units.Kbps, 3000 * units.Kbps, 3000 * units.Kbps}, 0, time.Minute), w)
+	steadyLow := Score(session([]units.BitRate{500 * units.Kbps, 500 * units.Kbps, 500 * units.Kbps}, 0, time.Minute), w)
+	flappy := Score(session([]units.BitRate{3000 * units.Kbps, 500 * units.Kbps, 3000 * units.Kbps}, 0, time.Minute), w)
+	stalled := Score(session([]units.BitRate{3000 * units.Kbps, 3000 * units.Kbps, 3000 * units.Kbps}, 10*time.Second, time.Minute), w)
+
+	if steadyHigh.QoE <= steadyLow.QoE {
+		t.Error("higher rate should score higher")
+	}
+	if flappy.QoE >= steadyHigh.QoE {
+		t.Error("flapping should cost quality")
+	}
+	if stalled.QoE >= steadyHigh.QoE {
+		t.Error("stalling should cost quality")
+	}
+}
+
+func TestLogQuality(t *testing.T) {
+	if LogQuality(235) != 0 {
+		t.Errorf("log quality at R_min = %v", LogQuality(235))
+	}
+	// Diminishing returns: the first doubling is worth as much as the
+	// second doubling (log), i.e. strictly less per kb/s.
+	d1 := LogQuality(470) - LogQuality(235)
+	d2 := LogQuality(940) - LogQuality(470)
+	if !almost(d1, d2, 1e-9) {
+		t.Errorf("doublings differ: %v vs %v", d1, d2)
+	}
+	if LogQuality(0) != 0 || LogQuality(-5) != 0 {
+		t.Error("non-positive rates should score 0")
+	}
+}
+
+func TestNilQualityDefaults(t *testing.T) {
+	res := session([]units.BitRate{1000 * units.Kbps}, 0, time.Minute)
+	b := Score(res, Weights{RebufferPenalty: 1})
+	if !almost(b.QualityTotal, 1, 1e-9) {
+		t.Errorf("default quality = %v", b.QualityTotal)
+	}
+}
+
+func TestPerHour(t *testing.T) {
+	res := session([]units.BitRate{1000 * units.Kbps}, 0, 30*time.Minute)
+	b := Score(res, Default())
+	if !almost(b.PerHour(res), b.QoE*2, 1e-9) {
+		t.Errorf("per hour = %v, want %v", b.PerHour(res), b.QoE*2)
+	}
+	empty := &player.Result{}
+	if Score(empty, Default()).PerHour(empty) != 0 {
+		t.Error("zero-play session should score 0 per hour")
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,66 @@
+// Package replay turns a finished session's observations back into a
+// capacity trace, enabling the counterfactual question the paper's
+// Figure 4 poses: given the network one client actually experienced, what
+// would a different algorithm have done?
+//
+// The reconstruction uses each chunk's measured throughput over its
+// download interval and carries the last measurement across the gaps
+// between downloads (ON-OFF idle periods observe nothing). Replaying the
+// same session's algorithm against its own reconstructed trace reproduces
+// its decisions closely; replaying a different algorithm answers the
+// what-if.
+package replay
+
+import (
+	"errors"
+	"time"
+
+	"bba/internal/player"
+	"bba/internal/trace"
+)
+
+// ErrNoObservations is returned for sessions with no completed chunks.
+var ErrNoObservations = errors.New("replay: session has no download observations")
+
+// TraceFromResult reconstructs the capacity process a session observed.
+func TraceFromResult(res *player.Result) (*trace.Trace, error) {
+	if res == nil || len(res.Chunks) == 0 {
+		return nil, ErrNoObservations
+	}
+	var segs []trace.Segment
+	cursor := time.Duration(0)
+	for _, c := range res.Chunks {
+		if c.Download <= 0 || c.Throughput <= 0 {
+			continue
+		}
+		// Idle gap before this download: no observation; carry the
+		// upcoming measurement backward (the least-surprising guess —
+		// the client chose not to measure, not the network to vanish).
+		if c.Start > cursor {
+			segs = append(segs, trace.Segment{Duration: c.Start - cursor, Rate: c.Throughput})
+			cursor = c.Start
+		}
+		end := c.Start + c.Download
+		if end > cursor {
+			segs = append(segs, trace.Segment{Duration: end - cursor, Rate: c.Throughput})
+			cursor = end
+		}
+	}
+	if len(segs) == 0 {
+		return nil, ErrNoObservations
+	}
+	return trace.New(segs)
+}
+
+// WhatIf replays a session's reconstructed network against another
+// algorithm and returns that algorithm's counterfactual result. The cfg's
+// Trace field is ignored; everything else (stream, buffer size, watch
+// limit) should match the original session's setup.
+func WhatIf(original *player.Result, cfg player.Config) (*player.Result, error) {
+	tr, err := TraceFromResult(original)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Trace = tr
+	return player.Run(cfg)
+}

@@ -1,0 +1,120 @@
+// Package simclock is a minimal discrete-event scheduler: a virtual clock
+// and a time-ordered event queue. The single-session player advances time
+// analytically and does not need it; it exists for simulations where
+// multiple actors interact — most importantly the shared-bottleneck link of
+// internal/sharedlink, where one player's download completion changes every
+// other player's download rate.
+package simclock
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback.
+type Event struct {
+	At time.Duration
+	Fn func()
+
+	index int // heap bookkeeping
+	seq   int // FIFO tiebreak for simultaneous events
+}
+
+// Clock is a virtual clock with an event queue. The zero value is ready to
+// use and starts at time zero. Clock is not safe for concurrent use: a
+// simulation is single-threaded by design.
+type Clock struct {
+	now   time.Duration
+	queue eventQueue
+	seq   int
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Schedule enqueues fn to run at absolute virtual time at. Events scheduled
+// in the past run immediately on the next Step (at the current time).
+// It returns the event, which can be passed to Cancel.
+func (c *Clock) Schedule(at time.Duration, fn func()) *Event {
+	if at < c.now {
+		at = c.now
+	}
+	c.seq++
+	ev := &Event{At: at, Fn: fn, seq: c.seq}
+	heap.Push(&c.queue, ev)
+	return ev
+}
+
+// After schedules fn after a delay from the current time.
+func (c *Clock) After(d time.Duration, fn func()) *Event {
+	return c.Schedule(c.now+d, fn)
+}
+
+// Cancel removes a pending event; cancelling an already-fired or cancelled
+// event is a no-op.
+func (c *Clock) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.index >= len(c.queue) || c.queue[ev.index] != ev {
+		return
+	}
+	heap.Remove(&c.queue, ev.index)
+}
+
+// Step runs the next pending event, advancing the clock to its time. It
+// reports whether an event ran.
+func (c *Clock) Step() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&c.queue).(*Event)
+	c.now = ev.At
+	ev.Fn()
+	return true
+}
+
+// Run steps until the queue is empty or the clock passes deadline (0 means
+// no deadline). It returns the number of events executed.
+func (c *Clock) Run(deadline time.Duration) int {
+	n := 0
+	for len(c.queue) > 0 {
+		if deadline > 0 && c.queue[0].At > deadline {
+			c.now = deadline
+			return n
+		}
+		c.Step()
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// eventQueue is a min-heap ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

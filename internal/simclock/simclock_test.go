@@ -1,0 +1,110 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var c Clock
+	var order []int
+	c.Schedule(3*time.Second, func() { order = append(order, 3) })
+	c.Schedule(1*time.Second, func() { order = append(order, 1) })
+	c.Schedule(2*time.Second, func() { order = append(order, 2) })
+	if n := c.Run(0); n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if c.Now() != 3*time.Second {
+		t.Errorf("clock = %v", c.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var c Clock
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	c.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var c Clock
+	var fired []time.Duration
+	c.After(time.Second, func() {
+		fired = append(fired, c.Now())
+		c.After(2*time.Second, func() {
+			fired = append(fired, c.Now())
+		})
+	})
+	c.Run(0)
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 3*time.Second {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	var c Clock
+	c.Schedule(5*time.Second, func() {
+		c.Schedule(time.Second, func() {}) // in the past: runs at now
+	})
+	c.Run(0)
+	if c.Now() != 5*time.Second {
+		t.Errorf("clock = %v, want 5s", c.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var c Clock
+	ran := false
+	ev := c.Schedule(time.Second, func() { ran = true })
+	c.Cancel(ev)
+	c.Run(0)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	// Double-cancel and cancel-after-fire are no-ops.
+	c.Cancel(ev)
+	ev2 := c.Schedule(time.Second, func() {})
+	c.Run(0)
+	c.Cancel(ev2)
+	c.Cancel(nil)
+}
+
+func TestRunDeadline(t *testing.T) {
+	var c Clock
+	ran := 0
+	c.Schedule(1*time.Second, func() { ran++ })
+	c.Schedule(10*time.Second, func() { ran++ })
+	n := c.Run(5 * time.Second)
+	if n != 1 || ran != 1 {
+		t.Errorf("ran %d events (%d callbacks)", n, ran)
+	}
+	if c.Now() != 5*time.Second {
+		t.Errorf("clock stopped at %v, want the deadline", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Errorf("pending = %d", c.Pending())
+	}
+	// Resuming past the deadline runs the rest.
+	c.Run(0)
+	if ran != 2 {
+		t.Errorf("second Run left callbacks unrun")
+	}
+}
+
+func TestStepOnEmptyQueue(t *testing.T) {
+	var c Clock
+	if c.Step() {
+		t.Error("Step on empty queue reported work")
+	}
+}

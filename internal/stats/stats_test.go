@@ -1,0 +1,385 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean = %v, want 5", m)
+	}
+	if v := Variance(xs); !almost(v, 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v, want %v", v, 32.0/7.0)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate samples should report 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40}, {-5, 15}, {110, 50},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, c.want, 1e-12) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrNoData {
+		t.Errorf("empty sample: err = %v, want ErrNoData", err)
+	}
+	if got, _ := Percentile([]float64{7}, 90); got != 7 {
+		t.Errorf("single sample P90 = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestQuartileRatio(t *testing.T) {
+	// A sample engineered to have p25=2 and p75=11.2 → ratio 5.6, the
+	// paper's Figure 1 value.
+	xs := []float64{1, 2, 2, 2, 11.2, 11.2, 11.2, 17}
+	r, err := QuartileRatio(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(r, 5.6, 0.01) {
+		t.Errorf("quartile ratio = %v, want 5.6", r)
+	}
+	if r, _ := QuartileRatio([]float64{0, 0, 0, 1}); !math.IsInf(r, 1) {
+		t.Errorf("zero p25 should be +Inf, got %v", r)
+	}
+	if r, _ := QuartileRatio([]float64{0, 0, 0, 0}); r != 1 {
+		t.Errorf("all-zero ratio = %v, want 1", r)
+	}
+	if _, err := QuartileRatio(nil); err != ErrNoData {
+		t.Errorf("want ErrNoData, got %v", err)
+	}
+}
+
+func TestMedianTo95Ratio(t *testing.T) {
+	// Median 2, p95 close to 10 → ratio well under 0.5 (a "highly
+	// variable" session in the paper's Section 2.2 sense).
+	xs := []float64{1, 2, 2, 2, 2, 3, 10, 10, 10, 10}
+	r, err := MedianTo95Ratio(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r >= 0.5 {
+		t.Errorf("ratio = %v, want < 0.5", r)
+	}
+	if r, _ := MedianTo95Ratio([]float64{0, 0}); r != 1 {
+		t.Errorf("all-zero ratio = %v, want 1", r)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	s, err := Summarize(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if _, err := Summarize(nil); err != ErrNoData {
+		t.Errorf("want ErrNoData, got %v", err)
+	}
+}
+
+func TestWelchTTestEqualSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	res, err := WelchTTest(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Errorf("same-distribution samples rejected: p = %v", res.P)
+	}
+}
+
+func TestWelchTTestDifferentMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64() + 1.0
+	}
+	res, err := WelchTTest(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Errorf("clearly different means not detected: p = %v", res.P)
+	}
+	if res.T >= 0 {
+		t.Errorf("t should be negative (mean(xs) < mean(ys)), got %v", res.T)
+	}
+}
+
+func TestWelchTTestKnownValue(t *testing.T) {
+	// Classic example (from Welch's original domain): verify against a
+	// hand-computed value. xs mean 3, ys mean 5.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3, 4, 5, 6, 7}
+	res, err := WelchTTest(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.T, -2, 1e-9) {
+		t.Errorf("t = %v, want -2", res.T)
+	}
+	if !almost(res.DF, 8, 1e-9) {
+		t.Errorf("df = %v, want 8", res.DF)
+	}
+	// Two-sided p for t=2, df=8 is 0.0805 (standard tables).
+	if !almost(res.P, 0.0805, 0.001) {
+		t.Errorf("p = %v, want ~0.0805", res.P)
+	}
+}
+
+func TestWelchTTestDegenerate(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err != ErrNoData {
+		t.Errorf("want ErrNoData, got %v", err)
+	}
+	res, err := WelchTTest([]float64{2, 2, 2}, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("identical constant samples: p = %v, want 1", res.P)
+	}
+	res, err = WelchTTest([]float64{2, 2, 2}, []float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Errorf("different constant samples: p = %v, want 0", res.P)
+	}
+}
+
+func TestStudentTTailAgainstTables(t *testing.T) {
+	// Standard t-table checkpoints: P(T > t) one-sided.
+	cases := []struct {
+		t, df, want float64
+	}{
+		{1.812, 10, 0.05},
+		{2.228, 10, 0.025},
+		{1.645, 1e6, 0.05}, // approaches the normal distribution
+		{0, 5, 0.5},
+	}
+	for _, c := range cases {
+		got := studentTTail(c.t, c.df)
+		if !almost(got, c.want, 0.002) {
+			t.Errorf("tail(t=%v, df=%v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Error("boundary values wrong")
+	}
+	// I_x(1,1) = x (uniform distribution CDF).
+	for _, x := range []float64{0.1, 0.42, 0.9} {
+		if got := regIncBeta(1, 1, x); !almost(got, x, 1e-10) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	if got := regIncBeta(2.5, 4, 0.3) + regIncBeta(4, 2.5, 0.7); !almost(got, 1, 1e-10) {
+		t.Errorf("symmetry violated: sum = %v", got)
+	}
+}
+
+// Percentiles are monotone in p, and bounded by the sample extremes.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a, b := float64(p1%101), float64(p2%101)
+		if a > b {
+			a, b = b, a
+		}
+		va, _ := Percentile(xs, a)
+		vb, _ := Percentile(xs, b)
+		mn, _ := Percentile(xs, 0)
+		mx, _ := Percentile(xs, 100)
+		return va <= vb && va >= mn && vb <= mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Welch p-value is always a valid probability.
+func TestQuickWelchPValueRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(n1, n2 uint8, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			return true
+		}
+		nx := int(n1%50) + 2
+		ny := int(n2%50) + 2
+		xs := make([]float64, nx)
+		ys := make([]float64, ny)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		for i := range ys {
+			ys[i] = rng.NormFloat64() + math.Mod(shift, 10)
+		}
+		res, err := WelchTTest(xs, ys)
+		if err != nil {
+			return false
+		}
+		return res.P >= 0 && res.P <= 1 && !math.IsNaN(res.P)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Lag 0 is always 1 for a non-constant series.
+	xs := []float64{1, 2, 3, 4, 5, 4, 3, 2}
+	if r, err := Autocorrelation(xs, 0); err != nil || !almost(r, 1, 1e-12) {
+		t.Errorf("lag-0 = %v, %v", r, err)
+	}
+	// A slowly varying series has strong positive lag-1 correlation.
+	smooth := make([]float64, 200)
+	for i := range smooth {
+		smooth[i] = math.Sin(float64(i) / 20)
+	}
+	r1, err := Autocorrelation(smooth, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 < 0.9 {
+		t.Errorf("smooth series lag-1 = %v, want ≥0.9", r1)
+	}
+	// Alternating series: strong negative lag-1 correlation.
+	alt := make([]float64, 100)
+	for i := range alt {
+		alt[i] = float64(i % 2)
+	}
+	rAlt, _ := Autocorrelation(alt, 1)
+	if rAlt > -0.9 {
+		t.Errorf("alternating series lag-1 = %v, want ≤ -0.9", rAlt)
+	}
+	// Degenerate inputs.
+	if _, err := Autocorrelation([]float64{1, 2}, 5); err != ErrNoData {
+		t.Errorf("short sample err = %v", err)
+	}
+	if _, err := Autocorrelation(nil, 0); err != ErrNoData {
+		t.Errorf("nil sample err = %v", err)
+	}
+	if r, err := Autocorrelation([]float64{3, 3, 3, 3}, 1); err != nil || r != 0 {
+		t.Errorf("constant series = %v, %v", r, err)
+	}
+}
+
+// The VBR scene model's defining property, verified through the public
+// statistic: chunk sizes are strongly correlated at short lags (within a
+// scene) and decorrelate over long lags (across sequences).
+func TestAutocorrelationMatchesSceneModelIntent(t *testing.T) {
+	// Synthetic scene-like series: blocks of 8 identical values.
+	xs := make([]float64, 400)
+	rng := rand.New(rand.NewSource(6))
+	v := rng.Float64()
+	for i := range xs {
+		if i%8 == 0 {
+			v = rng.Float64()
+		}
+		xs[i] = v
+	}
+	short, _ := Autocorrelation(xs, 1)
+	long, _ := Autocorrelation(xs, 100)
+	if short < 0.7 {
+		t.Errorf("within-scene lag-1 = %v, want high", short)
+	}
+	if math.Abs(long) > 0.3 {
+		t.Errorf("cross-sequence lag-100 = %v, want near 0", long)
+	}
+}
+
+func TestBootstrapRatioCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	treatment := make([]float64, 300)
+	control := make([]float64, 300)
+	for i := range treatment {
+		treatment[i] = 0.7 + 0.3*rng.Float64() // mean ≈ 0.85
+		control[i] = 0.9 + 0.3*rng.Float64()   // mean ≈ 1.05
+	}
+	lo, hi, err := BootstrapRatioCI(treatment, control, 500, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueRatio := Mean(treatment) / Mean(control)
+	if lo >= hi {
+		t.Fatalf("degenerate interval [%v, %v]", lo, hi)
+	}
+	if trueRatio < lo || trueRatio > hi {
+		t.Errorf("true ratio %.3f outside the CI [%.3f, %.3f]", trueRatio, lo, hi)
+	}
+	if hi >= 1 {
+		t.Errorf("CI [%.3f, %.3f] should exclude 1 for clearly separated groups", lo, hi)
+	}
+	// Deterministic in seed.
+	lo2, hi2, err := BootstrapRatioCI(treatment, control, 500, 0.9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != lo2 || hi != hi2 {
+		t.Error("bootstrap not deterministic for a fixed seed")
+	}
+}
+
+func TestBootstrapRatioCIDegenerate(t *testing.T) {
+	if _, _, err := BootstrapRatioCI([]float64{1}, []float64{1, 2}, 100, 0.9, 1); err != ErrNoData {
+		t.Errorf("short treatment: %v", err)
+	}
+	if _, _, err := BootstrapRatioCI([]float64{1, 2}, []float64{0, 0}, 100, 0.9, 1); err == nil {
+		t.Error("zero-mean control accepted")
+	}
+	// Defaults kick in for bad knobs.
+	if _, _, err := BootstrapRatioCI([]float64{1, 2, 3}, []float64{2, 3, 4}, -1, 2, 1); err != nil {
+		t.Errorf("defaulted knobs failed: %v", err)
+	}
+}

@@ -1,0 +1,463 @@
+// Package trace models end-to-end network capacity as a function of time.
+//
+// The paper's whole argument starts from Figure 1: the throughput a video
+// client observes varies wildly within a session (17 Mb/s down to 500 kb/s,
+// a 75th/25th percentile ratio of 5.6). An ABR algorithm observes capacity
+// only through per-chunk download durations, so a piecewise-constant
+// capacity trace driven through the download integral reproduces exactly
+// what a real algorithm would see.
+//
+// A Trace is a finite sequence of (duration, rate) segments; beyond its end
+// the final rate persists, so traces compose naturally with sessions of any
+// length. Generators produce the trace families used by the experiments:
+// constant and step traces for the worked examples (Figures 4 and 16),
+// Markov-modulated traces calibrated to the paper's variability statistics
+// for the A/B population, and outage overlays for Section 7.1.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"bba/internal/units"
+)
+
+// Segment is a span of constant capacity.
+type Segment struct {
+	Duration time.Duration
+	Rate     units.BitRate
+}
+
+// Trace is an immutable piecewise-constant capacity process. The zero value
+// is unusable; construct traces with New or a generator. After the final
+// segment the last rate persists indefinitely.
+type Trace struct {
+	segments []Segment
+	starts   []time.Duration // start time of each segment
+	total    time.Duration
+}
+
+// ErrEmpty is returned when constructing a trace with no segments.
+var ErrEmpty = errors.New("trace: no segments")
+
+// New builds a trace from segments. Segments with non-positive duration or
+// negative rate are rejected; a zero rate is a valid outage.
+func New(segments []Segment) (*Trace, error) {
+	if len(segments) == 0 {
+		return nil, ErrEmpty
+	}
+	t := &Trace{
+		segments: make([]Segment, len(segments)),
+		starts:   make([]time.Duration, len(segments)),
+	}
+	copy(t.segments, segments)
+	for i, s := range t.segments {
+		if s.Duration <= 0 {
+			return nil, fmt.Errorf("trace: segment %d has non-positive duration %v", i, s.Duration)
+		}
+		if s.Rate < 0 {
+			return nil, fmt.Errorf("trace: segment %d has negative rate %v", i, s.Rate)
+		}
+		t.starts[i] = t.total
+		t.total += s.Duration
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error, for tests and literals.
+func MustNew(segments []Segment) *Trace {
+	t, err := New(segments)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Total returns the summed duration of the explicit segments.
+func (t *Trace) Total() time.Duration { return t.total }
+
+// Segments returns a copy of the trace's segments.
+func (t *Trace) Segments() []Segment {
+	out := make([]Segment, len(t.segments))
+	copy(out, t.segments)
+	return out
+}
+
+// index returns the segment index containing time at (clamped to the last
+// segment beyond the end).
+func (t *Trace) index(at time.Duration) int {
+	if at < 0 {
+		return 0
+	}
+	// Find the first segment whose start is after at, then step back.
+	i := sort.Search(len(t.starts), func(i int) bool { return t.starts[i] > at })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// RateAt returns the capacity at time at. Before zero it reports the first
+// segment's rate; after the end, the last segment's rate.
+func (t *Trace) RateAt(at time.Duration) units.BitRate {
+	return t.segments[t.index(at)].Rate
+}
+
+// BytesBetween integrates capacity over [from, to] and returns the number of
+// bytes deliverable in that window.
+func (t *Trace) BytesBetween(from, to time.Duration) int64 {
+	if to <= from {
+		return 0
+	}
+	if from < 0 {
+		from = 0
+	}
+	var bits float64
+	i := t.index(from)
+	cursor := from
+	for cursor < to {
+		segEnd := t.total
+		if i < len(t.segments)-1 {
+			segEnd = t.starts[i] + t.segments[i].Duration
+		} else {
+			segEnd = to // last segment extends forever
+		}
+		end := segEnd
+		if end > to {
+			end = to
+		}
+		bits += float64(t.segments[i].Rate) * (end - cursor).Seconds()
+		cursor = end
+		if i < len(t.segments)-1 && cursor >= t.starts[i]+t.segments[i].Duration {
+			i++
+		}
+	}
+	return int64(bits / 8)
+}
+
+// DownloadTime returns how long a transfer of n bytes starting at time
+// start takes. If the trace ends in a zero-rate segment and the transfer
+// cannot complete, it returns (0, false).
+func (t *Trace) DownloadTime(start time.Duration, n int64) (time.Duration, bool) {
+	if n <= 0 {
+		return 0, true
+	}
+	if start < 0 {
+		start = 0
+	}
+	remaining := float64(n * 8) // bits
+	i := t.index(start)
+	cursor := start
+	for {
+		rate := float64(t.segments[i].Rate)
+		last := i == len(t.segments)-1
+		if last {
+			if rate <= 0 {
+				return 0, false
+			}
+			cursor += units.SecondsToDuration(remaining / rate)
+			return cursor - start, true
+		}
+		segEnd := t.starts[i] + t.segments[i].Duration
+		span := (segEnd - cursor).Seconds()
+		capacity := rate * span
+		if capacity >= remaining && rate > 0 {
+			cursor += units.SecondsToDuration(remaining / rate)
+			return cursor - start, true
+		}
+		remaining -= capacity
+		cursor = segEnd
+		i++
+	}
+}
+
+// Scale returns a new trace with every rate multiplied by f (f ≥ 0).
+func (t *Trace) Scale(f float64) *Trace {
+	segs := t.Segments()
+	for i := range segs {
+		segs[i].Rate = segs[i].Rate.Scale(f)
+	}
+	return MustNew(segs)
+}
+
+// Rates returns the per-segment rates in kb/s, weighted by sampling the
+// trace once per sampleEvery interval. This matches how the paper computes
+// summary variability statistics from regularly reported measurements.
+func (t *Trace) Rates(sampleEvery time.Duration) []float64 {
+	if sampleEvery <= 0 {
+		sampleEvery = time.Second
+	}
+	var out []float64
+	for at := time.Duration(0); at < t.total; at += sampleEvery {
+		out = append(out, t.RateAt(at).Kilobits())
+	}
+	if len(out) == 0 {
+		out = append(out, t.RateAt(0).Kilobits())
+	}
+	return out
+}
+
+// Constant returns a trace with a single fixed-rate segment.
+func Constant(rate units.BitRate, d time.Duration) *Trace {
+	return MustNew([]Segment{{Duration: d, Rate: rate}})
+}
+
+// Step returns a trace that runs at before until at, then switches to after
+// for the remainder (total duration total). It reproduces the Figure 4
+// scenario ("a video starts streaming at 3Mb/s over a 5Mb/s network; after
+// 25s the available capacity drops to 350kb/s").
+func Step(before, after units.BitRate, at, total time.Duration) *Trace {
+	if at <= 0 {
+		return Constant(after, total)
+	}
+	if at >= total {
+		return Constant(before, total)
+	}
+	return MustNew([]Segment{
+		{Duration: at, Rate: before},
+		{Duration: total - at, Rate: after},
+	})
+}
+
+// MarkovConfig parameterizes the Markov-modulated capacity generator used
+// for the synthetic user population.
+//
+// The hidden state is a multiplicative factor applied to Base; on each
+// transition a new factor is drawn log-normally with log-standard-deviation
+// Sigma (so the marginal 75th/25th percentile ratio is exp(2·0.6745·Sigma)),
+// and the state persists for an exponentially distributed dwell time. Sigma
+// near 1.28 reproduces the paper's Figure 1 ratio of 5.6; Sigma near zero
+// gives the stable off-peak environment of Section 4.2.
+type MarkovConfig struct {
+	Base      units.BitRate // median capacity
+	Sigma     float64       // log-stddev of the state factor
+	MeanDwell time.Duration // average state-holding time
+	Duration  time.Duration // total trace length
+	Floor     units.BitRate // capacity never drops below this (0 = 64 kb/s default)
+	Ceiling   units.BitRate // capacity never exceeds this (0 = 100 Mb/s default)
+}
+
+// SigmaForQuartileRatio converts a desired 75th/25th percentile throughput
+// ratio into the log-normal Sigma that produces it.
+func SigmaForQuartileRatio(ratio float64) float64 {
+	if ratio <= 1 {
+		return 0
+	}
+	return math.Log(ratio) / (2 * 0.6745)
+}
+
+// Markov generates a Markov-modulated capacity trace. It is deterministic
+// given rng's state.
+func Markov(cfg MarkovConfig, rng *rand.Rand) *Trace {
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Hour
+	}
+	if cfg.MeanDwell <= 0 {
+		cfg.MeanDwell = 10 * time.Second
+	}
+	if cfg.Base <= 0 {
+		cfg.Base = 5 * units.Mbps
+	}
+	floor := cfg.Floor
+	if floor <= 0 {
+		floor = 64 * units.Kbps
+	}
+	ceiling := cfg.Ceiling
+	if ceiling <= 0 {
+		ceiling = 100 * units.Mbps
+	}
+	var segs []Segment
+	var elapsed time.Duration
+	for elapsed < cfg.Duration {
+		factor := math.Exp(cfg.Sigma * rng.NormFloat64())
+		rate := cfg.Base.Scale(factor).Clamp(floor, ceiling)
+		dwell := units.SecondsToDuration(rng.ExpFloat64() * cfg.MeanDwell.Seconds())
+		if dwell < 100*time.Millisecond {
+			dwell = 100 * time.Millisecond
+		}
+		if elapsed+dwell > cfg.Duration {
+			dwell = cfg.Duration - elapsed
+		}
+		segs = append(segs, Segment{Duration: dwell, Rate: rate})
+		elapsed += dwell
+	}
+	if len(segs) == 0 {
+		segs = append(segs, Segment{Duration: cfg.Duration, Rate: cfg.Base})
+	}
+	return MustNew(segs)
+}
+
+// Outage is a span of zero capacity overlaid on a base trace, modelling the
+// Section 7.1 scenario of a DSL retrain or WiFi interference burst.
+type Outage struct {
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// Override forces a span of a base trace to a fixed rate. A zero Rate is an
+// outage; a low non-zero Rate models a sustained congestion episode of the
+// kind that produces the deep fades in Figure 1.
+type Override struct {
+	Start    time.Duration
+	Duration time.Duration
+	Rate     units.BitRate
+}
+
+// WithOutages returns a copy of base with capacity forced to zero during
+// each outage. Outages must not overlap and must start within the trace.
+func WithOutages(base *Trace, outages []Outage) (*Trace, error) {
+	ov := make([]Override, len(outages))
+	for i, o := range outages {
+		ov[i] = Override{Start: o.Start, Duration: o.Duration}
+	}
+	return WithOverrides(base, ov)
+}
+
+// WithOverrides returns a copy of base with each override span forced to
+// its rate. Overrides must not overlap, must have positive durations and
+// non-negative rates, and must start within the trace.
+func WithOverrides(base *Trace, overrides []Override) (*Trace, error) {
+	sorted := make([]Override, len(overrides))
+	copy(sorted, overrides)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	var segs []Segment
+	cursor := time.Duration(0)
+	appendSpan := func(from, to time.Duration) {
+		for from < to {
+			i := base.index(from)
+			segEnd := base.starts[i] + base.segments[i].Duration
+			if i == len(base.segments)-1 && segEnd < to {
+				segEnd = to
+			}
+			end := segEnd
+			if end > to {
+				end = to
+			}
+			if end > from {
+				segs = append(segs, Segment{Duration: end - from, Rate: base.segments[i].Rate})
+			}
+			from = end
+		}
+	}
+	for i, o := range sorted {
+		if o.Duration <= 0 {
+			return nil, fmt.Errorf("trace: override %d has non-positive duration", i)
+		}
+		if o.Rate < 0 {
+			return nil, fmt.Errorf("trace: override %d has negative rate", i)
+		}
+		if o.Start < cursor {
+			return nil, fmt.Errorf("trace: override %d overlaps a previous override", i)
+		}
+		if o.Start > base.Total() {
+			return nil, fmt.Errorf("trace: override %d starts after trace end", i)
+		}
+		appendSpan(cursor, o.Start)
+		segs = append(segs, Segment{Duration: o.Duration, Rate: o.Rate})
+		cursor = o.Start + o.Duration
+	}
+	if cursor < base.Total() {
+		appendSpan(cursor, base.Total())
+	}
+	return New(segs)
+}
+
+// Concat joins traces end to end. It requires at least one trace.
+func Concat(traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, ErrEmpty
+	}
+	var segs []Segment
+	for _, t := range traces {
+		segs = append(segs, t.segments...)
+	}
+	return New(segs)
+}
+
+// Repeat tiles the trace n times (n ≥ 1).
+func (t *Trace) Repeat(n int) (*Trace, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("trace: repeat count %d", n)
+	}
+	segs := make([]Segment, 0, n*len(t.segments))
+	for i := 0; i < n; i++ {
+		segs = append(segs, t.segments...)
+	}
+	return New(segs)
+}
+
+// Slice returns the sub-trace covering [from, to) of t; the usual
+// persistence rule applies beyond to. from must lie within the trace and
+// before to.
+func (t *Trace) Slice(from, to time.Duration) (*Trace, error) {
+	if from < 0 || from >= to || from >= t.total {
+		return nil, fmt.Errorf("trace: bad slice [%v, %v) of a %v trace", from, to, t.total)
+	}
+	var segs []Segment
+	cursor := from
+	for cursor < to {
+		i := t.index(cursor)
+		segEnd := t.starts[i] + t.segments[i].Duration
+		if i == len(t.segments)-1 && segEnd < to {
+			segEnd = to
+		}
+		end := segEnd
+		if end > to {
+			end = to
+		}
+		segs = append(segs, Segment{Duration: end - cursor, Rate: t.segments[i].Rate})
+		cursor = end
+	}
+	return New(segs)
+}
+
+// WriteCSV writes the trace as "duration_seconds,rate_bps" rows.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range t.segments {
+		if _, err := fmt.Fprintf(bw, "%.6f,%d\n", s.Duration.Seconds(), int64(s.Rate)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV. Blank lines and lines starting
+// with '#' are ignored.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	var segs []Segment
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want 2 fields, got %d", line, len(parts))
+		}
+		secs, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad duration: %w", line, err)
+		}
+		bps, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad rate: %w", line, err)
+		}
+		segs = append(segs, Segment{Duration: units.SecondsToDuration(secs), Rate: units.BitRate(bps)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return New(segs)
+}

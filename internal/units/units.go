@@ -1,0 +1,124 @@
+// Package units defines the small number of physical quantities the BBA
+// reproduction works in: bit rates, byte counts and durations of video.
+//
+// The whole system is driven by three relationships that the paper's
+// Figure 2 and Figure 11 describe:
+//
+//   - a chunk of nominal rate R and duration V holds about R·V bits,
+//   - downloading S bytes over a link of capacity C takes 8·S/C seconds,
+//   - the playback buffer drains one second of video per second of real time.
+//
+// Keeping the conversions in one tested place avoids the classic
+// bits-versus-bytes mistakes that would silently distort every experiment.
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// BitRate is a network or video bit rate in bits per second.
+//
+// Video rates in the paper are quoted in kb/s (e.g. the 235 kb/s to 5 Mb/s
+// encoding ladder); link capacities range into tens of Mb/s.
+type BitRate int64
+
+// Convenient bit-rate units. These are decimal (networking) units:
+// 1 Kbps = 1000 bit/s.
+const (
+	Bps  BitRate = 1
+	Kbps         = 1000 * Bps
+	Mbps         = 1000 * Kbps
+	Gbps         = 1000 * Mbps
+)
+
+// String formats the rate with an adaptive unit, e.g. "235kb/s", "3.0Mb/s".
+func (r BitRate) String() string {
+	switch {
+	case r < 0:
+		return "-" + (-r).String()
+	case r >= Gbps:
+		return trimUnit(float64(r)/float64(Gbps), "Gb/s")
+	case r >= Mbps:
+		return trimUnit(float64(r)/float64(Mbps), "Mb/s")
+	case r >= Kbps:
+		return trimUnit(float64(r)/float64(Kbps), "kb/s")
+	}
+	return fmt.Sprintf("%db/s", int64(r))
+}
+
+func trimUnit(v float64, unit string) string {
+	s := fmt.Sprintf("%.2f", v)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s + unit
+}
+
+// Kilobits reports the rate in kb/s as a float, the unit used throughout the
+// paper's figures.
+func (r BitRate) Kilobits() float64 { return float64(r) / float64(Kbps) }
+
+// BytesIn reports how many bytes a stream at rate r produces in d.
+// It rounds to the nearest byte.
+func (r BitRate) BytesIn(d time.Duration) int64 {
+	bits := float64(r) * d.Seconds()
+	return int64(math.Round(bits / 8))
+}
+
+// DurationFor reports how long transferring n bytes takes at rate r.
+// A non-positive rate yields an effectively infinite duration (the caller is
+// expected to model outages explicitly with trace segments rather than rely
+// on this value).
+func (r BitRate) DurationFor(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if r <= 0 {
+		return math.MaxInt64
+	}
+	seconds := float64(n*8) / float64(r)
+	return SecondsToDuration(seconds)
+}
+
+// Throughput reports the average rate achieved transferring n bytes in d.
+func Throughput(n int64, d time.Duration) BitRate {
+	if d <= 0 || n <= 0 {
+		return 0
+	}
+	return BitRate(math.Round(float64(n*8) / d.Seconds()))
+}
+
+// SecondsToDuration converts a floating-point number of seconds to a
+// time.Duration, saturating instead of overflowing for absurd inputs.
+func SecondsToDuration(s float64) time.Duration {
+	if math.IsInf(s, 1) || s > float64(math.MaxInt64)/float64(time.Second) {
+		return math.MaxInt64
+	}
+	if s <= 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// Scale multiplies the rate by a dimensionless factor, rounding to the
+// nearest bit per second. It is used for VBR activity factors and for the
+// Control algorithm's F(B) adjustment.
+func (r BitRate) Scale(f float64) BitRate {
+	return BitRate(math.Round(float64(r) * f))
+}
+
+// Clamp limits r to the closed interval [lo, hi].
+func (r BitRate) Clamp(lo, hi BitRate) BitRate {
+	if r < lo {
+		return lo
+	}
+	if r > hi {
+		return hi
+	}
+	return r
+}

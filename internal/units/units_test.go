@@ -1,0 +1,145 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBitRateString(t *testing.T) {
+	tests := []struct {
+		r    BitRate
+		want string
+	}{
+		{235 * Kbps, "235kb/s"},
+		{3 * Mbps, "3Mb/s"},
+		{1500 * Kbps, "1.5Mb/s"},
+		{0, "0b/s"},
+		{999, "999b/s"},
+		{17 * Mbps, "17Mb/s"},
+		{-560 * Kbps, "-560kb/s"},
+		{2 * Gbps, "2Gb/s"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.String(); got != tt.want {
+			t.Errorf("BitRate(%d).String() = %q, want %q", int64(tt.r), got, tt.want)
+		}
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	// A 4-second chunk at 3 Mb/s is 1.5 MB — the paper's Figure 10 average.
+	got := (3 * Mbps).BytesIn(4 * time.Second)
+	if got != 1_500_000 {
+		t.Fatalf("3Mb/s over 4s = %d bytes, want 1500000", got)
+	}
+	if n := BitRate(0).BytesIn(time.Second); n != 0 {
+		t.Errorf("zero rate produced %d bytes", n)
+	}
+}
+
+func TestDurationFor(t *testing.T) {
+	d := (1 * Mbps).DurationFor(125_000) // 1 Mb
+	if d != time.Second {
+		t.Fatalf("1Mb over 1Mb/s = %v, want 1s", d)
+	}
+	if d := (5 * Mbps).DurationFor(0); d != 0 {
+		t.Errorf("zero bytes took %v", d)
+	}
+	if d := BitRate(0).DurationFor(100); d != math.MaxInt64 {
+		t.Errorf("zero rate should be infinite, got %v", d)
+	}
+	if d := BitRate(-1).DurationFor(100); d != math.MaxInt64 {
+		t.Errorf("negative rate should be infinite, got %v", d)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	got := Throughput(1_500_000, 4*time.Second)
+	if got != 3*Mbps {
+		t.Fatalf("throughput = %v, want 3Mb/s", got)
+	}
+	if Throughput(100, 0) != 0 {
+		t.Error("zero duration should report zero throughput")
+	}
+	if Throughput(0, time.Second) != 0 {
+		t.Error("zero bytes should report zero throughput")
+	}
+}
+
+func TestKilobits(t *testing.T) {
+	if got := (235 * Kbps).Kilobits(); got != 235 {
+		t.Fatalf("Kilobits = %v, want 235", got)
+	}
+}
+
+func TestScaleAndClamp(t *testing.T) {
+	if got := (1 * Mbps).Scale(1.5); got != 1500*Kbps {
+		t.Errorf("Scale(1.5) = %v", got)
+	}
+	if got := (1 * Mbps).Scale(0); got != 0 {
+		t.Errorf("Scale(0) = %v", got)
+	}
+	if got := (1 * Mbps).Clamp(2*Mbps, 3*Mbps); got != 2*Mbps {
+		t.Errorf("Clamp low = %v", got)
+	}
+	if got := (5 * Mbps).Clamp(2*Mbps, 3*Mbps); got != 3*Mbps {
+		t.Errorf("Clamp high = %v", got)
+	}
+	if got := (2500 * Kbps).Clamp(2*Mbps, 3*Mbps); got != 2500*Kbps {
+		t.Errorf("Clamp inside = %v", got)
+	}
+}
+
+func TestSecondsToDuration(t *testing.T) {
+	if d := SecondsToDuration(1.5); d != 1500*time.Millisecond {
+		t.Errorf("1.5s -> %v", d)
+	}
+	if d := SecondsToDuration(-3); d != 0 {
+		t.Errorf("negative seconds -> %v, want 0", d)
+	}
+	if d := SecondsToDuration(math.Inf(1)); d != math.MaxInt64 {
+		t.Errorf("+inf seconds -> %v, want max", d)
+	}
+	if d := SecondsToDuration(1e30); d != math.MaxInt64 {
+		t.Errorf("huge seconds -> %v, want max", d)
+	}
+}
+
+// Round-tripping bytes through a rate and back must be consistent: the time
+// to download the bytes a rate produces in d must be d (within rounding).
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(rateKbps uint16, ms uint16) bool {
+		r := BitRate(rateKbps%10000+100) * Kbps
+		d := time.Duration(ms%60000+1) * time.Millisecond
+		n := r.BytesIn(d)
+		back := r.DurationFor(n)
+		diff := back - d
+		if diff < 0 {
+			diff = -diff
+		}
+		// One byte of rounding is at most 8 bits / rate seconds.
+		tol := time.Duration(float64(8*time.Second)/float64(r)) + time.Microsecond
+		return diff <= tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Throughput is the inverse of DurationFor within rounding.
+func TestQuickThroughputInverse(t *testing.T) {
+	f := func(rateKbps uint16, kb uint16) bool {
+		r := BitRate(rateKbps%20000+50) * Kbps
+		n := int64(kb%5000+1) * 1000
+		d := r.DurationFor(n)
+		got := Throughput(n, d)
+		// Within 0.2% of the true rate.
+		lo, hi := r.Scale(0.998), r.Scale(1.002)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

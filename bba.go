@@ -27,6 +27,8 @@
 package bba
 
 import (
+	"context"
+	"io"
 	"math/rand"
 	"time"
 
@@ -35,6 +37,7 @@ import (
 	"bba/internal/media"
 	"bba/internal/player"
 	"bba/internal/replay"
+	"bba/internal/telemetry"
 	"bba/internal/trace"
 	"bba/internal/units"
 )
@@ -60,6 +63,50 @@ type Video = media.Video
 
 // Trace is a piecewise-constant network-capacity process.
 type Trace = trace.Trace
+
+// Event is one structured session-telemetry event (chunk request/complete,
+// rate switch, rebuffer start/end, buffer sample, reservoir update, seek).
+type Event = telemetry.Event
+
+// EventKind identifies the type of a telemetry Event.
+type EventKind = telemetry.Kind
+
+// Observer receives a session's telemetry events; set it on SessionConfig
+// (or abtest/dash configs) to instrument a session. Nil disables telemetry
+// at zero cost.
+type Observer = telemetry.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = telemetry.Func
+
+// The telemetry event taxonomy, re-exported from internal/telemetry.
+const (
+	EventSessionStart    = telemetry.SessionStart
+	EventChunkRequest    = telemetry.ChunkRequest
+	EventChunkComplete   = telemetry.ChunkComplete
+	EventRateSwitch      = telemetry.RateSwitch
+	EventRebufferStart   = telemetry.RebufferStart
+	EventRebufferEnd     = telemetry.RebufferEnd
+	EventBufferSample    = telemetry.BufferSample
+	EventReservoirUpdate = telemetry.ReservoirUpdate
+	EventSeek            = telemetry.Seek
+	EventSessionEnd      = telemetry.SessionEnd
+)
+
+// NewJournal returns an observer writing deterministic JSONL (one event
+// per line) to w; call Flush when the session set completes.
+func NewJournal(w io.Writer) *telemetry.Journal { return telemetry.NewJournal(w) }
+
+// NewRing returns a bounded in-memory observer retaining the last
+// capacity events.
+func NewRing(capacity int) *telemetry.Ring { return telemetry.NewRing(capacity) }
+
+// NewProm returns an observer aggregating events into Prometheus-text
+// counters and histograms; it doubles as an http.Handler for /metrics.
+func NewProm() *telemetry.Prom { return telemetry.NewProm("bba") }
+
+// MultiObserver fans events out to every non-nil observer.
+func MultiObserver(obs ...Observer) Observer { return telemetry.Multi(obs...) }
 
 // NewBBA0 returns the paper's Section 4 baseline buffer-based algorithm:
 // fixed 90 s reservoir, linear rate map, Algorithm 1 hysteresis.
@@ -150,17 +197,29 @@ type SessionConfig struct {
 	// WatchLimit stops after this much delivered video (default: the
 	// whole title).
 	WatchLimit time.Duration
+	// Observer, when non-nil, receives the session's telemetry events in
+	// session-clock order (see Event). Nil disables telemetry at zero
+	// cost.
+	Observer Observer
 }
 
 // RunSession simulates the session in virtual time and returns its result.
 // Multi-hour sessions simulate in microseconds to milliseconds.
 func RunSession(cfg SessionConfig) (*Result, error) {
-	return player.Run(player.Config{
+	return RunSessionContext(context.Background(), cfg)
+}
+
+// RunSessionContext is RunSession with cancellation: the context is
+// checked once per chunk, so long simulations (or batches of them) stop
+// promptly when the caller cancels or a deadline passes.
+func RunSessionContext(ctx context.Context, cfg SessionConfig) (*Result, error) {
+	return player.RunContext(ctx, player.Config{
 		Algorithm:  cfg.Algorithm,
 		Stream:     abr.NewStream(cfg.Video, cfg.Rmin),
 		Trace:      cfg.Trace,
 		BufferMax:  cfg.BufferMax,
 		WatchLimit: cfg.WatchLimit,
+		Observer:   cfg.Observer,
 	})
 }
 

@@ -183,6 +183,39 @@ func BenchmarkSessionSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionSimulationObserved is the telemetry overhead guard: the
+// same session as BenchmarkSessionSimulation with a minimal (counting)
+// observer attached. BenchmarkSessionSimulation above is the nil-observer
+// fast path — no event values are built and no buffer state is polled —
+// and the acceptance bar is that its time stays within 2% of the
+// uninstrumented engine. Compare the two benchmarks to read off the cost
+// of full instrumentation (event construction + one dynamic dispatch per
+// event, typically a few percent).
+func BenchmarkSessionSimulationObserved(b *testing.B) {
+	video, err := NewVBRTitle("bench", 450, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := VariableTrace(4*Mbps, 3, 30*60e9, 2)
+	var events int
+	obs := ObserverFunc(func(Event) { events++ })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSession(SessionConfig{
+			Algorithm:  NewBBA2(),
+			Video:      video,
+			Trace:      tr,
+			WatchLimit: 18 * 60e9,
+			Observer:   obs,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if events == 0 {
+		b.Fatal("observer saw no events")
+	}
+}
+
 func BenchmarkShortVideoSessions(b *testing.B) {
 	benchFigure(b, "ShortVideoSessions")
 }

@@ -25,6 +25,7 @@ import (
 	"bba/internal/netem"
 	"bba/internal/player"
 	"bba/internal/replay"
+	"bba/internal/telemetry"
 	"bba/internal/trace"
 	"bba/internal/units"
 )
@@ -38,17 +39,18 @@ func main() {
 		rmin    = flag.Int("rmin", 0, "promoted minimum rate in kb/s")
 		useMPD  = flag.Bool("mpd", false, "drive the session from the standards /manifest.mpd (nominal chunk sizes) instead of the JSON manifest")
 		whatIf  = flag.Bool("whatif", false, "after the session, replay every algorithm against the observed network and print the counterfactual comparison")
+		journal = flag.String("journal", "", "write the session's telemetry events as JSONL to this file")
 		quiet   = flag.Bool("q", false, "suppress per-chunk progress")
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *url, *algName, *watch, *shape, *rmin, *useMPD, *whatIf, *quiet); err != nil {
+	if err := run(os.Stdout, *url, *algName, *watch, *shape, *rmin, *useMPD, *whatIf, *quiet, *journal); err != nil {
 		fmt.Fprintln(os.Stderr, "bbaplay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, url, algName string, watch time.Duration, shapeKbps, rminKbps int, useMPD, whatIf, quiet bool) error {
+func run(out io.Writer, url, algName string, watch time.Duration, shapeKbps, rminKbps int, useMPD, whatIf, quiet bool, journalPath string) error {
 	alg, err := abr.NewByName(algName)
 	if err != nil {
 		return err
@@ -79,6 +81,16 @@ func run(out io.Writer, url, algName string, watch time.Duration, shapeKbps, rmi
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)
 		}
+	}
+	if journalPath != "" {
+		f, err := os.Create(journalPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		j := telemetry.NewJournal(f)
+		defer j.Flush()
+		cfg.Observer = j
 	}
 	res, err := dash.Stream(context.Background(), cfg)
 	if err != nil {

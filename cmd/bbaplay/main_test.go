@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"math/rand"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -34,7 +36,7 @@ func testServer(t *testing.T) *httptest.Server {
 func TestPlayAgainstLocalServer(t *testing.T) {
 	ts := testServer(t)
 	var out bytes.Buffer
-	if err := run(&out, ts.URL, "BBA-2", 3*time.Second, 0, 0, false, false, true); err != nil {
+	if err := run(&out, ts.URL, "BBA-2", 3*time.Second, 0, 0, false, false, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "session summary") {
@@ -45,7 +47,7 @@ func TestPlayAgainstLocalServer(t *testing.T) {
 func TestPlayViaMPDAndShaping(t *testing.T) {
 	ts := testServer(t)
 	var out bytes.Buffer
-	if err := run(&out, ts.URL, "BBA-0", 2*time.Second, 8000, 560, true, false, true); err != nil {
+	if err := run(&out, ts.URL, "BBA-0", 2*time.Second, 8000, 560, true, false, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "average rate") {
@@ -55,18 +57,38 @@ func TestPlayViaMPDAndShaping(t *testing.T) {
 
 func TestPlayBadInputs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "http://127.0.0.1:1", "BBA-2", time.Second, 0, 0, false, false, true); err == nil {
+	if err := run(&out, "http://127.0.0.1:1", "BBA-2", time.Second, 0, 0, false, false, true, ""); err == nil {
 		t.Error("dead server accepted")
 	}
-	if err := run(&out, "http://127.0.0.1:1", "NOPE", time.Second, 0, 0, false, false, true); err == nil {
+	if err := run(&out, "http://127.0.0.1:1", "NOPE", time.Second, 0, 0, false, false, true, ""); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestPlayWritesJournal(t *testing.T) {
+	ts := testServer(t)
+	var out bytes.Buffer
+	path := filepath.Join(t.TempDir(), "session.jsonl")
+	if err := run(&out, ts.URL, "BBA-2", 2*time.Second, 0, 0, false, false, true, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	if !strings.Contains(text, `"kind":"session_start"`) || !strings.Contains(text, `"kind":"session_end"`) {
+		t.Errorf("journal missing session bracket events:\n%s", text)
+	}
+	if !strings.Contains(text, `"kind":"chunk_complete"`) {
+		t.Error("journal has no chunk_complete events")
 	}
 }
 
 func TestPlayWithWhatIf(t *testing.T) {
 	ts := testServer(t)
 	var out bytes.Buffer
-	if err := run(&out, ts.URL, "BBA-2", 3*time.Second, 0, 0, false, true, true); err != nil {
+	if err := run(&out, ts.URL, "BBA-2", 3*time.Second, 0, 0, false, true, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()

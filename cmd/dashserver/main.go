@@ -1,23 +1,31 @@
 // Command dashserver serves a synthetic VBR title over HTTP for the
-// bbaplay client (or any HTTP client): a JSON manifest at /manifest.json
-// and chunk bodies at /chunk/{rate}/{index}.
+// bbaplay client (or any HTTP client): a JSON manifest at /manifest.json,
+// chunk bodies at /chunk/{rate}/{index}, Prometheus-text metrics at
+// /metrics and a liveness probe at /healthz. It shuts down gracefully on
+// SIGINT/SIGTERM, draining in-flight chunk downloads.
 //
 // Example:
 //
 //	dashserver -addr 127.0.0.1:8404 -chunks 900 &
 //	bbaplay -url http://127.0.0.1:8404 -alg BBA-2 -watch 30s
+//	curl http://127.0.0.1:8404/metrics
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bba/internal/dash"
 	"bba/internal/media"
+	"bba/internal/telemetry"
 )
 
 func main() {
@@ -30,21 +38,61 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*addr, *chunks, *chunkMS, *seed, *latency); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *chunks, *chunkMS, *seed, *latency); err != nil {
 		fmt.Fprintln(os.Stderr, "dashserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, chunks, chunkMS int, seed int64, latency time.Duration) error {
+// shutdownGrace bounds how long a draining server waits for in-flight
+// chunk downloads before closing their connections.
+const shutdownGrace = 5 * time.Second
+
+// run serves until ctx is cancelled (SIGINT/SIGTERM in main), then shuts
+// the HTTP server down gracefully.
+func run(ctx context.Context, addr string, chunks, chunkMS int, seed int64, latency time.Duration) error {
 	srv, video, err := buildServer(chunks, chunkMS, seed, latency)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving %q (%d chunks of %v, ladder %v–%v) on http://%s\n",
+	prom := telemetry.NewProm("bba")
+	srv.Observer = prom
+
+	hs := &http.Server{Addr: addr, Handler: buildMux(srv, prom, video)}
+	fmt.Printf("serving %q (%d chunks of %v, ladder %v–%v) on http://%s (/metrics, /healthz)\n",
 		video.Title, video.NumChunks(), video.ChunkDuration,
 		video.Ladder.Min(), video.Ladder.Max(), addr)
-	return http.ListenAndServe(addr, srv)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Println("dashserver: shutting down")
+		shctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		return hs.Shutdown(shctx)
+	}
+}
+
+// buildMux mounts the chunk server alongside the observability endpoints.
+func buildMux(srv *dash.Server, prom *telemetry.Prom, video *media.Video) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", srv)
+	mux.Handle("/metrics", prom)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":   "ok",
+			"title":    video.Title,
+			"chunks":   video.NumChunks(),
+			"requests": srv.Requests(),
+		})
+	})
+	return mux
 }
 
 // buildServer constructs the synthetic title and its HTTP handler.

@@ -1,11 +1,17 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
+
+	"bba/internal/telemetry"
 )
 
 func TestBuildServer(t *testing.T) {
@@ -37,5 +43,101 @@ func TestBuildServer(t *testing.T) {
 	}
 	if v2.NumChunks() != 1800 {
 		t.Errorf("defaulted chunks = %d, want 1800", v2.NumChunks())
+	}
+}
+
+func TestObservabilityEndpoints(t *testing.T) {
+	srv, video, err := buildServer(20, 4000, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := telemetry.NewProm("bba")
+	srv.Observer = prom
+	ts := httptest.NewServer(buildMux(srv, prom, video))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get("/chunk/0/0"); code != http.StatusOK {
+		t.Fatalf("chunk status %d", code)
+	}
+	if code, _ := get("/chunk/0/1"); code != http.StatusOK {
+		t.Fatalf("chunk status %d", code)
+	}
+
+	code, body := get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Chunks   int    `json:"chunks"`
+		Requests int64  `json:"requests"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if health.Status != "ok" || health.Chunks != 20 || health.Requests != 2 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	for _, want := range []string{
+		"bba_chunks_requested_total 2",
+		"bba_chunks_completed_total 2",
+		"# TYPE bba_chunk_download_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	// Grab a free port so run can bind it.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, addr, 10, 4000, 1, 0) }()
+
+	// Wait for the server to come up, then trigger shutdown.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
 	}
 }

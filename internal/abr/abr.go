@@ -128,6 +128,19 @@ type SeekAware interface {
 	Seeked()
 }
 
+// ReservoirReporter is implemented by algorithms whose decisions flow
+// through a dynamic reservoir (BBA-1 and the algorithms built on it). The
+// player's telemetry polls it after each decision to emit reservoir-update
+// events — the series behind the paper's Figure 12 discussion — without
+// the algorithms knowing about telemetry.
+type ReservoirReporter interface {
+	// LastReservoir returns the effective reservoir (including any
+	// right-shift) and the accrued outage protection used by the most
+	// recent decision. ok is false before the first decision computes a
+	// chunk map.
+	LastReservoir() (reservoir, protection time.Duration, ok bool)
+}
+
 // Registry maps the experiment group names used throughout the paper to
 // factories. NewByName returns an error for unknown names.
 func NewByName(name string) (Algorithm, error) {

@@ -36,6 +36,8 @@ type BBA1 struct {
 	protection time.Duration
 	lastBuffer time.Duration
 	observed   bool
+	lastRes    time.Duration
+	haveRes    bool
 }
 
 // NewBBA1 returns a BBA1 with the paper's deployed parameters.
@@ -51,6 +53,12 @@ func NewBBA1() *BBA1 {
 
 // Protection returns the currently accrued outage protection.
 func (b *BBA1) Protection() time.Duration { return b.protection }
+
+// LastReservoir implements ReservoirReporter: the effective reservoir
+// (dynamic or fixed, plus outage protection) of the most recent chunk map.
+func (b *BBA1) LastReservoir() (time.Duration, time.Duration, bool) {
+	return b.lastRes, b.protection, b.haveRes
+}
 
 // observe updates the buffer trend and, when accrue is set, applies the
 // §7.1 outage-protection rule for one downloaded chunk.
@@ -81,6 +89,8 @@ func (b *BBA1) Map(s Stream, k int, bufferMax time.Duration) ChunkMap {
 }
 
 func (b *BBA1) mapWithReservoir(s Stream, reservoir time.Duration, bufferMax time.Duration) ChunkMap {
+	b.lastRes = reservoir
+	b.haveRes = true
 	l := s.Ladder()
 	cushion := time.Duration(b.RampEndFraction*float64(bufferMax)) - reservoir
 	if cushion < time.Second {

@@ -50,6 +50,12 @@ func (b *BBA2) Name() string { return "BBA-2" }
 // InStartup reports whether the algorithm is still in its startup phase.
 func (b *BBA2) InStartup() bool { return b.inStartup }
 
+// LastReservoir implements ReservoirReporter, forwarding the steady-state
+// machinery's chunk-map reservoir.
+func (b *BBA2) LastReservoir() (time.Duration, time.Duration, bool) {
+	return b.steady.LastReservoir()
+}
+
 // Seeked implements SeekAware: a seek flushes the buffer, so the algorithm
 // re-enters the startup phase (§6: startup applies "after starting a new
 // video or seeking to a new point"). Accrued outage protection persists —

@@ -62,6 +62,13 @@ func (b *BBAOthers) Protection() time.Duration {
 // shifted by: the right-shift-only (ratcheted) dynamic reservoir.
 func (b *BBAOthers) EffectiveReservoir() time.Duration { return b.maxReservoir }
 
+// LastReservoir implements ReservoirReporter: the ratcheted reservoir of
+// the most recent chunk map, with the ratchet excess as protection.
+func (b *BBAOthers) LastReservoir() (time.Duration, time.Duration, bool) {
+	r, _, ok := b.core.steady.LastReservoir()
+	return r, b.Protection(), ok
+}
+
 // Seeked implements SeekAware: re-enter startup; the reservoir ratchet is
 // released because it tracked the upcoming chunks of the old position.
 func (b *BBAOthers) Seeked() {

@@ -13,6 +13,7 @@ import (
 	"bba/internal/metrics"
 	"bba/internal/player"
 	"bba/internal/stats"
+	"bba/internal/telemetry"
 )
 
 // Group is one experiment arm: a name and a per-session algorithm factory.
@@ -60,6 +61,13 @@ type Config struct {
 	Ladder media.Ladder
 	// Parallelism bounds worker goroutines (default GOMAXPROCS).
 	Parallelism int
+	// Observer, when non-nil, receives every session's telemetry events.
+	// Each worker-owned session records into its own telemetry.Capture
+	// (stamped "d<day>.w<window>.s<index>.<group>"), and the captures are
+	// replayed into Observer in deterministic (session, group) order
+	// after the workers finish — so the merged stream is identical
+	// regardless of Parallelism. Nil disables capture entirely.
+	Observer telemetry.Observer
 }
 
 func (c *Config) applyDefaults() {
@@ -109,6 +117,7 @@ func Run(cfg Config) (*Outcome, error) {
 	type sessionSet struct {
 		idx     int // global session index for deterministic assembly
 		metrics []metrics.Session
+		events  [][]telemetry.Event // per group, when cfg.Observer != nil
 		err     error
 	}
 
@@ -131,8 +140,9 @@ func Run(cfg Config) (*Outcome, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			results[idx] = sessionSet{idx: idx}
-			ms, err := runPairedSession(cfg, catalog, j.day, j.window, j.i)
+			ms, evs, err := runPairedSession(cfg, catalog, j.day, j.window, j.i)
 			results[idx].metrics = ms
+			results[idx].events = evs
 			results[idx].err = err
 		}(idx, j)
 	}
@@ -149,6 +159,13 @@ func Run(cfg Config) (*Outcome, error) {
 		for gi, g := range cfg.Groups {
 			out.Sessions[g.Name] = append(out.Sessions[g.Name], r.metrics[gi])
 		}
+		// Replay captured telemetry in job order, group order: the merged
+		// stream is byte-for-byte independent of worker scheduling.
+		for _, groupEvents := range r.events {
+			for _, e := range groupEvents {
+				cfg.Observer.OnEvent(e)
+			}
+		}
 	}
 	for _, g := range cfg.Groups {
 		ws, err := metrics.Aggregate(out.Sessions[g.Name])
@@ -161,27 +178,41 @@ func Run(cfg Config) (*Outcome, error) {
 }
 
 // runPairedSession draws one user and streams the identical session once
-// per group, returning one metrics.Session per group in group order.
-func runPairedSession(cfg Config, catalog *media.Catalog, day, window, i int) ([]metrics.Session, error) {
+// per group, returning one metrics.Session per group in group order, plus
+// per-group captured telemetry when the experiment carries an observer.
+func runPairedSession(cfg Config, catalog *media.Catalog, day, window, i int) ([]metrics.Session, [][]telemetry.Event, error) {
 	rng := sessionRNG(cfg.Seed, day, window, i)
 	u := DrawUser(cfg.Population, window, day, rng)
 	video := u.Pick(catalog)
 	stream := abr.NewStream(video, u.Rmin)
 
 	ms := make([]metrics.Session, len(cfg.Groups))
+	var evs [][]telemetry.Event
+	if cfg.Observer != nil {
+		evs = make([][]telemetry.Event, len(cfg.Groups))
+	}
 	for gi, g := range cfg.Groups {
-		res, err := player.Run(player.Config{
+		var rec *telemetry.Capture
+		pc := player.Config{
 			Algorithm:  g.New(u),
 			Stream:     stream,
 			Trace:      u.Trace,
 			WatchLimit: u.WatchTime,
-		})
+		}
+		if cfg.Observer != nil {
+			rec = &telemetry.Capture{Session: fmt.Sprintf("d%d.w%02d.s%03d.%s", day, window, i, g.Name)}
+			pc.Observer = rec
+		}
+		res, err := player.Run(pc)
 		if err != nil {
-			return nil, fmt.Errorf("abtest: day %d window %d session %d group %s: %w", day, window, i, g.Name, err)
+			return nil, nil, fmt.Errorf("abtest: day %d window %d session %d group %s: %w", day, window, i, g.Name, err)
 		}
 		ms[gi] = metrics.FromResult(res, window, day)
+		if rec != nil {
+			evs[gi] = rec.Events
+		}
 	}
-	return ms, nil
+	return ms, evs, nil
 }
 
 // WriteCSV emits every group's per-window aggregates as CSV, one row per

@@ -13,6 +13,7 @@ import (
 	"bba/internal/buffer"
 	"bba/internal/media"
 	"bba/internal/player"
+	"bba/internal/telemetry"
 	"bba/internal/units"
 )
 
@@ -48,6 +49,9 @@ type ClientConfig struct {
 	UseHLS bool
 	// Logf, when non-nil, receives per-chunk progress lines.
 	Logf func(format string, args ...any)
+	// Observer, when non-nil, receives the session's telemetry events
+	// (wall-clock At, measured from session start). Nil costs nothing.
+	Observer telemetry.Observer
 }
 
 // ErrChunkFailed reports a chunk that could not be fetched within the retry
@@ -124,6 +128,20 @@ func Stream(ctx context.Context, cfg ClientConfig) (*player.Result, error) {
 		lastBytes int64
 	)
 
+	obs := cfg.Observer
+	var (
+		stallBase     time.Duration
+		lastReservoir = time.Duration(-1)
+		reporter      abr.ReservoirReporter
+	)
+	if obs != nil {
+		reporter, _ = cfg.Algorithm.(abr.ReservoirReporter)
+		obs.OnEvent(telemetry.Event{
+			Kind: telemetry.SessionStart, Chunk: -1, RateIndex: -1,
+			PrevRateIndex: -1, Label: res.Algorithm,
+		})
+	}
+
 	for k := 0; k < stream.NumChunks(); k++ {
 		if cfg.WatchLimit > 0 && buf.Played()+buf.Level() >= cfg.WatchLimit {
 			break
@@ -151,6 +169,36 @@ func Stream(ctx context.Context, cfg ClientConfig) (*player.Result, error) {
 			LastChunkBytes: lastBytes,
 		}
 		idx := ladder.Clamp(cfg.Algorithm.Next(st, stream))
+		if obs != nil {
+			obs.OnEvent(telemetry.Event{
+				Kind: telemetry.BufferSample, At: now, Chunk: k,
+				RateIndex: -1, PrevRateIndex: -1,
+				Buffer: buf.Level(), Played: buf.Played(),
+			})
+			if reporter != nil {
+				if r, p, ok := reporter.LastReservoir(); ok && r != lastReservoir {
+					lastReservoir = r
+					obs.OnEvent(telemetry.Event{
+						Kind: telemetry.ReservoirUpdate, At: now, Chunk: k,
+						RateIndex: -1, PrevRateIndex: -1,
+						Reservoir: r, Protection: p, Buffer: buf.Level(),
+					})
+				}
+			}
+			if prevIdx >= 0 && idx != prevIdx {
+				obs.OnEvent(telemetry.Event{
+					Kind: telemetry.RateSwitch, At: now, Chunk: k,
+					RateIndex: idx, PrevRateIndex: prevIdx,
+					Rate: ladder[idx], Buffer: buf.Level(),
+				})
+			}
+			obs.OnEvent(telemetry.Event{
+				Kind: telemetry.ChunkRequest, At: now, Chunk: k,
+				RateIndex: idx, PrevRateIndex: -1,
+				Rate: ladder[idx], Bytes: stream.ChunkSize(idx, k),
+				Buffer: buf.Level(),
+			})
+		}
 
 		start := time.Now()
 		n, err := fetchChunk(ctx, httpc, cfg.BaseURL, stream.VideoIndex(idx), k, retries)
@@ -161,12 +209,31 @@ func Stream(ctx context.Context, cfg ClientConfig) (*player.Result, error) {
 			}
 			res.Incomplete = true
 			res.Rebuffers++
+			if obs != nil {
+				obs.OnEvent(telemetry.Event{
+					Kind: telemetry.RebufferStart, At: time.Since(sessionStart) + buf.Level(),
+					Chunk: k, RateIndex: -1, PrevRateIndex: -1, Label: "outage",
+				})
+			}
 			break
 		}
+		var preLevel, preStall time.Duration
+		var preRebuf int
+		if obs != nil {
+			preLevel, preStall, preRebuf = buf.Level(), buf.StallTime(), buf.Rebuffers()
+		}
 		buf.Advance(dl)
+		if obs != nil && buf.Rebuffers() > preRebuf {
+			stallBase = preStall
+			obs.OnEvent(telemetry.Event{
+				Kind: telemetry.RebufferStart, At: time.Since(sessionStart) - dl + preLevel,
+				Chunk: k, RateIndex: -1, PrevRateIndex: -1,
+			})
+		}
 		if k == 0 {
 			res.JoinDelay = time.Since(sessionStart)
 		}
+		stalled := buf.Started() && !buf.Playing()
 		if err := buf.AddChunk(v); err != nil {
 			return nil, err
 		}
@@ -188,10 +255,33 @@ func Stream(ctx context.Context, cfg ClientConfig) (*player.Result, error) {
 			BufferAfter: buf.Level(),
 		})
 		prevIdx = idx
+		if obs != nil {
+			at := time.Since(sessionStart)
+			if stalled && buf.Playing() {
+				obs.OnEvent(telemetry.Event{
+					Kind: telemetry.RebufferEnd, At: at, Chunk: k,
+					RateIndex: -1, PrevRateIndex: -1,
+					Duration: buf.StallTime() - stallBase, Buffer: buf.Level(),
+				})
+			}
+			obs.OnEvent(telemetry.Event{
+				Kind: telemetry.ChunkComplete, At: at, Chunk: k,
+				RateIndex: idx, PrevRateIndex: -1,
+				Rate: ladder[idx], Bytes: n, Duration: dl,
+				Throughput: lastTP, Buffer: buf.Level(), Played: buf.Played(),
+			})
+		}
 		logf("chunk %d: rate=%v bytes=%d dl=%v buffer=%v", k, ladder[idx], n, dl.Round(time.Millisecond), buf.Level().Round(100*time.Millisecond))
 	}
 
 	// Account the buffered tail as watched; no need to sleep through it.
+	if obs != nil && !res.Incomplete && buf.Started() && !buf.Playing() {
+		obs.OnEvent(telemetry.Event{
+			Kind: telemetry.RebufferEnd, At: time.Since(sessionStart), Chunk: -1,
+			RateIndex: -1, PrevRateIndex: -1,
+			Duration: buf.StallTime() - stallBase, Buffer: buf.Level(),
+		})
+	}
 	buf.Resume()
 	remaining := buf.Level()
 	if cfg.WatchLimit > 0 {
@@ -207,6 +297,13 @@ func Stream(ctx context.Context, cfg ClientConfig) (*player.Result, error) {
 	res.Rebuffers += buf.Rebuffers()
 	res.StallTime += buf.StallTime()
 	res.End = time.Since(sessionStart)
+	if obs != nil {
+		obs.OnEvent(telemetry.Event{
+			Kind: telemetry.SessionEnd, At: res.End, Chunk: len(res.Chunks),
+			RateIndex: -1, PrevRateIndex: -1,
+			Duration: res.StallTime, Played: res.Played, Label: res.Algorithm,
+		})
+	}
 	return res, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"bba/internal/media"
+	"bba/internal/telemetry"
 	"bba/internal/units"
 )
 
@@ -82,7 +83,13 @@ type Server struct {
 	// FailChunk, when non-nil, makes matching chunk requests fail with
 	// a 503 — fault injection for client retry tests.
 	FailChunk func(rate, chunk int) bool
+	// Observer, when non-nil, receives server-side telemetry: a
+	// ChunkRequest when a chunk request arrives and a ChunkComplete when
+	// its body has been written (At is time since server start). Wire a
+	// telemetry.Prom here to feed a /metrics endpoint.
+	Observer telemetry.Observer
 
+	start    time.Time
 	requests atomic.Int64
 }
 
@@ -96,7 +103,7 @@ func NewServer(v *media.Video) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{video: v, manifest: raw, mpd: append([]byte(xml.Header), mpd...)}, nil
+	return &Server{video: v, manifest: raw, mpd: append([]byte(xml.Header), mpd...), start: time.Now()}, nil
 }
 
 // Requests returns the number of chunk requests served (including injected
@@ -159,9 +166,25 @@ func (s *Server) serveChunk(w http.ResponseWriter, r *http.Request) {
 		time.Sleep(s.Latency)
 	}
 	size := s.video.ChunkSize(rate, chunk)
+	if s.Observer != nil {
+		s.Observer.OnEvent(telemetry.Event{
+			Kind: telemetry.ChunkRequest, At: time.Since(s.start),
+			Chunk: chunk, RateIndex: rate, PrevRateIndex: -1,
+			Rate: s.video.Ladder[rate], Bytes: size,
+		})
+	}
+	served := time.Now()
 	w.Header().Set("Content-Type", "video/mp4")
 	w.Header().Set("Content-Length", fmt.Sprint(size))
 	writeFiller(w, size)
+	if s.Observer != nil {
+		s.Observer.OnEvent(telemetry.Event{
+			Kind: telemetry.ChunkComplete, At: time.Since(s.start),
+			Chunk: chunk, RateIndex: rate, PrevRateIndex: -1,
+			Rate: s.video.Ladder[rate], Bytes: size,
+			Duration: time.Since(served),
+		})
+	}
 }
 
 // writeFiller streams size bytes of deterministic filler.

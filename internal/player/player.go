@@ -17,6 +17,7 @@ package player
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 
 	"bba/internal/abr"
 	"bba/internal/buffer"
+	"bba/internal/telemetry"
 	"bba/internal/trace"
 	"bba/internal/units"
 )
@@ -53,6 +55,10 @@ type Config struct {
 	// request jumps to ToChunk. Startup-capable algorithms re-enter
 	// their startup phase (abr.SeekAware).
 	Seeks []Seek
+	// Observer, when non-nil, receives the session's telemetry events
+	// in session-clock order. A nil observer costs nothing: no event
+	// values are built and no buffer state is polled.
+	Observer telemetry.Observer
 }
 
 // Seek is one viewer seek.
@@ -116,7 +122,16 @@ type Result struct {
 var ErrNoProgress = errors.New("player: download cannot make progress")
 
 // Run simulates the session to completion and returns its Result.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (*Result, error) { return run(nil, cfg) }
+
+// RunContext is Run with cancellation: the context is checked once per
+// chunk, so multi-hour (or million-session) simulations stop promptly when
+// the caller cancels. A nil context behaves like Run.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return run(ctx, cfg)
+}
+
+func run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Algorithm == nil {
 		return nil, errors.New("player: nil algorithm")
 	}
@@ -144,9 +159,30 @@ func Run(cfg Config) (*Result, error) {
 		lastBytes int64
 	)
 
+	// Telemetry state. Everything here is only touched when obs != nil,
+	// keeping the nil path identical to the uninstrumented engine.
+	obs := cfg.Observer
+	var (
+		stallBase     time.Duration // buf.StallTime() when the open rebuffer began
+		lastReservoir = time.Duration(-1)
+		reporter      abr.ReservoirReporter
+	)
+	if obs != nil {
+		reporter, _ = cfg.Algorithm.(abr.ReservoirReporter)
+		obs.OnEvent(telemetry.Event{
+			Kind: telemetry.SessionStart, Chunk: -1, RateIndex: -1,
+			PrevRateIndex: -1, Label: res.Algorithm,
+		})
+	}
+
 	seeks := cfg.Seeks
 	justSought := false
 	for k := 0; k < s.NumChunks(); k++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Execute a pending seek once enough video has been delivered.
 		if len(seeks) > 0 && buf.Played() >= seeks[0].AfterPlayed {
 			target := seeks[0].ToChunk
@@ -159,6 +195,12 @@ func Run(cfg Config) (*Result, error) {
 				res.Seeks = append(res.Seeks, SeekRecord{At: now, ToChunk: target})
 				k = target
 				justSought = true
+				if obs != nil {
+					obs.OnEvent(telemetry.Event{
+						Kind: telemetry.Seek, At: now, Chunk: target,
+						RateIndex: -1, PrevRateIndex: -1, Played: buf.Played(),
+					})
+				}
 			}
 		}
 		// Stop requesting once the buffer already holds everything the
@@ -187,6 +229,35 @@ func Run(cfg Config) (*Result, error) {
 		}
 		idx := ladder.Clamp(cfg.Algorithm.Next(st, s))
 		bytes := s.ChunkSize(idx, k)
+		if obs != nil {
+			obs.OnEvent(telemetry.Event{
+				Kind: telemetry.BufferSample, At: now, Chunk: k,
+				RateIndex: -1, PrevRateIndex: -1,
+				Buffer: buf.Level(), Played: buf.Played(),
+			})
+			if reporter != nil {
+				if r, p, ok := reporter.LastReservoir(); ok && r != lastReservoir {
+					lastReservoir = r
+					obs.OnEvent(telemetry.Event{
+						Kind: telemetry.ReservoirUpdate, At: now, Chunk: k,
+						RateIndex: -1, PrevRateIndex: -1,
+						Reservoir: r, Protection: p, Buffer: buf.Level(),
+					})
+				}
+			}
+			if prevIdx >= 0 && idx != prevIdx {
+				obs.OnEvent(telemetry.Event{
+					Kind: telemetry.RateSwitch, At: now, Chunk: k,
+					RateIndex: idx, PrevRateIndex: prevIdx,
+					Rate: ladder[idx], Buffer: buf.Level(),
+				})
+			}
+			obs.OnEvent(telemetry.Event{
+				Kind: telemetry.ChunkRequest, At: now, Chunk: k,
+				RateIndex: idx, PrevRateIndex: -1,
+				Rate: ladder[idx], Bytes: bytes, Buffer: buf.Level(),
+			})
+		}
 
 		dl, ok := cfg.Trace.DownloadTime(now, bytes)
 		if !ok {
@@ -197,11 +268,31 @@ func Run(cfg Config) (*Result, error) {
 			}
 			res.Incomplete = true
 			res.Rebuffers++
+			if obs != nil {
+				obs.OnEvent(telemetry.Event{
+					Kind: telemetry.RebufferStart, At: now + buf.Level(),
+					Chunk: k, RateIndex: -1, PrevRateIndex: -1,
+					Label: "outage",
+				})
+			}
 			break
 		}
 
+		var preLevel, preStall time.Duration
+		var preRebuf int
+		if obs != nil {
+			preLevel, preStall, preRebuf = buf.Level(), buf.StallTime(), buf.Rebuffers()
+		}
 		buf.Advance(dl)
 		now += dl
+		if obs != nil && buf.Rebuffers() > preRebuf {
+			// The stall began the instant the buffer drained mid-download.
+			stallBase = preStall
+			obs.OnEvent(telemetry.Event{
+				Kind: telemetry.RebufferStart, At: now - dl + preLevel,
+				Chunk: k, RateIndex: -1, PrevRateIndex: -1,
+			})
+		}
 		if k == 0 {
 			res.JoinDelay = now
 		}
@@ -209,6 +300,7 @@ func Run(cfg Config) (*Result, error) {
 			res.Seeks[len(res.Seeks)-1].JoinDelay = dl
 			justSought = false
 		}
+		stalled := buf.Started() && !buf.Playing()
 		// Overflow is impossible here because of the ON-OFF wait; an
 		// error would indicate an engine bug, so surface it loudly.
 		if err := buf.AddChunk(v); err != nil {
@@ -232,12 +324,34 @@ func Run(cfg Config) (*Result, error) {
 			BufferAfter: buf.Level(),
 		})
 		prevIdx = idx
+		if obs != nil {
+			if stalled && buf.Playing() {
+				obs.OnEvent(telemetry.Event{
+					Kind: telemetry.RebufferEnd, At: now, Chunk: k,
+					RateIndex: -1, PrevRateIndex: -1,
+					Duration: buf.StallTime() - stallBase, Buffer: buf.Level(),
+				})
+			}
+			obs.OnEvent(telemetry.Event{
+				Kind: telemetry.ChunkComplete, At: now, Chunk: k,
+				RateIndex: idx, PrevRateIndex: -1,
+				Rate: ladder[idx], Bytes: bytes, Duration: dl,
+				Throughput: lastTP, Buffer: buf.Level(), Played: buf.Played(),
+			})
+		}
 	}
 
 	// Play out the tail of the buffer (up to the watch limit). For an
 	// incomplete session this is the video the viewer still sees before
 	// the permanent freeze. With no further downloads coming, a pending
 	// stall ends now rather than waiting for the resume threshold.
+	if obs != nil && !res.Incomplete && buf.Started() && !buf.Playing() {
+		obs.OnEvent(telemetry.Event{
+			Kind: telemetry.RebufferEnd, At: now, Chunk: -1,
+			RateIndex: -1, PrevRateIndex: -1,
+			Duration: buf.StallTime() - stallBase, Buffer: buf.Level(),
+		})
+	}
 	buf.Resume()
 	remaining := buf.Level()
 	if cfg.WatchLimit > 0 {
@@ -254,6 +368,13 @@ func Run(cfg Config) (*Result, error) {
 	res.Rebuffers += buf.Rebuffers()
 	res.StallTime += buf.StallTime()
 	res.End = now
+	if obs != nil {
+		obs.OnEvent(telemetry.Event{
+			Kind: telemetry.SessionEnd, At: res.End, Chunk: len(res.Chunks),
+			RateIndex: -1, PrevRateIndex: -1,
+			Duration: res.StallTime, Played: res.Played, Label: res.Algorithm,
+		})
+	}
 	return res, nil
 }
 

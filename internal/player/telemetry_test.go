@@ -1,0 +1,197 @@
+package player
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/media"
+	"bba/internal/telemetry"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+func telemetryStream(t *testing.T, chunks int, seed int64) abr.Stream {
+	t.Helper()
+	video, err := media.NewVBR(media.VBRConfig{
+		Title:     "telemetry",
+		Ladder:    media.DefaultLadder(),
+		NumChunks: chunks,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abr.NewStream(video, 0)
+}
+
+// rebufferConfig is a session guaranteed to rebuffer: capacity drops below
+// the lowest ladder rate mid-session.
+func rebufferConfig(t *testing.T, obs telemetry.Observer) Config {
+	t.Helper()
+	return Config{
+		Algorithm: abr.NewBBA2(),
+		Stream:    telemetryStream(t, 120, 7),
+		Trace:     trace.Step(4*units.Mbps, 150*units.Kbps, time.Minute, 2*time.Hour),
+		Observer:  obs,
+	}
+}
+
+func TestJournalByteIdenticalAcrossRuns(t *testing.T) {
+	var a, b bytes.Buffer
+	for _, buf := range []*bytes.Buffer{&a, &b} {
+		j := telemetry.NewJournal(buf)
+		if _, err := Run(rebufferConfig(t, j)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Len() == 0 {
+		t.Fatal("journal is empty")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different journals")
+	}
+}
+
+func TestObserverDoesNotPerturbResult(t *testing.T) {
+	plain, err := Run(rebufferConfig(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := Run(rebufferConfig(t, telemetry.NewRing(1<<14)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Error("attaching an observer changed the session result")
+	}
+}
+
+func TestEventOrderingAndRebufferBracketing(t *testing.T) {
+	ring := telemetry.NewRing(1 << 14)
+	res, err := Run(rebufferConfig(t, ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebuffers == 0 {
+		t.Fatal("scenario did not rebuffer; test is vacuous")
+	}
+	evs := ring.Events()
+	if ring.Dropped() != 0 {
+		t.Fatalf("ring dropped %d events; enlarge capacity", ring.Dropped())
+	}
+	if evs[0].Kind != telemetry.SessionStart {
+		t.Errorf("first event is %v, want session_start", evs[0].Kind)
+	}
+	if evs[len(evs)-1].Kind != telemetry.SessionEnd {
+		t.Errorf("last event is %v, want session_end", evs[len(evs)-1].Kind)
+	}
+
+	// Session clock never goes backwards.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("event %d (%v at %v) precedes event %d (%v at %v)",
+				i, evs[i].Kind, evs[i].At, i-1, evs[i-1].Kind, evs[i-1].At)
+		}
+	}
+
+	// Rebuffer starts bracket the result's count, alternating with ends.
+	starts, ends := 0, 0
+	open := false
+	var stallTotal time.Duration
+	for _, e := range evs {
+		switch e.Kind {
+		case telemetry.RebufferStart:
+			if open {
+				t.Fatal("rebuffer_start while a rebuffer is already open")
+			}
+			open = true
+			starts++
+		case telemetry.RebufferEnd:
+			if !open {
+				t.Fatal("rebuffer_end without a matching start")
+			}
+			open = false
+			ends++
+			stallTotal += e.Duration
+		}
+	}
+	if starts != res.Rebuffers {
+		t.Errorf("rebuffer_start events = %d, Result.Rebuffers = %d", starts, res.Rebuffers)
+	}
+	if !res.Incomplete && ends != starts {
+		t.Errorf("rebuffer_end events = %d, want %d", ends, starts)
+	}
+	if !res.Incomplete && stallTotal != res.StallTime {
+		t.Errorf("sum of rebuffer_end durations = %v, Result.StallTime = %v", stallTotal, res.StallTime)
+	}
+
+	// Chunk events agree with the chunk log.
+	if n := countKind(evs, telemetry.ChunkComplete); n != len(res.Chunks) {
+		t.Errorf("chunk_complete events = %d, chunk records = %d", n, len(res.Chunks))
+	}
+	if n := countKind(evs, telemetry.RateSwitch); n != res.Switches {
+		t.Errorf("rate_switch events = %d, Result.Switches = %d", n, res.Switches)
+	}
+	if countKind(evs, telemetry.BufferSample) == 0 {
+		t.Error("no buffer samples emitted")
+	}
+	// BBA-2 computes a dynamic reservoir, so updates must appear.
+	if countKind(evs, telemetry.ReservoirUpdate) == 0 {
+		t.Error("no reservoir updates emitted for BBA-2")
+	}
+}
+
+func TestSeekEventEmitted(t *testing.T) {
+	ring := telemetry.NewRing(1 << 14)
+	cfg := Config{
+		Algorithm: abr.NewBBA2(),
+		Stream:    telemetryStream(t, 200, 3),
+		Trace:     trace.Constant(4*units.Mbps, 2*time.Hour),
+		Seeks:     []Seek{{AfterPlayed: 30 * time.Second, ToChunk: 150}},
+		Observer:  ring,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeks) != 1 {
+		t.Fatalf("seeks executed = %d, want 1", len(res.Seeks))
+	}
+	if n := countKind(ring.Events(), telemetry.Seek); n != 1 {
+		t.Errorf("seek events = %d, want 1", n)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{
+		Algorithm: abr.NewBBA2(),
+		Stream:    telemetryStream(t, 100, 1),
+		Trace:     trace.Constant(4*units.Mbps, time.Hour),
+	}
+	if _, err := RunContext(ctx, cfg); err != context.Canceled {
+		t.Errorf("cancelled run returned %v, want context.Canceled", err)
+	}
+	// A background context changes nothing.
+	if _, err := RunContext(context.Background(), cfg); err != nil {
+		t.Errorf("background-context run failed: %v", err)
+	}
+}
+
+func countKind(evs []telemetry.Event, k telemetry.Kind) int {
+	n := 0
+	for _, e := range evs {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Prom aggregates events into Prometheus-text counters and histograms and
+// serves them in exposition format 0.0.4 — the /metrics endpoint on
+// cmd/dashserver. It depends on nothing outside the standard library (the
+// container bakes no Prometheus client), implements both Observer and
+// http.Handler, and is safe for concurrent use.
+type Prom struct {
+	mu sync.Mutex
+	ns string
+
+	sessionsStarted uint64
+	sessionsEnded   uint64
+	chunksRequested uint64
+	chunksCompleted uint64
+	bytesTotal      uint64
+	switches        uint64
+	rebuffers       uint64
+	seeks           uint64
+	stallSeconds    float64
+
+	download hist // chunk download time, seconds
+	occupancy hist // buffer level at sample points, seconds
+}
+
+// NewProm returns a Prom whose metric names are prefixed "<namespace>_"
+// (empty namespace means "bba").
+func NewProm(namespace string) *Prom {
+	if namespace == "" {
+		namespace = "bba"
+	}
+	return &Prom{
+		ns:        namespace,
+		download:  newHist(0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30),
+		occupancy: newHist(5, 15, 30, 60, 90, 120, 180, 240),
+	}
+}
+
+// OnEvent implements Observer.
+func (p *Prom) OnEvent(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Kind {
+	case SessionStart:
+		p.sessionsStarted++
+	case SessionEnd:
+		p.sessionsEnded++
+	case ChunkRequest:
+		p.chunksRequested++
+	case ChunkComplete:
+		p.chunksCompleted++
+		if e.Bytes > 0 {
+			p.bytesTotal += uint64(e.Bytes)
+		}
+		p.download.observe(e.Duration.Seconds())
+	case RateSwitch:
+		p.switches++
+	case RebufferStart:
+		p.rebuffers++
+	case RebufferEnd:
+		p.stallSeconds += e.Duration.Seconds()
+	case BufferSample:
+		p.occupancy.observe(e.Buffer.Seconds())
+	case Seek:
+		p.seeks++
+	}
+}
+
+// ServeHTTP implements http.Handler, writing the exposition text.
+func (p *Prom) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p.WriteTo(w)
+}
+
+// WriteTo writes the metrics in Prometheus text exposition format.
+func (p *Prom) WriteTo(w interface{ Write([]byte) (int, error) }) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n%s_%s %s\n",
+			p.ns, name, help, p.ns, name, p.ns, name, formatFloat(v))
+	}
+	counter("sessions_started_total", "Streaming sessions begun.", float64(p.sessionsStarted))
+	counter("sessions_completed_total", "Streaming sessions finished.", float64(p.sessionsEnded))
+	counter("chunks_requested_total", "Chunk requests issued.", float64(p.chunksRequested))
+	counter("chunks_completed_total", "Chunk downloads completed.", float64(p.chunksCompleted))
+	counter("downloaded_bytes_total", "Video bytes downloaded.", float64(p.bytesTotal))
+	counter("rate_switches_total", "Video rate changes between consecutive chunks.", float64(p.switches))
+	counter("rebuffers_total", "Rebuffer events (playback freezes).", float64(p.rebuffers))
+	counter("stall_seconds_total", "Total time playback was frozen.", p.stallSeconds)
+	counter("seeks_total", "Viewer seeks executed.", float64(p.seeks))
+	p.download.writeTo(w, p.ns+"_chunk_download_seconds", "Chunk download time.")
+	p.occupancy.writeTo(w, p.ns+"_buffer_level_seconds", "Playback-buffer occupancy at decision points.")
+}
+
+// hist is a fixed-bucket cumulative histogram.
+type hist struct {
+	bounds []float64 // upper bounds, ascending; +Inf is implicit
+	counts []uint64  // per-bucket (non-cumulative) counts; last is +Inf
+	sum    float64
+	total  uint64
+}
+
+func newHist(bounds ...float64) hist {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("telemetry: histogram bounds must ascend")
+	}
+	return hist{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *hist) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+func (h *hist) writeTo(w interface{ Write([]byte) (int, error) }, name, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, ub := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(ub), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.total)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,80 @@
+package telemetry
+
+import "sync"
+
+// Ring is a bounded in-memory event sink: the last capacity events are
+// retained, older ones are dropped (and counted). It is the sink the
+// event-ordering tests use, and doubles as a cheap flight recorder for
+// long-running processes. Safe for concurrent use.
+type Ring struct {
+	mu      sync.Mutex
+	events  []Event
+	next    int
+	full    bool
+	dropped int64
+}
+
+// NewRing returns a ring retaining the last capacity events. It panics on
+// non-positive capacity: the bound is a configuration constant.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("telemetry: non-positive ring capacity")
+	}
+	return &Ring{events: make([]Event, capacity)}
+}
+
+// OnEvent implements Observer.
+func (r *Ring) OnEvent(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		r.dropped++
+	}
+	r.events[r.next] = e
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.events)
+	}
+	return r.next
+}
+
+// Dropped returns how many events were evicted to stay within capacity.
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.events[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// CountKind returns how many retained events have kind k.
+func (r *Ring) CountKind(k Kind) int {
+	n := 0
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,191 @@
+// Package telemetry is the structured session-event layer: every
+// interesting moment of a streaming session — chunk requests and
+// completions, rate switches, rebuffer start/end, buffer-level samples,
+// reservoir updates, seeks — is emitted as a typed Event through a
+// pluggable Observer.
+//
+// The design follows the instrumentation the paper's evidence chain is
+// built on: per-session buffer trajectories, rebuffer events and rate
+// switches, later aggregated into the two-hour windows of Figures 4–9.
+// Production ABR studies (Yan et al. NSDI 2020, Licciardello et al.) rest
+// on exactly this kind of per-event record.
+//
+// Emission is allocation-free on the fast path: Event is a flat value
+// struct, and a nil Observer costs one branch per emission site. Sinks
+// provided here:
+//
+//   - Journal — deterministic JSONL: same event stream ⇒ byte-identical
+//     output, the property the determinism tests pin down.
+//   - Ring — bounded in-memory buffer for tests and live inspection.
+//   - Prom — Prometheus-text counters and histograms, servable over HTTP
+//     (wired to /metrics on cmd/dashserver).
+//   - Capture — unsynchronized per-worker recorder the A/B harness uses to
+//     merge parallel sessions deterministically.
+package telemetry
+
+import (
+	"time"
+
+	"bba/internal/units"
+)
+
+// Kind identifies the type of a session event.
+type Kind uint8
+
+// The event taxonomy. SessionStart and SessionEnd bracket every session;
+// the rest occur zero or more times in between in session-clock order.
+const (
+	// SessionStart is emitted once before the first request; Label
+	// carries the algorithm name.
+	SessionStart Kind = iota + 1
+	// ChunkRequest is emitted when a chunk request is issued: Chunk,
+	// RateIndex, Rate and the expected Bytes.
+	ChunkRequest
+	// ChunkComplete is emitted when the chunk lands: Duration is the
+	// transfer time, Throughput the measured capacity, Buffer the
+	// occupancy after the chunk is added.
+	ChunkComplete
+	// RateSwitch is emitted when the requested rate differs from the
+	// previous chunk's: PrevRateIndex → RateIndex.
+	RateSwitch
+	// RebufferStart is emitted at the instant the buffer runs dry.
+	// Label is "outage" when the session freezes permanently.
+	RebufferStart
+	// RebufferEnd is emitted when playback resumes; Duration is the
+	// stall length of the event it closes.
+	RebufferEnd
+	// BufferSample is a buffer-occupancy sample taken at each decision
+	// point: Buffer is B(t), Played the video delivered so far.
+	BufferSample
+	// ReservoirUpdate reports a change in a buffer-based algorithm's
+	// effective reservoir (Reservoir) and outage protection (Protection).
+	ReservoirUpdate
+	// Seek is emitted when a viewer seek executes; Chunk is the target.
+	Seek
+	// SessionEnd closes the session: Played, Duration (total stall
+	// time) and Chunk (number of chunks downloaded) summarize it.
+	SessionEnd
+)
+
+var kindNames = [...]string{
+	SessionStart:    "session_start",
+	ChunkRequest:    "chunk_request",
+	ChunkComplete:   "chunk_complete",
+	RateSwitch:      "rate_switch",
+	RebufferStart:   "rebuffer_start",
+	RebufferEnd:     "rebuffer_end",
+	BufferSample:    "buffer_sample",
+	ReservoirUpdate: "reservoir_update",
+	Seek:            "seek",
+	SessionEnd:      "session_end",
+}
+
+// String returns the snake_case name used in the JSONL journal.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one session event. It is a flat value struct — emitting one
+// through an interface performs no heap allocation — and not every field is
+// meaningful for every Kind; unused fields are zero (indices use -1 for
+// "not applicable").
+type Event struct {
+	// Kind is the event type.
+	Kind Kind
+	// Session labels the session; empty for single-session runs. The
+	// A/B harness stamps "d<day>.w<window>.s<index>.<group>".
+	Session string
+	// At is the session clock (virtual time in the simulator, wall time
+	// since session start over HTTP).
+	At time.Duration
+	// Chunk is the chunk index the event concerns (-1 when n/a).
+	Chunk int
+	// RateIndex is the session-ladder index (-1 when n/a).
+	RateIndex int
+	// PrevRateIndex is the previous ladder index on a RateSwitch (-1
+	// otherwise).
+	PrevRateIndex int
+	// Rate is the nominal bit rate of RateIndex.
+	Rate units.BitRate
+	// Bytes is the chunk size (expected on request, actual on complete).
+	Bytes int64
+	// Duration is the transfer time (ChunkComplete), stall length
+	// (RebufferEnd) or total stall time (SessionEnd).
+	Duration time.Duration
+	// Throughput is the measured capacity during the transfer.
+	Throughput units.BitRate
+	// Buffer is the playback-buffer occupancy at the event.
+	Buffer time.Duration
+	// Played is the video time delivered to the viewer so far.
+	Played time.Duration
+	// Reservoir is the algorithm's effective reservoir (ReservoirUpdate).
+	Reservoir time.Duration
+	// Protection is the accrued outage protection (ReservoirUpdate).
+	Protection time.Duration
+	// Label carries the algorithm name (SessionStart/SessionEnd) or a
+	// qualifier such as "outage" (RebufferStart).
+	Label string
+}
+
+// Observer receives session events. Implementations used from a single
+// session need not be safe for concurrent use; sinks shared across
+// sessions (Prom, Journal, Ring) are internally synchronized.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// Func adapts a function to the Observer interface.
+type Func func(Event)
+
+// OnEvent implements Observer.
+func (f Func) OnEvent(e Event) { f(e) }
+
+// Multi fans every event out to each non-nil observer in order. It
+// returns nil when no usable observer remains, preserving the nil fast
+// path.
+func Multi(obs ...Observer) Observer {
+	var live multi
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return live
+	}
+}
+
+type multi []Observer
+
+func (m multi) OnEvent(e Event) {
+	for _, o := range m {
+		o.OnEvent(e)
+	}
+}
+
+// Capture records every event into memory, stamping Session on events that
+// do not already carry a label. It is deliberately unsynchronized: the A/B
+// harness gives each worker-owned session its own Capture and merges them
+// deterministically after the workers finish.
+type Capture struct {
+	// Session is stamped onto events whose Session field is empty.
+	Session string
+	// Events accumulates the stamped events in emission order.
+	Events []Event
+}
+
+// OnEvent implements Observer.
+func (c *Capture) OnEvent(e Event) {
+	if e.Session == "" {
+		e.Session = c.Session
+	}
+	c.Events = append(c.Events, e)
+}

@@ -17,6 +17,7 @@ package bba
 // deployment weekend. Scale is controlled with -bba-scale=full (default
 // quick).
 import (
+	"context"
 	"flag"
 	"os"
 	"sync"
@@ -213,6 +214,47 @@ func BenchmarkSessionSimulationObserved(b *testing.B) {
 	}
 	if events == 0 {
 		b.Fatal("observer saw no events")
+	}
+}
+
+// TestSessionSimulationAllocs pins the hot path's allocation count. The
+// engine currently runs a full 18-minute session in 5 heap allocations
+// (Result.Chunks preallocated, trace cursor and reservoir plan allocation-
+// free per chunk); the ceiling leaves slack for benign churn while still
+// catching a per-chunk allocation slipping back in (which would add
+// hundreds).
+func TestSessionSimulationAllocs(t *testing.T) {
+	video, err := NewVBRTitle("bench", 450, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := VariableTrace(4*Mbps, 3, 30*60e9, 2)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := RunSession(SessionConfig{
+			Algorithm:  NewBBA2(),
+			Video:      video,
+			Trace:      tr,
+			WatchLimit: 18 * 60e9,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 10 {
+		t.Errorf("session simulation made %.0f allocations, ceiling is 10", allocs)
+	}
+}
+
+// BenchmarkGenerateAllFigures times the parallel figure fan-out: every
+// registered generator across the available cores, the shared weekend
+// experiment computed once (single-flight) and amortized across iterations.
+func BenchmarkGenerateAllFigures(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, g := range figures.GenerateAll(context.Background(), benchScale()) {
+			if g.Err != nil {
+				b.Fatal(g.Err)
+			}
+		}
 	}
 }
 

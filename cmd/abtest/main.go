@@ -1,5 +1,8 @@
 // Command abtest runs the weekend-scale A/B experiment and regenerates the
-// paper's figures as text tables.
+// paper's figures as text tables. Figure generation fans out across cores
+// with the shared weekend experiment computed once; SIGINT cancels a run in
+// flight. After any path that runs the weekend experiment, the wall-clock
+// time and simulated sessions/sec are reported on stderr.
 //
 // Examples:
 //
@@ -10,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"time"
 
 	"bba/internal/figures"
 )
@@ -28,13 +34,18 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(os.Stdout, *scaleName, *figName, *list, *mdOut, *csvOut); err != nil {
+	// SIGINT cancels the experiment and figure generation promptly: the
+	// context reaches every harness worker's per-chunk check.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, os.Stdout, *scaleName, *figName, *list, *mdOut, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "abtest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, scaleName, figName string, list, mdOut, csvOut bool) error {
+func run(ctx context.Context, out io.Writer, scaleName, figName string, list, mdOut, csvOut bool) error {
 	var scale figures.Scale
 	switch scaleName {
 	case "quick":
@@ -51,13 +62,14 @@ func run(out io.Writer, scaleName, figName string, list, mdOut, csvOut bool) err
 		}
 		return nil
 	}
+	defer reportExperimentStats(scale)
 
 	if mdOut {
-		return figures.WriteMarkdown(out, scale)
+		return figures.WriteMarkdownContext(ctx, out, scale)
 	}
 
 	if csvOut {
-		o, err := figures.ExperimentOutcome(scale)
+		o, err := figures.ExperimentOutcomeContext(ctx, scale)
 		if err != nil {
 			return err
 		}
@@ -76,15 +88,26 @@ func run(out io.Writer, scaleName, figName string, list, mdOut, csvOut bool) err
 		return fig.WriteTable(out)
 	}
 
-	for _, e := range figures.All() {
-		fig, err := e.Gen(scale)
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.Name, err)
+	for _, g := range figures.GenerateAll(ctx, scale) {
+		if g.Err != nil {
+			return fmt.Errorf("%s: %w", g.Entry.Name, g.Err)
 		}
-		if err := fig.WriteTable(out); err != nil {
+		if err := g.Fig.WriteTable(out); err != nil {
 			return err
 		}
 		fmt.Fprintln(out)
 	}
 	return nil
+}
+
+// reportExperimentStats prints the weekend experiment's wall-clock time and
+// simulated-session throughput to stderr, when one ran. Full-scale runs
+// read their speedup directly from this line.
+func reportExperimentStats(scale figures.Scale) {
+	stats, ok := figures.ExperimentStats(scale)
+	if !ok {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "weekend experiment: %d sessions in %v (%.0f sessions/s, parallelism %d)\n",
+		stats.Sessions, stats.Elapsed.Round(time.Millisecond), stats.SessionsPerSecond(), stats.Parallelism)
 }

@@ -2,13 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
 
 func TestList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "quick", "", true, false, false); err != nil {
+	if err := run(context.Background(), &out, "quick", "", true, false, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Fig07RebufferRateBBA0", "Figure 18", "SharedLinkFairness"} {
@@ -20,7 +22,7 @@ func TestList(t *testing.T) {
 
 func TestSingleFigure(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "quick", "Fig10VBRChunkSizes", false, false, false); err != nil {
+	if err := run(context.Background(), &out, "quick", "Fig10VBRChunkSizes", false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "max-to-average ratio") {
@@ -30,10 +32,25 @@ func TestSingleFigure(t *testing.T) {
 
 func TestBadInputs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "enormous", "", false, false, false); err == nil {
+	if err := run(context.Background(), &out, "enormous", "", false, false, false); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run(&out, "quick", "Fig99", false, false, false); err == nil {
+	if err := run(context.Background(), &out, "quick", "Fig99", false, false, false); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+// TestCanceledContext pins the SIGINT path: a canceled context aborts the
+// experiment-backed CSV output with the context's error.
+func TestCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	err := run(ctx, &out, "quick", "", false, false, true)
+	if err == nil {
+		t.Skip("experiment already cached by an earlier test in this process")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,264 @@
+// Command bbabench is the benchmark-regression runner: it executes a
+// curated set of engine, harness and figure benchmarks through
+// testing.Benchmark and writes the results as BENCH_sessions.json — one
+// machine-readable datapoint of the repository's performance trajectory.
+//
+//	go run ./cmd/bbabench -quick                 # CI-sized run
+//	go run ./cmd/bbabench -out BENCH_sessions.json
+//
+// Compare two commits by running it on each and diffing the JSON; the
+// committed BENCH_sessions.json holds the most recent reference datapoint
+// together with the pre-optimization baseline it is measured against.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/abtest"
+	"bba/internal/figures"
+	"bba/internal/media"
+	"bba/internal/player"
+	"bba/internal/telemetry"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_sessions.json schema.
+type Report struct {
+	Schema    string `json:"schema"`
+	Generated string `json:"generated,omitempty"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Scale     string `json:"scale"`
+	// Baseline carries reference numbers from before the hot-path
+	// optimisation PR, so the trajectory's first delta is visible in the
+	// file itself.
+	Baseline []Result `json:"baseline,omitempty"`
+	Results  []Result `json:"results"`
+}
+
+// preOptimizationBaseline is BenchmarkSessionSimulation measured at the
+// telemetry-subsystem commit, before the trace cursor, the reservoir plan
+// and the chunk preallocation landed (go1.22, quick scale).
+var preOptimizationBaseline = []Result{
+	{Name: "SessionSimulation", NsPerOp: 324640, BytesPerOp: 65753, AllocsPerOp: 12},
+}
+
+// bench names one curated benchmark. Quick variants shrink the workload,
+// not the measurement: every benchmark still runs to testing.Benchmark's
+// steady state.
+type bench struct {
+	name  string
+	run   func(quick bool) func(b *testing.B)
+	heavy bool // skipped with -quick
+}
+
+// sessionWorkload builds the session fixture once and returns a closure
+// that plays one BBA-2 session through it — the unit both sessionBench
+// iterations and the smoke test execute.
+func sessionWorkload(quick, observed bool) (func() error, error) {
+	chunks, watch := 450, 18*time.Minute
+	if quick {
+		chunks, watch = 150, 6*time.Minute
+	}
+	video, err := media.NewVBR(media.VBRConfig{
+		Title: "bench", Ladder: media.DefaultLadder(), NumChunks: chunks,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.Markov(trace.MarkovConfig{
+		Base:     4 * units.Mbps,
+		Sigma:    trace.SigmaForQuartileRatio(3),
+		Duration: 30 * time.Minute,
+	}, rand.New(rand.NewSource(2)))
+	var events int
+	return func() error {
+		cfg := player.Config{
+			Algorithm:  abr.NewBBA2(),
+			Stream:     abr.NewStream(video, 0),
+			Trace:      tr,
+			WatchLimit: watch,
+		}
+		if observed {
+			cfg.Observer = telemetry.Func(func(telemetry.Event) { events++ })
+		}
+		_, err := player.Run(cfg)
+		return err
+	}, nil
+}
+
+// sessionBench is the cmd-level twin of the repository root's
+// BenchmarkSessionSimulation: one 18-minute BBA-2 session over a variable
+// trace per iteration.
+func sessionBench(observed bool) func(quick bool) func(b *testing.B) {
+	return func(quick bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			run, err := sessionWorkload(quick, observed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func benches() []bench {
+	return []bench{
+		{name: "SessionSimulation", run: sessionBench(false)},
+		{name: "SessionSimulationObserved", run: sessionBench(true)},
+		{name: "TraceDownloadTimeStateless", run: traceBench(false)},
+		{name: "TraceDownloadTimeCursor", run: traceBench(true)},
+		{name: "ABHarness", run: harnessBench, heavy: false},
+		{name: "GenerateAllFigures", run: figuresBench, heavy: true},
+	}
+}
+
+// traceBench sweeps monotone chunk downloads through the stateless API or
+// a cursor — the isolated cost of the trace integral.
+func traceBench(cursor bool) func(quick bool) func(b *testing.B) {
+	return func(bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			tr := trace.Markov(trace.MarkovConfig{
+				Duration:  time.Hour,
+				MeanDwell: 5 * time.Second,
+				Sigma:     1.2,
+			}, rand.New(rand.NewSource(7)))
+			download := tr.DownloadTime
+			if cursor {
+				download = tr.Cursor().DownloadTime
+			}
+			b.ReportAllocs()
+			now := time.Duration(0)
+			for i := 0; i < b.N; i++ {
+				d, ok := download(now, 1<<20)
+				if !ok {
+					b.Fatal("transfer failed")
+				}
+				now += d
+				if now > tr.Total() {
+					now = 0
+				}
+			}
+		}
+	}
+}
+
+// harnessBench runs a reduced weekend experiment through the streaming
+// worker pool, journaling telemetry so the in-order merge is on the
+// measured path.
+func harnessBench(quick bool) func(b *testing.B) {
+	sessions := 4
+	if quick {
+		sessions = 2
+	}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := abtest.Run(abtest.Config{
+				Seed:              11,
+				Days:              1,
+				SessionsPerWindow: sessions,
+				CatalogSize:       4,
+				Observer:          telemetry.Func(func(telemetry.Event) {}),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// figuresBench regenerates the full figure suite; the shared weekend
+// experiment is paid once (single-flight) and each iteration measures the
+// fan-out regeneration on top of it.
+func figuresBench(bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, g := range figures.GenerateAll(context.Background(), figures.Quick) {
+				if g.Err != nil {
+					b.Fatal(g.Err)
+				}
+			}
+		}
+	}
+}
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "shrink workloads and skip the heavy benchmarks (CI smoke)")
+		out     = flag.String("out", "BENCH_sessions.json", "output path, '-' for stdout")
+		noStamp = flag.Bool("no-timestamp", false, "omit the generation timestamp (reproducible output)")
+	)
+	flag.Parse()
+
+	report := Report{
+		Schema:    "bba-bench/v1",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Scale:     map[bool]string{true: "quick", false: "full"}[*quick],
+		Baseline:  preOptimizationBaseline,
+	}
+	if !*noStamp {
+		report.Generated = time.Now().UTC().Format(time.RFC3339)
+	}
+	for _, bn := range benches() {
+		if *quick && bn.heavy {
+			fmt.Fprintf(os.Stderr, "skip  %s (heavy)\n", bn.name)
+			continue
+		}
+		r := testing.Benchmark(bn.run(*quick))
+		res := Result{
+			Name:        bn.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		report.Results = append(report.Results, res)
+		fmt.Fprintf(os.Stderr, "bench %-28s %12.0f ns/op %10d B/op %6d allocs/op\n",
+			bn.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	if err := write(report, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "bbabench:", err)
+		os.Exit(1)
+	}
+}
+
+func write(report Report, path string) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBenchTableNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range benches() {
+		if b.name == "" {
+			t.Error("benchmark with empty name")
+		}
+		if seen[b.name] {
+			t.Errorf("duplicate benchmark name %q", b.name)
+		}
+		seen[b.name] = true
+		if b.run == nil {
+			t.Errorf("%s has no runner", b.name)
+		}
+	}
+	if !seen["SessionSimulation"] {
+		t.Error("the headline SessionSimulation benchmark is missing")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sessions.json")
+	report := Report{
+		Schema:    "bba-bench/v1",
+		GoVersion: "go-test",
+		Scale:     "quick",
+		Baseline:  preOptimizationBaseline,
+		Results: []Result{
+			{Name: "SessionSimulation", Iterations: 100, NsPerOp: 1234.5, BytesPerOp: 64, AllocsPerOp: 2},
+		},
+	}
+	if err := write(report, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if back.Schema != "bba-bench/v1" || len(back.Results) != 1 || back.Results[0].Name != "SessionSimulation" {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+	if len(back.Baseline) == 0 || back.Baseline[0].NsPerOp <= 0 {
+		t.Error("baseline datapoint missing from the report")
+	}
+}
+
+// TestSessionWorkloadRuns smoke-tests the headline benchmark body with a
+// single session — a broken workload fails here rather than in CI's timed
+// run.
+func TestSessionWorkloadRuns(t *testing.T) {
+	for _, observed := range []bool{false, true} {
+		run, err := sessionWorkload(true, observed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(); err != nil {
+			t.Errorf("observed=%v: %v", observed, err)
+		}
+	}
+}

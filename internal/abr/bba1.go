@@ -38,6 +38,7 @@ type BBA1 struct {
 	observed   bool
 	lastRes    time.Duration
 	haveRes    bool
+	resPlan    *reservoirPlan
 }
 
 // NewBBA1 returns a BBA1 with the paper's deployed parameters.
@@ -83,9 +84,19 @@ func (b *BBA1) Name() string { return "BBA-1" }
 func (b *BBA1) Map(s Stream, k int, bufferMax time.Duration) ChunkMap {
 	reservoir := b.FixedReservoir
 	if reservoir <= 0 {
-		reservoir = DynamicReservoir(s, k, b.ReservoirWindow)
+		reservoir = b.dynamicReservoir(s, k)
 	}
 	return b.mapWithReservoir(s, reservoir+b.protection, bufferMax)
+}
+
+// dynamicReservoir is DynamicReservoir through the session-cached deficit
+// plan: identical results, amortized to one title-length precompute per
+// session instead of a full lookahead scan per decision.
+func (b *BBA1) dynamicReservoir(s Stream, k int) time.Duration {
+	if !b.resPlan.matches(s) {
+		b.resPlan = newReservoirPlan(s)
+	}
+	return b.resPlan.reservoir(k, b.ReservoirWindow)
 }
 
 func (b *BBA1) mapWithReservoir(s Stream, reservoir time.Duration, bufferMax time.Duration) ChunkMap {

@@ -84,7 +84,7 @@ func (b *BBAOthers) Seeked() {
 func (b *BBAOthers) Next(st State, s Stream) int {
 	// Right-shift-only reservoir: the chunk map may move right, never
 	// left. The clamp in DynamicReservoir bounds the ratchet at 140 s.
-	reservoir := DynamicReservoir(s, st.NextChunk, b.core.steady.ReservoirWindow)
+	reservoir := b.core.steady.dynamicReservoir(s, st.NextChunk)
 	b.lastDynamic = reservoir
 	if reservoir > b.maxReservoir {
 		b.maxReservoir = reservoir

@@ -3,6 +3,7 @@ package abr
 import (
 	"time"
 
+	"bba/internal/media"
 	"bba/internal/units"
 )
 
@@ -33,20 +34,26 @@ func DynamicReservoir(s Stream, k int, window time.Duration) time.Duration {
 	v := s.ChunkDuration()
 	rmin := s.Ladder().Min()
 	chunks := int(window / v)
+	n := s.NumChunks()
+	vSecs := v.Seconds()
 	var running, worst float64 // seconds of buffer deficit
 	for i := 0; i < chunks; i++ {
 		idx := k + i
-		if idx >= s.NumChunks() {
+		if idx >= n {
 			break
 		}
 		size := s.ChunkSize(0, idx)
 		downloadSecs := float64(size*8) / float64(rmin)
-		running += downloadSecs - v.Seconds()
+		running += downloadSecs - vSecs
 		if running > worst {
 			worst = running
 		}
 	}
-	r := units.SecondsToDuration(worst)
+	return clampReservoir(worst)
+}
+
+func clampReservoir(worstSecs float64) time.Duration {
+	r := units.SecondsToDuration(worstSecs)
 	if r < MinReservoir {
 		return MinReservoir
 	}
@@ -54,4 +61,63 @@ func DynamicReservoir(s Stream, k int, window time.Duration) time.Duration {
 		return MaxReservoir
 	}
 	return r
+}
+
+// reservoirPlan caches the Figure 12 per-chunk deficit series for one
+// stream, turning every per-decision reservoir recomputation into a tight
+// scan over a float slice. BBA-1 (and everything built on it) recomputes
+// the reservoir before *every* decision over a 480 s lookahead — ~120
+// ChunkSize calls and unit conversions per chunk — which profiling shows
+// dominating whole-session simulation. The plan hoists that work to one
+// O(NumChunks) pass per session.
+//
+// The scan accumulates exactly the terms DynamicReservoir accumulates, in
+// the same order — deficit[idx] is the same downloadSecs−vSecs value, with
+// the same operands — so the result is bit-identical, which the
+// equivalence tests in reservoir_test.go pin.
+type reservoirPlan struct {
+	video   *media.Video  // identity of the title the plan was built for
+	rmin    units.BitRate // session R_min the deficits assume
+	v       time.Duration // chunk duration
+	deficit []float64     // per-chunk buffer deficit at capacity R_min, seconds
+}
+
+// newReservoirPlan precomputes the deficit series for s.
+func newReservoirPlan(s Stream) *reservoirPlan {
+	v := s.ChunkDuration()
+	vSecs := v.Seconds()
+	rmin := s.Ladder().Min()
+	n := s.NumChunks()
+	p := &reservoirPlan{video: s.Video(), rmin: rmin, v: v, deficit: make([]float64, n)}
+	for idx := 0; idx < n; idx++ {
+		downloadSecs := float64(s.ChunkSize(0, idx)*8) / float64(rmin)
+		p.deficit[idx] = downloadSecs - vSecs
+	}
+	return p
+}
+
+// matches reports whether the plan was built for this exact stream view:
+// same title and same (possibly promoted) R_min.
+func (p *reservoirPlan) matches(s Stream) bool {
+	return p != nil && p.video == s.Video() && p.rmin == s.Ladder().Min()
+}
+
+// reservoir is DynamicReservoir over the precomputed deficits.
+func (p *reservoirPlan) reservoir(k int, window time.Duration) time.Duration {
+	if window <= 0 {
+		window = DefaultReservoirWindow
+	}
+	chunks := int(window / p.v)
+	end := k + chunks
+	if end > len(p.deficit) {
+		end = len(p.deficit)
+	}
+	var running, worst float64
+	for idx := k; idx < end; idx++ {
+		running += p.deficit[idx]
+		if running > worst {
+			worst = running
+		}
+	}
+	return clampReservoir(worst)
 }

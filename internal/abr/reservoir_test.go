@@ -85,6 +85,53 @@ func TestDynamicReservoirWindowDefault(t *testing.T) {
 	}
 }
 
+// TestReservoirPlanMatchesDynamicReservoir pins the hot-path cache: on
+// randomized VBR titles (with and without R_min promotion), the per-session
+// deficit plan returns the exact DynamicReservoir result for every chunk
+// and a spread of windows. Bit-identical, not approximately equal — the
+// plan accumulates the same terms in the same order.
+func TestReservoirPlanMatchesDynamicReservoir(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s := vbrStream(t, seed)
+		if seed%2 == 1 {
+			// Promote R_min so the plan must track the session ladder, not
+			// the encode's full ladder.
+			s = NewStream(s.Video(), s.Ladder()[1])
+		}
+		plan := newReservoirPlan(s)
+		if !plan.matches(s) {
+			t.Fatal("fresh plan does not match its own stream")
+		}
+		for k := 0; k < s.NumChunks(); k += 7 {
+			for _, w := range []time.Duration{0, 30 * time.Second, DefaultReservoirWindow, 1200 * time.Second} {
+				want := DynamicReservoir(s, k, w)
+				if got := plan.reservoir(k, w); got != want {
+					t.Fatalf("seed %d chunk %d window %v: plan %v, reference %v", seed, k, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReservoirPlanRebindsOnStreamChange pins the guard: a BBA-1 instance
+// asked about a different title or a different R_min promotion must rebuild
+// its plan rather than reuse stale deficits.
+func TestReservoirPlanRebindsOnStreamChange(t *testing.T) {
+	a := vbrStream(t, 1)
+	promoted := NewStream(a.Video(), a.Ladder()[2])
+	b := NewBBA1()
+	if got, want := b.dynamicReservoir(a, 10), DynamicReservoir(a, 10, b.ReservoirWindow); got != want {
+		t.Fatalf("first stream: %v, want %v", got, want)
+	}
+	if got, want := b.dynamicReservoir(promoted, 10), DynamicReservoir(promoted, 10, b.ReservoirWindow); got != want {
+		t.Fatalf("promoted stream: %v, want %v", got, want)
+	}
+	other := vbrStream(t, 2)
+	if got, want := b.dynamicReservoir(other, 10), DynamicReservoir(other, 10, b.ReservoirWindow); got != want {
+		t.Fatalf("second title: %v, want %v", got, want)
+	}
+}
+
 // Property: the reservoir is always within the paper's clamp and is
 // monotone in the window length (a longer lookahead can only reveal a worse
 // prefix).

@@ -2,11 +2,13 @@ package abtest
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"bba/internal/abr"
 	"bba/internal/media"
@@ -63,10 +65,12 @@ type Config struct {
 	Parallelism int
 	// Observer, when non-nil, receives every session's telemetry events.
 	// Each worker-owned session records into its own telemetry.Capture
-	// (stamped "d<day>.w<window>.s<index>.<group>"), and the captures are
-	// replayed into Observer in deterministic (session, group) order
-	// after the workers finish — so the merged stream is identical
-	// regardless of Parallelism. Nil disables capture entirely.
+	// (stamped "d<day>.w<window>.s<index>.<group>"), and the merger
+	// replays each capture into Observer as soon as it is the next in
+	// deterministic (session, group) order — so the merged stream is
+	// identical regardless of Parallelism, and captures are released
+	// incrementally instead of being held until the run ends. Nil
+	// disables capture entirely.
 	Observer telemetry.Observer
 }
 
@@ -98,21 +102,64 @@ type Outcome struct {
 	// Sessions holds each group's raw per-session metrics, for
 	// significance testing.
 	Sessions map[string][]metrics.Session
+	// Stats describes the run's execution: wall-clock time and simulated
+	// session throughput.
+	Stats RunStats
+}
+
+// RunStats reports how fast the harness executed an experiment.
+type RunStats struct {
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Sessions is the number of player sessions simulated (paired jobs ×
+	// groups).
+	Sessions int
+	// Parallelism is the worker count the run used.
+	Parallelism int
+}
+
+// SessionsPerSecond returns the simulated-session throughput.
+func (s RunStats) SessionsPerSecond() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Sessions) / s.Elapsed.Seconds()
 }
 
 // Run executes the experiment: for every day × window × session draw one
 // user (with trace and title) and stream that identical session once per
 // group. It is deterministic given cfg.Seed and parallelises across
 // sessions.
-func Run(cfg Config) (*Outcome, error) {
+func Run(cfg Config) (*Outcome, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext is Run with cancellation: the context reaches every worker's
+// player.RunContext, so even mid-session work stops promptly when the
+// caller cancels, and the run returns the context's error.
+//
+// The harness is a fixed pool of Parallelism workers pulling jobs from a
+// channel, with a single in-order merger that folds each paired session's
+// metrics into the outcome — and replays its captured telemetry into
+// cfg.Observer — as soon as it is the next in deterministic (job, group)
+// order. A bounded merge window keeps workers from running more than
+// 2×Parallelism jobs ahead of the merger, so peak memory is O(Parallelism)
+// regardless of total job count, while the merged stream stays
+// byte-identical across worker counts. A worker error cancels the run
+// immediately instead of completing the remaining jobs.
+func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg.applyDefaults()
+	start := time.Now()
 	catalog, err := media.NewCatalog(cfg.CatalogSize, cfg.Ladder, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	type job struct {
-		day, window, i int
+		idx, day, window, i int
 	}
 	type sessionSet struct {
 		idx     int // global session index for deterministic assembly
@@ -121,51 +168,108 @@ func Run(cfg Config) (*Outcome, error) {
 		err     error
 	}
 
-	var jobs []job
-	for day := 0; day < cfg.Days; day++ {
-		for w := 0; w < metrics.WindowsPerDay; w++ {
-			for i := 0; i < cfg.SessionsPerWindow; i++ {
-				jobs = append(jobs, job{day, w, i})
+	total := cfg.Days * metrics.WindowsPerDay * cfg.SessionsPerWindow
+	// The merge window: the producer acquires a token per job and the
+	// merger releases it once that job is folded in, bounding how far
+	// completed-but-unmerged results can accumulate.
+	window := 2 * cfg.Parallelism
+	tokens := make(chan struct{}, window)
+	jobs := make(chan job)
+	results := make(chan sessionSet, window)
+
+	go func() { // producer
+		defer close(jobs)
+		idx := 0
+		for day := 0; day < cfg.Days; day++ {
+			for w := 0; w < metrics.WindowsPerDay; w++ {
+				for i := 0; i < cfg.SessionsPerWindow; i++ {
+					select {
+					case tokens <- struct{}{}:
+					case <-ctx.Done():
+						return
+					}
+					select {
+					case jobs <- job{idx, day, w, i}:
+					case <-ctx.Done():
+						return
+					}
+					idx++
+				}
 			}
 		}
-	}
+	}()
 
-	results := make([]sessionSet, len(jobs))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Parallelism)
-	for idx, j := range jobs {
+	for n := 0; n < cfg.Parallelism; n++ {
 		wg.Add(1)
-		go func(idx int, j job) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[idx] = sessionSet{idx: idx}
-			ms, evs, err := runPairedSession(cfg, catalog, j.day, j.window, j.i)
-			results[idx].metrics = ms
-			results[idx].events = evs
-			results[idx].err = err
-		}(idx, j)
+			for j := range jobs {
+				ms, evs, err := runPairedSession(ctx, cfg, catalog, j.day, j.window, j.i)
+				select {
+				case results <- sessionSet{idx: j.idx, metrics: ms, events: evs, err: err}:
+				case <-ctx.Done():
+					return
+				}
+				if err != nil {
+					// Fail fast: stop the producer and the other workers
+					// rather than finishing the remaining jobs.
+					cancel()
+					return
+				}
+			}
+		}()
 	}
-	wg.Wait()
+	go func() { wg.Wait(); close(results) }()
 
 	out := &Outcome{
 		Windows:  make(map[string][]metrics.Window, len(cfg.Groups)),
 		Sessions: make(map[string][]metrics.Session, len(cfg.Groups)),
 	}
-	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
+	for _, g := range cfg.Groups {
+		out.Sessions[g.Name] = make([]metrics.Session, 0, total)
+	}
+
+	// In-order streaming merge. Out-of-order arrivals park in pending
+	// (bounded by the merge window) until the next expected job lands.
+	pending := make(map[int]sessionSet, window)
+	next := 0
+	var firstErr error
+	for r := range results {
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+			cancel()
 		}
-		for gi, g := range cfg.Groups {
-			out.Sessions[g.Name] = append(out.Sessions[g.Name], r.metrics[gi])
-		}
-		// Replay captured telemetry in job order, group order: the merged
-		// stream is byte-for-byte independent of worker scheduling.
-		for _, groupEvents := range r.events {
-			for _, e := range groupEvents {
-				cfg.Observer.OnEvent(e)
+		pending[r.idx] = r
+		for {
+			rs, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			<-tokens
+			if rs.err != nil {
+				continue
+			}
+			for gi, g := range cfg.Groups {
+				out.Sessions[g.Name] = append(out.Sessions[g.Name], rs.metrics[gi])
+			}
+			// Replay captured telemetry in job order, group order: the
+			// merged stream is byte-for-byte independent of worker
+			// scheduling.
+			for _, groupEvents := range rs.events {
+				for _, e := range groupEvents {
+					cfg.Observer.OnEvent(e)
+				}
 			}
 		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for _, g := range cfg.Groups {
 		ws, err := metrics.Aggregate(out.Sessions[g.Name])
@@ -174,13 +278,18 @@ func Run(cfg Config) (*Outcome, error) {
 		}
 		out.Windows[g.Name] = ws
 	}
+	out.Stats = RunStats{
+		Elapsed:     time.Since(start),
+		Sessions:    total * len(cfg.Groups),
+		Parallelism: cfg.Parallelism,
+	}
 	return out, nil
 }
 
 // runPairedSession draws one user and streams the identical session once
 // per group, returning one metrics.Session per group in group order, plus
 // per-group captured telemetry when the experiment carries an observer.
-func runPairedSession(cfg Config, catalog *media.Catalog, day, window, i int) ([]metrics.Session, [][]telemetry.Event, error) {
+func runPairedSession(ctx context.Context, cfg Config, catalog *media.Catalog, day, window, i int) ([]metrics.Session, [][]telemetry.Event, error) {
 	rng := sessionRNG(cfg.Seed, day, window, i)
 	u := DrawUser(cfg.Population, window, day, rng)
 	video := u.Pick(catalog)
@@ -203,7 +312,7 @@ func runPairedSession(cfg Config, catalog *media.Catalog, day, window, i int) ([
 			rec = &telemetry.Capture{Session: fmt.Sprintf("d%d.w%02d.s%03d.%s", day, window, i, g.Name)}
 			pc.Observer = rec
 		}
-		res, err := player.Run(pc)
+		res, err := player.RunContext(ctx, pc)
 		if err != nil {
 			return nil, nil, fmt.Errorf("abtest: day %d window %d session %d group %s: %w", day, window, i, g.Name, err)
 		}

@@ -2,7 +2,10 @@ package abtest
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"bba/internal/abr"
@@ -146,6 +149,80 @@ func TestRunHeadlineOrderings(t *testing.T) {
 	_, _, bba1Sw := peak("BBA-1")
 	if bba1Sw <= ctrlSw {
 		t.Errorf("BBA-1 switch rate %.1f not above Control %.1f", bba1Sw, ctrlSw)
+	}
+}
+
+func TestRunContextCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, smallConfig(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	cfg := smallConfig(3)
+	cfg.Parallelism = 2
+	cfg.Groups = []Group{{Name: "cancel-probe", New: func(User) abr.Algorithm {
+		if calls.Add(1) == 4 {
+			cancel()
+		}
+		return abr.NewBBA0()
+	}}}
+	_, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation must stop the run before all 48 jobs have started; the
+	// bound only catches a harness that ran to completion anyway.
+	if calls.Load() >= 48 {
+		t.Errorf("run completed all %d jobs despite cancellation", calls.Load())
+	}
+}
+
+// TestRunFailsFastOnWorkerError pins the fail-fast satellite: a session
+// error must abort the run without executing the remaining jobs.
+func TestRunFailsFastOnWorkerError(t *testing.T) {
+	var calls atomic.Int64
+	cfg := Config{Seed: 9, Days: 2, SessionsPerWindow: 20, CatalogSize: 4, Parallelism: 2}
+	cfg.Groups = []Group{{Name: "boom", New: func(User) abr.Algorithm {
+		calls.Add(1)
+		// A nil algorithm makes player.Run return an error immediately.
+		return nil
+	}}}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("run succeeded with a nil-algorithm factory")
+	}
+	if !strings.Contains(err.Error(), "nil algorithm") {
+		t.Errorf("err = %v, want the player's nil-algorithm error", err)
+	}
+	total := int64(2 * metrics.WindowsPerDay * 20)
+	if got := calls.Load(); got >= total {
+		t.Errorf("all %d jobs ran despite an immediate error (want fail fast)", got)
+	}
+}
+
+func TestRunReportsStats(t *testing.T) {
+	out, err := Run(smallConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSessions := metrics.WindowsPerDay * 4 * len(StandardGroups())
+	if out.Stats.Sessions != wantSessions {
+		t.Errorf("Stats.Sessions = %d, want %d", out.Stats.Sessions, wantSessions)
+	}
+	if out.Stats.Elapsed <= 0 {
+		t.Errorf("Stats.Elapsed = %v, want > 0", out.Stats.Elapsed)
+	}
+	if out.Stats.Parallelism <= 0 {
+		t.Errorf("Stats.Parallelism = %d, want > 0", out.Stats.Parallelism)
+	}
+	if out.Stats.SessionsPerSecond() <= 0 {
+		t.Errorf("SessionsPerSecond = %v, want > 0", out.Stats.SessionsPerSecond())
 	}
 }
 

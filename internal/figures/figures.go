@@ -11,8 +11,10 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -116,30 +118,113 @@ func seriesWithPoint(ss []Series, i int) int {
 	return 0
 }
 
+// expFlight is the single-flight slot for one scale's weekend experiment:
+// the first caller runs it, concurrent callers block on the same run, and
+// every later caller reads the cached result.
+type expFlight struct {
+	once sync.Once
+	out  *abtest.Outcome
+	err  error
+}
+
 var (
-	expMu    sync.Mutex
-	expCache = map[Scale]*abtest.Outcome{}
+	expMu      sync.Mutex
+	expFlights = map[Scale]*expFlight{}
 )
 
 // ExperimentOutcome returns the cached weekend A/B experiment at the given
 // scale, running it on first use.
 func ExperimentOutcome(scale Scale) (*abtest.Outcome, error) {
+	return ExperimentOutcomeContext(context.Background(), scale)
+}
+
+// ExperimentOutcomeContext is ExperimentOutcome with cancellation. The
+// experiment runs at most once per scale (single-flight): concurrent
+// callers — the parallel figure generators — share one run, and the
+// context of whichever caller starts the flight governs it. A run that
+// failed (including one canceled mid-flight) is not cached, so a later
+// caller retries.
+func ExperimentOutcomeContext(ctx context.Context, scale Scale) (*abtest.Outcome, error) {
 	expMu.Lock()
-	defer expMu.Unlock()
-	if out, ok := expCache[scale]; ok {
-		return out, nil
+	f, ok := expFlights[scale]
+	if !ok {
+		f = &expFlight{}
+		expFlights[scale] = f
 	}
-	cfg := abtest.Config{Seed: ExperimentSeed, Days: 2, SessionsPerWindow: 80}
-	if scale == Full {
-		cfg.Days = 3
-		cfg.SessionsPerWindow = 160
+	expMu.Unlock()
+	f.once.Do(func() {
+		cfg := abtest.Config{Seed: ExperimentSeed, Days: 2, SessionsPerWindow: 80}
+		if scale == Full {
+			cfg.Days = 3
+			cfg.SessionsPerWindow = 160
+		}
+		f.out, f.err = abtest.RunContext(ctx, cfg)
+		if f.err != nil {
+			// Drop the poisoned flight so the next caller can retry.
+			expMu.Lock()
+			if expFlights[scale] == f {
+				delete(expFlights, scale)
+			}
+			expMu.Unlock()
+		}
+	})
+	return f.out, f.err
+}
+
+// ExperimentStats returns the execution stats of the cached weekend
+// experiment at a scale, and whether that experiment has completed. It
+// never triggers a run.
+func ExperimentStats(scale Scale) (abtest.RunStats, bool) {
+	expMu.Lock()
+	f, ok := expFlights[scale]
+	expMu.Unlock()
+	if !ok || f.out == nil {
+		return abtest.RunStats{}, false
 	}
-	out, err := abtest.Run(cfg)
-	if err != nil {
-		return nil, err
+	return f.out.Stats, true
+}
+
+// Generated pairs a registry entry with its produced figure (or error).
+type Generated struct {
+	Entry Entry
+	Fig   *Figure
+	Err   error
+}
+
+// GenerateAll produces every registered figure at the given scale, fanning
+// the generators out across cores. The shared weekend experiment is kicked
+// off immediately and computed once via single-flight, so the A/B figures
+// all join one run while the single-session figures generate alongside it;
+// full regeneration speeds up roughly by core count. Results come back in
+// registry (paper) order.
+func GenerateAll(ctx context.Context, scale Scale) []Generated {
+	entries := All()
+	out := make([]Generated, len(entries))
+	var wg sync.WaitGroup
+	// Start the shared experiment at once rather than when the first A/B
+	// generator happens to be scheduled.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = ExperimentOutcomeContext(ctx, scale)
+	}()
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range entries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				out[i] = Generated{Entry: entries[i], Err: err}
+				return
+			}
+			fig, err := entries[i].Gen(scale)
+			out[i] = Generated{Entry: entries[i], Fig: fig, Err: err}
+		}(i)
 	}
-	expCache[scale] = out
-	return out, nil
+	wg.Wait()
+	return out
 }
 
 // windowPoints converts a per-window series into labelled points.

@@ -2,6 +2,8 @@ package figures
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -93,6 +95,49 @@ func TestHeadlineShape(t *testing.T) {
 		}
 		if v < bound*0.7 {
 			t.Errorf("%s peak rebuffer rate %.3f implausibly below the bound %.3f", g, v, bound)
+		}
+	}
+}
+
+// TestGenerateAll pins the parallel path: every figure comes back in
+// registry order with no errors, and the A/B figures all read the one
+// single-flight experiment.
+func TestGenerateAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full figure suite")
+	}
+	generated := GenerateAll(context.Background(), Quick)
+	entries := All()
+	if len(generated) != len(entries) {
+		t.Fatalf("got %d generated figures, want %d", len(generated), len(entries))
+	}
+	for i, g := range generated {
+		if g.Entry.Name != entries[i].Name {
+			t.Errorf("slot %d holds %q, want %q (order must be registry order)", i, g.Entry.Name, entries[i].Name)
+		}
+		if g.Err != nil {
+			t.Errorf("%s: %v", g.Entry.Name, g.Err)
+		} else if g.Fig == nil || len(g.Fig.Series) == 0 {
+			t.Errorf("%s: empty figure", g.Entry.Name)
+		}
+	}
+	stats, ok := ExperimentStats(Quick)
+	if !ok {
+		t.Fatal("shared experiment did not run")
+	}
+	if stats.Sessions == 0 || stats.Elapsed <= 0 {
+		t.Errorf("stats = %+v, want populated", stats)
+	}
+}
+
+func TestGenerateAllCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, g := range GenerateAll(ctx, Quick) {
+		// Figures served from a pre-canceled context must either have been
+		// cached already (fine) or report the cancellation.
+		if g.Err != nil && !errors.Is(g.Err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", g.Entry.Name, g.Err)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -110,26 +111,34 @@ func Lookup(name string) (Entry, bool) {
 
 // WriteMarkdown renders every figure at the given scale as the body of
 // EXPERIMENTS.md: one section per artifact with the measured series summary
-// and the paper-comparison notes.
+// and the paper-comparison notes. Generation fans out across cores (see
+// GenerateAll); the rendered order is always registry order.
 func WriteMarkdown(w io.Writer, scale Scale) error {
+	return WriteMarkdownContext(context.Background(), w, scale)
+}
+
+// WriteMarkdownContext is WriteMarkdown with cancellation.
+func WriteMarkdownContext(ctx context.Context, w io.Writer, scale Scale) error {
 	scaleName := "quick"
 	if scale == Full {
 		scaleName = "full (3 days × 160 sessions/window per group)"
+	}
+	generated := GenerateAll(ctx, scale)
+	for _, g := range generated {
+		if g.Err != nil {
+			return fmt.Errorf("figures: %s: %w", g.Entry.Name, g.Err)
+		}
 	}
 	fmt.Fprintf(w, "# EXPERIMENTS — paper vs. reproduction\n\n")
 	fmt.Fprintf(w, "Generated by `go run ./cmd/abtest -experiments-md` at scale %q with seed %d on %s.\n",
 		scaleName, ExperimentSeed, time.Now().UTC().Format("2006-01-02"))
 	fmt.Fprintf(w, "Regenerate any single artifact with `go test -bench=Benchmark<Name> -benchtime=1x .`\n\n")
 	fmt.Fprintf(w, "%s\n", deviations)
-	for _, e := range All() {
-		fig, err := e.Gen(scale)
-		if err != nil {
-			return fmt.Errorf("figures: %s: %w", e.Name, err)
-		}
-		fmt.Fprintf(w, "## %s — %s\n\n", e.Paper, fig.Title)
-		fmt.Fprintf(w, "Bench target: `Benchmark%s`\n\n", e.Name)
+	for _, g := range generated {
+		fmt.Fprintf(w, "## %s — %s\n\n", g.Entry.Paper, g.Fig.Title)
+		fmt.Fprintf(w, "Bench target: `Benchmark%s`\n\n", g.Entry.Name)
 		fmt.Fprintf(w, "```\n")
-		if err := fig.WriteTable(w); err != nil {
+		if err := g.Fig.WriteTable(w); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "```\n\n")

@@ -150,7 +150,14 @@ func run(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.ResumeThreshold != 0 {
 		buf.SetResume(cfg.ResumeThreshold)
 	}
-	res := &Result{Algorithm: cfg.Algorithm.Name()}
+	// The session clock only moves forward, so one trace cursor serves the
+	// whole session: each download resumes the segment walk where the last
+	// one finished instead of re-searching the trace.
+	link := cfg.Trace.Cursor()
+	res := &Result{
+		Algorithm: cfg.Algorithm.Name(),
+		Chunks:    make([]ChunkRecord, 0, chunkCapacity(s, v, cfg.WatchLimit)),
+	}
 	var (
 		now       time.Duration
 		prevIdx   = -1
@@ -259,7 +266,7 @@ func run(ctx context.Context, cfg Config) (*Result, error) {
 			})
 		}
 
-		dl, ok := cfg.Trace.DownloadTime(now, bytes)
+		dl, ok := link.DownloadTime(now, bytes)
 		if !ok {
 			// Permanent outage: playback drains whatever is buffered
 			// and freezes forever.
@@ -376,6 +383,21 @@ func run(ctx context.Context, cfg Config) (*Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// chunkCapacity sizes the Result.Chunks preallocation: the title length,
+// tightened by the watch limit when one applies. A couple of extra slots
+// absorb the chunks a stall-truncated or seek-shifted session downloads
+// beyond the limit; the hint only avoids growth reallocations, correctness
+// never depends on it.
+func chunkCapacity(s abr.Stream, v time.Duration, watchLimit time.Duration) int {
+	n := s.NumChunks()
+	if watchLimit > 0 && v > 0 {
+		if byLimit := int(watchLimit/v) + 2; byLimit < n {
+			n = byLimit
+		}
+	}
+	return n
 }
 
 // WriteChunkCSV emits the per-chunk log as CSV

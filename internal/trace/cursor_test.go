@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bba/internal/units"
+)
+
+// randomTrace builds a Markov trace with randomized shape parameters so the
+// equivalence tests sweep short/long segments and calm/wild rates.
+func randomTrace(rng *rand.Rand) *Trace {
+	cfg := MarkovConfig{
+		Base:      units.BitRate(rng.Intn(9)+1) * units.Mbps,
+		Sigma:     rng.Float64() * 1.5,
+		MeanDwell: time.Duration(rng.Intn(20)+1) * time.Second,
+		Duration:  time.Duration(rng.Intn(40)+5) * time.Minute,
+	}
+	return Markov(cfg, rng)
+}
+
+// TestCursorMatchesStatelessAPI is the contract of the Cursor: on randomized
+// traces and randomized query sequences — mostly monotone, as the engine
+// issues them, but with occasional backward jumps — every Cursor result is
+// bit-identical to the stateless Trace method.
+func TestCursorMatchesStatelessAPI(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTrace(rng)
+		cur := tr.Cursor()
+		now := time.Duration(0)
+		for q := 0; q < 400; q++ {
+			// Mostly advance; sometimes jump backwards or far past the end.
+			switch rng.Intn(10) {
+			case 0:
+				now = time.Duration(rng.Int63n(int64(tr.Total() + time.Minute)))
+			default:
+				now += time.Duration(rng.Int63n(int64(5 * time.Second)))
+			}
+			switch rng.Intn(3) {
+			case 0:
+				want := tr.RateAt(now)
+				if got := cur.RateAt(now); got != want {
+					t.Fatalf("seed %d query %d: Cursor.RateAt(%v) = %v, stateless %v", seed, q, now, got, want)
+				}
+			case 1:
+				to := now + time.Duration(rng.Int63n(int64(30*time.Second)))
+				want := tr.BytesBetween(now, to)
+				if got := cur.BytesBetween(now, to); got != want {
+					t.Fatalf("seed %d query %d: Cursor.BytesBetween(%v, %v) = %d, stateless %d", seed, q, now, to, got, want)
+				}
+			default:
+				n := rng.Int63n(4 << 20)
+				wantD, wantOK := tr.DownloadTime(now, n)
+				gotD, gotOK := cur.DownloadTime(now, n)
+				if gotD != wantD || gotOK != wantOK {
+					t.Fatalf("seed %d query %d: Cursor.DownloadTime(%v, %d) = (%v, %v), stateless (%v, %v)",
+						seed, q, now, n, gotD, gotOK, wantD, wantOK)
+				}
+				if wantOK {
+					now += wantD
+				}
+			}
+		}
+	}
+}
+
+// TestCursorDeadLink pins the incomplete-transfer path: a trace ending in a
+// permanent outage reports (0, false) identically through the cursor, and
+// the cursor stays usable afterwards.
+func TestCursorDeadLink(t *testing.T) {
+	tr := MustNew([]Segment{
+		{Duration: 10 * time.Second, Rate: 2 * units.Mbps},
+		{Duration: 5 * time.Second, Rate: 0},
+	})
+	cur := tr.Cursor()
+	if d, ok := cur.DownloadTime(0, 1<<20); !ok || d <= 0 {
+		t.Fatalf("in-capacity transfer = (%v, %v)", d, ok)
+	}
+	if _, ok := cur.DownloadTime(12*time.Second, 1<<20); ok {
+		t.Error("transfer in the permanent outage completed")
+	}
+	if got, want := cur.RateAt(3*time.Second), 2*units.Mbps; got != want {
+		t.Errorf("post-failure backward RateAt = %v, want %v", got, want)
+	}
+}
+
+// TestCursorZeroAllocs pins the hot path: a monotone download sweep through
+// the cursor must not allocate.
+func TestCursorZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := randomTrace(rng)
+	cur := tr.Cursor()
+	now := time.Duration(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		d, ok := cur.DownloadTime(now, 512<<10)
+		if ok {
+			now += d + time.Second
+		} else {
+			now = 0
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cursor download sweep allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// benchSweep drives a monotone per-chunk download pattern, the exact access
+// pattern of player.run.
+func benchSweep(b *testing.B, download func(time.Duration, int64) (time.Duration, bool), total time.Duration) {
+	now := time.Duration(0)
+	for i := 0; i < b.N; i++ {
+		d, ok := download(now, 1<<20)
+		if !ok {
+			b.Fatal("transfer failed")
+		}
+		now += d
+		if now > total {
+			now = 0
+		}
+	}
+}
+
+func BenchmarkDownloadTimeStateless(b *testing.B) {
+	tr := Markov(MarkovConfig{Duration: time.Hour, MeanDwell: 5 * time.Second, Sigma: 1.2}, rand.New(rand.NewSource(7)))
+	b.ReportAllocs()
+	benchSweep(b, tr.DownloadTime, tr.Total())
+}
+
+func BenchmarkDownloadTimeCursor(b *testing.B) {
+	tr := Markov(MarkovConfig{Duration: time.Hour, MeanDwell: 5 * time.Second, Sigma: 1.2}, rand.New(rand.NewSource(7)))
+	cur := tr.Cursor()
+	b.ReportAllocs()
+	benchSweep(b, cur.DownloadTime, tr.Total())
+}

@@ -120,8 +120,16 @@ func (t *Trace) BytesBetween(from, to time.Duration) int64 {
 	if from < 0 {
 		from = 0
 	}
+	n, _ := t.bytesBetweenFrom(t.index(from), from, to)
+	return n
+}
+
+// bytesBetweenFrom is the BytesBetween core, starting in segment i (which
+// must contain from). It also returns the segment index it finished in, so
+// a Cursor can resume from there. Both the stateless API and the Cursor run
+// this exact code, so their results are bit-identical.
+func (t *Trace) bytesBetweenFrom(i int, from, to time.Duration) (int64, int) {
 	var bits float64
-	i := t.index(from)
 	cursor := from
 	for cursor < to {
 		segEnd := t.total
@@ -140,7 +148,7 @@ func (t *Trace) BytesBetween(from, to time.Duration) int64 {
 			i++
 		}
 	}
-	return int64(bits / 8)
+	return int64(bits / 8), i
 }
 
 // DownloadTime returns how long a transfer of n bytes starting at time
@@ -153,25 +161,33 @@ func (t *Trace) DownloadTime(start time.Duration, n int64) (time.Duration, bool)
 	if start < 0 {
 		start = 0
 	}
+	d, _, ok := t.downloadTimeFrom(t.index(start), start, n)
+	return d, ok
+}
+
+// downloadTimeFrom is the DownloadTime core, starting in segment i (which
+// must contain start). It also returns the segment index the transfer
+// completed in, so a Cursor can resume from there. Both the stateless API
+// and the Cursor run this exact code, so their results are bit-identical.
+func (t *Trace) downloadTimeFrom(i int, start time.Duration, n int64) (time.Duration, int, bool) {
 	remaining := float64(n * 8) // bits
-	i := t.index(start)
 	cursor := start
 	for {
 		rate := float64(t.segments[i].Rate)
 		last := i == len(t.segments)-1
 		if last {
 			if rate <= 0 {
-				return 0, false
+				return 0, i, false
 			}
 			cursor += units.SecondsToDuration(remaining / rate)
-			return cursor - start, true
+			return cursor - start, i, true
 		}
 		segEnd := t.starts[i] + t.segments[i].Duration
 		span := (segEnd - cursor).Seconds()
 		capacity := rate * span
 		if capacity >= remaining && rate > 0 {
 			cursor += units.SecondsToDuration(remaining / rate)
-			return cursor - start, true
+			return cursor - start, i, true
 		}
 		remaining -= capacity
 		cursor = segEnd

@@ -277,3 +277,7 @@ func BenchmarkQoERanking(b *testing.B) {
 func BenchmarkBufferOccupancy(b *testing.B) {
 	benchFigure(b, "BufferOccupancy")
 }
+
+func BenchmarkOutageRobustness(b *testing.B) {
+	benchFigure(b, "OutageRobustness")
+}

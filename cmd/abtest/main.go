@@ -21,6 +21,8 @@ import (
 	"os/signal"
 	"time"
 
+	"bba/internal/abtest"
+	"bba/internal/faults"
 	"bba/internal/figures"
 )
 
@@ -31,6 +33,7 @@ func main() {
 		list      = flag.Bool("list", false, "list every reproducible figure and exit")
 		mdOut     = flag.Bool("experiments-md", false, "emit the EXPERIMENTS.md body to stdout")
 		csvOut    = flag.Bool("csv", false, "emit the weekend experiment's per-window aggregates as CSV")
+		faultsOn  = flag.Bool("faults", false, "replay the weekend experiment under the standard fault schedule and emit its CSV (fault counters go to stderr)")
 	)
 	flag.Parse()
 
@@ -39,13 +42,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if err := run(ctx, os.Stdout, *scaleName, *figName, *list, *mdOut, *csvOut); err != nil {
+	if err := run(ctx, os.Stdout, *scaleName, *figName, *list, *mdOut, *csvOut, *faultsOn); err != nil {
 		fmt.Fprintln(os.Stderr, "abtest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, out io.Writer, scaleName, figName string, list, mdOut, csvOut bool) error {
+func run(ctx context.Context, out io.Writer, scaleName, figName string, list, mdOut, csvOut, faultsOn bool) error {
 	var scale figures.Scale
 	switch scaleName {
 	case "quick":
@@ -63,6 +66,22 @@ func run(ctx context.Context, out io.Writer, scaleName, figName string, list, md
 		return nil
 	}
 	defer reportExperimentStats(scale)
+
+	if faultsOn {
+		// The fault replay is the clean weekend population under the
+		// standard fault weather; it is never cached, so its stats (and
+		// the fault counters) are printed directly.
+		cfg := figures.ExperimentConfig(scale)
+		fc := faults.DefaultScheduleConfig()
+		cfg.Faults = &fc
+		cfg.FaultSeed = figures.ExperimentSeed
+		o, err := abtest.RunContext(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		printRunStats(o.Stats)
+		return o.WriteCSV(out)
+	}
 
 	if mdOut {
 		return figures.WriteMarkdownContext(ctx, out, scale)
@@ -108,6 +127,16 @@ func reportExperimentStats(scale figures.Scale) {
 	if !ok {
 		return
 	}
+	printRunStats(stats)
+}
+
+// printRunStats writes one run's wall-clock line, and — when any fault
+// activity occurred — its fault-injection counters, to stderr.
+func printRunStats(stats abtest.RunStats) {
 	fmt.Fprintf(os.Stderr, "weekend experiment: %d sessions in %v (%.0f sessions/s, parallelism %d)\n",
 		stats.Sessions, stats.Elapsed.Round(time.Millisecond), stats.SessionsPerSecond(), stats.Parallelism)
+	if stats.Faults > 0 || stats.Retries > 0 || stats.Degradations > 0 || stats.Failovers > 0 {
+		fmt.Fprintf(os.Stderr, "fault injection: %d faults, %d retries, %d degradations, %d failovers\n",
+			stats.Faults, stats.Retries, stats.Degradations, stats.Failovers)
+	}
 }

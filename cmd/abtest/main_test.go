@@ -10,7 +10,7 @@ import (
 
 func TestList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, "quick", "", true, false, false); err != nil {
+	if err := run(context.Background(), &out, "quick", "", true, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Fig07RebufferRateBBA0", "Figure 18", "SharedLinkFairness"} {
@@ -22,7 +22,7 @@ func TestList(t *testing.T) {
 
 func TestSingleFigure(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, "quick", "Fig10VBRChunkSizes", false, false, false); err != nil {
+	if err := run(context.Background(), &out, "quick", "Fig10VBRChunkSizes", false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "max-to-average ratio") {
@@ -32,10 +32,10 @@ func TestSingleFigure(t *testing.T) {
 
 func TestBadInputs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, "enormous", "", false, false, false); err == nil {
+	if err := run(context.Background(), &out, "enormous", "", false, false, false, false); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run(context.Background(), &out, "quick", "Fig99", false, false, false); err == nil {
+	if err := run(context.Background(), &out, "quick", "Fig99", false, false, false, false); err == nil {
 		t.Error("unknown figure accepted")
 	}
 }
@@ -46,7 +46,7 @@ func TestCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var out bytes.Buffer
-	err := run(ctx, &out, "quick", "", false, false, true)
+	err := run(ctx, &out, "quick", "", false, false, true, false)
 	if err == nil {
 		t.Skip("experiment already cached by an earlier test in this process")
 	}

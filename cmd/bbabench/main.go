@@ -26,6 +26,7 @@ import (
 	"bba/internal/abtest"
 	"bba/internal/figures"
 	"bba/internal/media"
+	"bba/internal/netem"
 	"bba/internal/player"
 	"bba/internal/telemetry"
 	"bba/internal/trace"
@@ -133,6 +134,7 @@ func benches() []bench {
 		{name: "SessionSimulationObserved", run: sessionBench(true)},
 		{name: "TraceDownloadTimeStateless", run: traceBench(false)},
 		{name: "TraceDownloadTimeCursor", run: traceBench(true)},
+		{name: "NetemShaperTake", run: netemBench},
 		{name: "ABHarness", run: harnessBench, heavy: false},
 		{name: "GenerateAllFigures", run: figuresBench, heavy: true},
 	}
@@ -164,6 +166,22 @@ func traceBench(cursor bool) func(quick bool) func(b *testing.B) {
 					now = 0
 				}
 			}
+		}
+	}
+}
+
+// netemBench measures the shaper's per-packet accounting in isolation: an
+// MTU-sized Take against a constant trace fast enough that the byte
+// budget is always already covered, so no iteration ever sleeps — the
+// number is the bookkeeping cost every shaped real-HTTP download pays per
+// write, not the pacing itself.
+func netemBench(bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := netem.NewShaper(trace.Constant(1000*units.Gbps, time.Hour))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Take(1200)
 		}
 	}
 }

@@ -24,23 +24,26 @@ import (
 	"time"
 
 	"bba/internal/dash"
+	"bba/internal/faults"
 	"bba/internal/media"
 	"bba/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8404", "listen address")
-		chunks  = flag.Int("chunks", 900, "title length in chunks")
-		chunkMS = flag.Int("chunk-ms", 4000, "chunk duration in milliseconds")
-		seed    = flag.Int64("seed", 1, "seed for the synthetic title")
-		latency = flag.Duration("latency", 0, "added first-byte latency per chunk")
+		addr      = flag.String("addr", "127.0.0.1:8404", "listen address")
+		chunks    = flag.Int("chunks", 900, "title length in chunks")
+		chunkMS   = flag.Int("chunk-ms", 4000, "chunk duration in milliseconds")
+		seed      = flag.Int64("seed", 1, "seed for the synthetic title")
+		latency   = flag.Duration("latency", 0, "added first-byte latency per chunk")
+		withFault = flag.Bool("faults", false, "serve in fault-injecting mode (seeded 5xx bursts, stalled bodies, resets, latency spikes)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault schedule and per-request decisions")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *chunks, *chunkMS, *seed, *latency); err != nil {
+	if err := run(ctx, *addr, *chunks, *chunkMS, *seed, *latency, *withFault, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "dashserver:", err)
 		os.Exit(1)
 	}
@@ -52,13 +55,27 @@ const shutdownGrace = 5 * time.Second
 
 // run serves until ctx is cancelled (SIGINT/SIGTERM in main), then shuts
 // the HTTP server down gracefully.
-func run(ctx context.Context, addr string, chunks, chunkMS int, seed int64, latency time.Duration) error {
+func run(ctx context.Context, addr string, chunks, chunkMS int, seed int64, latency time.Duration, withFaults bool, faultSeed int64) error {
 	srv, video, err := buildServer(chunks, chunkMS, seed, latency)
 	if err != nil {
 		return err
 	}
 	prom := telemetry.NewProm("bba")
 	srv.Observer = prom
+	if withFaults {
+		// The HTTP-path kinds only: blackouts and collapses are capacity
+		// faults, which belong to the network between client and server
+		// (shape the client's transport with internal/netem), not to the
+		// origin.
+		cfg := faults.DefaultScheduleConfig()
+		cfg.Horizon = 24 * time.Hour
+		cfg.Blackouts = faults.EpisodeConfig{}
+		cfg.Collapses = faults.EpisodeConfig{}
+		sched := faults.GenerateSeeded(cfg, faultSeed)
+		srv.Injector = &faults.HTTPInjector{Schedule: sched, Seed: faultSeed}
+		srv.Injector.Start(time.Now())
+		fmt.Printf("fault mode: %d episodes scheduled over 24h (seed %d)\n", sched.Len(), faultSeed)
+	}
 
 	hs := &http.Server{Addr: addr, Handler: buildMux(srv, prom, video)}
 	fmt.Printf("serving %q (%d chunks of %v, ladder %v–%v) on http://%s (/metrics, /healthz)\n",

@@ -116,7 +116,7 @@ func TestGracefulShutdown(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, addr, 10, 4000, 1, 0) }()
+	go func() { done <- run(ctx, addr, 10, 4000, 1, 0, false, 1) }()
 
 	// Wait for the server to come up, then trigger shutdown.
 	deadline := time.Now().Add(5 * time.Second)

@@ -1,7 +1,9 @@
-// Outage protection (Section 7.1): compare BBA-2 (per-chunk outage
-// protection accrual) and BBA-Others (right-shift-only reservoir) against
-// plain map-following when the network disappears completely for 30
-// seconds mid-session.
+// Outage protection (Section 7.1), rebuilt on the fault-injection
+// subsystem: one seeded fault schedule — a total link blackout, a 5xx
+// burst and a latency spike — is applied to the capacity trace AND to the
+// request path, then BBA-2 (per-chunk outage-protection accrual) and
+// BBA-Others (right-shift-only reservoir) are compared against plain
+// map-following through the identical weather.
 //
 //	go run ./examples/outage
 package main
@@ -15,6 +17,7 @@ import (
 
 	"bba"
 	"bba/internal/abr"
+	"bba/internal/faults"
 	"bba/internal/player"
 	"bba/internal/trace"
 	"bba/internal/units"
@@ -26,17 +29,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// A modest 2.5 Mb/s link with a total outage eight minutes
-	// in. The paper's motivating outages are 20–30 s; this one is stretched
-	// to 145 s so the difference in accumulated protection is visible —
-	// the outage outlasts the unprotected buffer but not the protected one.
-	base := trace.Constant(2500*units.Kbps, time.Hour)
-	link, err := trace.WithOutages(base, []trace.Outage{
-		{Start: 8 * time.Minute, Duration: 145 * time.Second},
+	// One declarative schedule drives everything. The paper's motivating
+	// outages are 20–30 s; the blackout is stretched to 145 s so the
+	// difference in accumulated protection is visible — it outlasts the
+	// unprotected buffer but not the protected one. The 5xx burst and the
+	// latency spike exercise the retry path on top.
+	sched := faults.MustSchedule([]faults.Fault{
+		{Kind: faults.ServerError, Start: 3 * time.Minute, Duration: 20 * time.Second},
+		{Kind: faults.LatencySpike, Start: 5 * time.Minute, Duration: 30 * time.Second, Latency: 800 * time.Millisecond},
+		{Kind: faults.Blackout, Start: 8 * time.Minute, Duration: 145 * time.Second},
 	})
+
+	// Capacity faults (the blackout) reshape the trace; request-path
+	// faults (the burst, the spike) are injected per attempt.
+	base := trace.Constant(2500*units.Kbps, time.Hour)
+	link, err := sched.ApplyToTrace(base)
 	if err != nil {
 		log.Fatal(err)
 	}
+	inj := faults.NewSessionInjector(sched, 7)
 
 	// A variant of BBA-1 with the protection accrual disabled isolates
 	// what the Section 7 mechanisms buy.
@@ -55,24 +66,26 @@ func main() {
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "algorithm\trebuffers\tfrozen\tavg rate\tbuffer@outage")
+	fmt.Fprintln(w, "algorithm\trebuffers\tfrozen\tavg rate\tfaults\tretries\tbuffer@outage")
 	for _, r := range runs {
-		res, err := bba.RunSession(bba.SessionConfig{
+		res, err := player.Run(player.Config{
 			Algorithm:  r.alg,
-			Video:      video,
+			Stream:     abr.NewStream(video, 0),
 			Trace:      link,
 			WatchLimit: 15 * time.Minute,
+			Injector:   inj,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(w, "%s\t%d\t%.1fs\t%.0f kb/s\t%.0fs\n",
+		fmt.Fprintf(w, "%s\t%d\t%.1fs\t%.0f kb/s\t%d\t%d\t%.0fs\n",
 			r.name, res.Rebuffers, res.StallTime.Seconds(), res.AvgRateKbps(),
-			bufferAtOutage(res, 8*time.Minute))
+			res.Faults, res.Retries, bufferAtOutage(res, 8*time.Minute))
 	}
 	w.Flush()
 	fmt.Println("\nthe Section 7 mechanisms converge the buffer higher, so an outage that")
-	fmt.Println("freezes the unprotected player drains protection instead")
+	fmt.Println("freezes the unprotected player drains protection instead; the injected")
+	fmt.Println("5xx burst and latency spike cost every player a few deterministic retries")
 }
 
 // bufferAtOutage reports the buffer level after the last chunk that

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"bba/internal/abr"
+	"bba/internal/faults"
 	"bba/internal/media"
 	"bba/internal/metrics"
 	"bba/internal/player"
@@ -63,6 +64,16 @@ type Config struct {
 	Ladder media.Ladder
 	// Parallelism bounds worker goroutines (default GOMAXPROCS).
 	Parallelism int
+	// Faults, when non-nil, draws a per-session fault schedule from this
+	// config (seeded by FaultSeed and the session's calendar coordinates)
+	// and runs every group of the paired session under the identical
+	// schedule: capacity faults reshape the session's trace, request-path
+	// faults drive the player's retry/degradation loop. Nil keeps the
+	// clean harness.
+	Faults *faults.ScheduleConfig
+	// FaultSeed seeds the fault schedules independently of Seed, so the
+	// same population can be replayed under different fault weather.
+	FaultSeed int64
 	// Observer, when non-nil, receives every session's telemetry events.
 	// Each worker-owned session records into its own telemetry.Capture
 	// (stamped "d<day>.w<window>.s<index>.<group>"), and the merger
@@ -116,6 +127,12 @@ type RunStats struct {
 	Sessions int
 	// Parallelism is the worker count the run used.
 	Parallelism int
+	// Faults, Retries, Degradations and Failovers total the fault-
+	// injection activity across every session (all zero on clean runs).
+	Faults       int
+	Retries      int
+	Degradations int
+	Failovers    int
 }
 
 // SessionsPerSecond returns the simulated-session throughput.
@@ -253,7 +270,12 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 				continue
 			}
 			for gi, g := range cfg.Groups {
-				out.Sessions[g.Name] = append(out.Sessions[g.Name], rs.metrics[gi])
+				s := rs.metrics[gi]
+				out.Sessions[g.Name] = append(out.Sessions[g.Name], s)
+				out.Stats.Faults += s.Faults
+				out.Stats.Retries += s.Retries
+				out.Stats.Degradations += s.Degradations
+				out.Stats.Failovers += s.Failovers
 			}
 			// Replay captured telemetry in job order, group order: the
 			// merged stream is byte-for-byte independent of worker
@@ -278,11 +300,9 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 		}
 		out.Windows[g.Name] = ws
 	}
-	out.Stats = RunStats{
-		Elapsed:     time.Since(start),
-		Sessions:    total * len(cfg.Groups),
-		Parallelism: cfg.Parallelism,
-	}
+	out.Stats.Elapsed = time.Since(start)
+	out.Stats.Sessions = total * len(cfg.Groups)
+	out.Stats.Parallelism = cfg.Parallelism
 	return out, nil
 }
 
@@ -295,6 +315,22 @@ func runPairedSession(ctx context.Context, cfg Config, catalog *media.Catalog, d
 	video := u.Pick(catalog)
 	stream := abr.NewStream(video, u.Rmin)
 
+	// Under fault weather every group runs the identical schedule against
+	// the identical reshaped trace — the paired design extends to faults.
+	tr := u.Trace
+	var inj *faults.SessionInjector
+	var fseed int64
+	if cfg.Faults != nil {
+		fseed = sessionFaultSeed(cfg.FaultSeed, day, window, i)
+		sched := faults.GenerateSeeded(*cfg.Faults, fseed)
+		var err error
+		tr, err = sched.ApplyToTrace(u.Trace)
+		if err != nil {
+			return nil, nil, fmt.Errorf("abtest: day %d window %d session %d fault trace: %w", day, window, i, err)
+		}
+		inj = faults.NewSessionInjector(sched, fseed)
+	}
+
 	ms := make([]metrics.Session, len(cfg.Groups))
 	var evs [][]telemetry.Event
 	if cfg.Observer != nil {
@@ -305,8 +341,12 @@ func runPairedSession(ctx context.Context, cfg Config, catalog *media.Catalog, d
 		pc := player.Config{
 			Algorithm:  g.New(u),
 			Stream:     stream,
-			Trace:      u.Trace,
+			Trace:      tr,
 			WatchLimit: u.WatchTime,
+		}
+		if inj != nil {
+			pc.Injector = inj
+			pc.Retry = player.RetryPolicy{Seed: fseed}
 		}
 		if cfg.Observer != nil {
 			rec = &telemetry.Capture{Session: fmt.Sprintf("d%d.w%02d.s%03d.%s", day, window, i, g.Name)}

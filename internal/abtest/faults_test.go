@@ -1,0 +1,116 @@
+package abtest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"bba/internal/faults"
+	"bba/internal/telemetry"
+)
+
+// stormConfig is a deliberately hostile fault load so even short test
+// sessions see every kind: roughly one episode of each kind every five
+// minutes of session time.
+func stormConfig() *faults.ScheduleConfig {
+	cfg := faults.ScheduleConfig{
+		Blackouts:     faults.EpisodeConfig{PerHour: 12, MinDuration: 5 * time.Second, MaxDuration: 20 * time.Second},
+		Collapses:     faults.EpisodeConfig{PerHour: 12, MinDuration: 10 * time.Second, MaxDuration: 30 * time.Second},
+		LatencySpikes: faults.EpisodeConfig{PerHour: 12, MinDuration: 10 * time.Second, MaxDuration: 30 * time.Second},
+		ServerErrors:  faults.EpisodeConfig{PerHour: 12, MinDuration: 10 * time.Second, MaxDuration: 30 * time.Second},
+		StallBodies:   faults.EpisodeConfig{PerHour: 6, MinDuration: 5 * time.Second, MaxDuration: 15 * time.Second},
+		ConnResets:    faults.EpisodeConfig{PerHour: 6, MinDuration: 5 * time.Second, MaxDuration: 15 * time.Second},
+		Horizon:       4 * time.Hour,
+	}
+	return &cfg
+}
+
+// faultJournal runs a small experiment under fault weather at the given
+// parallelism and returns the journal bytes plus the outcome.
+func faultJournal(t *testing.T, parallelism int) ([]byte, *Outcome) {
+	t.Helper()
+	var buf bytes.Buffer
+	j := telemetry.NewJournal(&buf)
+	out, err := Run(Config{
+		Seed:              11,
+		Days:              1,
+		SessionsPerWindow: 2,
+		CatalogSize:       4,
+		Parallelism:       parallelism,
+		Faults:            stormConfig(),
+		FaultSeed:         7,
+		Observer:          j,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), out
+}
+
+// TestFaultJournalDeterministic extends the harness determinism guarantee
+// to fault weather: the same experiment seed and fault seed produce a
+// byte-identical merged journal at any parallelism, fault events included.
+// Run under -race it also proves the fault path adds no data races.
+func TestFaultJournalDeterministic(t *testing.T) {
+	serial, serialOut := faultJournal(t, 1)
+	if len(serial) == 0 {
+		t.Fatal("journal is empty")
+	}
+	parallel, parallelOut := faultJournal(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Error("fault journal differs between Parallelism=1 and Parallelism=8")
+	}
+	again, _ := faultJournal(t, 8)
+	if !bytes.Equal(parallel, again) {
+		t.Error("fault journal differs between identical parallel runs")
+	}
+
+	// The storm must actually have injected something, and both runs must
+	// have seen the identical totals.
+	if serialOut.Stats.Faults == 0 || serialOut.Stats.Retries == 0 {
+		t.Fatalf("storm produced no fault activity: %+v", serialOut.Stats)
+	}
+	if serialOut.Stats.Faults != parallelOut.Stats.Faults ||
+		serialOut.Stats.Retries != parallelOut.Stats.Retries ||
+		serialOut.Stats.Degradations != parallelOut.Stats.Degradations {
+		t.Errorf("fault totals differ across parallelism: %+v vs %+v", serialOut.Stats, parallelOut.Stats)
+	}
+
+	// Fault telemetry reaches the journal.
+	text := string(serial)
+	for _, want := range []string{`"kind":"fault_inject"`, `"kind":"chunk_retry"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("journal missing %s events", want)
+		}
+	}
+}
+
+// TestFaultWeatherIsPaired pins the paired design under faults: every
+// group of one session must face the identical schedule, so per-session
+// fault counts can only differ through the groups' own download timing,
+// and a clean config must leave the harness byte-identical to one with
+// no fault fields at all.
+func TestFaultWeatherIsPaired(t *testing.T) {
+	_, out := faultJournal(t, 4)
+	for g, ss := range out.Sessions {
+		var total int
+		for _, s := range ss {
+			total += s.Faults + s.Retries
+		}
+		if total == 0 {
+			t.Errorf("group %s saw no fault activity under the storm", g)
+		}
+	}
+
+	clean, err := Run(Config{Seed: 11, Days: 1, SessionsPerWindow: 2, CatalogSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := clean.Stats; s.Faults != 0 || s.Retries != 0 || s.Degradations != 0 || s.Failovers != 0 {
+		t.Errorf("clean run reports fault activity: %+v", s)
+	}
+}

@@ -23,6 +23,19 @@ func sessionRNG(seed int64, day, window, i int) *rand.Rand {
 	return rand.New(rand.NewSource(int64(x)))
 }
 
+// sessionFaultSeed derives the per-session fault-schedule seed. It folds
+// an extra constant into the sessionRNG mix so the fault weather stays
+// decorrelated from the population draw even when FaultSeed equals the
+// experiment Seed.
+func sessionFaultSeed(seed int64, day, window, i int) int64 {
+	x := uint64(seed)
+	for _, v := range [...]uint64{uint64(day) + 1, uint64(window) + 1, uint64(i) + 1, 0xFA5E1} {
+		x += v * 0x9E3779B97F4A7C15
+		x = mix64(x)
+	}
+	return int64(x)
+}
+
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB

@@ -11,6 +11,7 @@ import (
 
 	"bba/internal/abr"
 	"bba/internal/buffer"
+	"bba/internal/faults"
 	"bba/internal/media"
 	"bba/internal/player"
 	"bba/internal/telemetry"
@@ -21,6 +22,16 @@ import (
 type ClientConfig struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Endpoints is the ordered server-root list for multi-endpoint
+	// failover; the first entry is the primary. When empty, BaseURL is
+	// the single endpoint. The client health-scores each endpoint,
+	// abandons one after repeated failures, and fails back to the
+	// primary once the fallback has proven itself.
+	Endpoints []string
+	// Fetch bounds per-chunk fetching: attempt timeout, backoff and the
+	// attempt budget. The zero value means defaults; a legacy MaxRetries
+	// sets the budget when Fetch.MaxAttempts is unset.
+	Fetch FetchPolicy
 	// HTTPClient performs the requests; nil means http.DefaultClient.
 	// Shape its transport (see internal/netem) to emulate a constrained
 	// downstream path.
@@ -35,7 +46,7 @@ type ClientConfig struct {
 	// whole title.
 	WatchLimit time.Duration
 	// MaxRetries bounds per-chunk retry attempts on transport or server
-	// errors (default 3).
+	// errors. Deprecated: use Fetch.MaxAttempts; kept as its fallback.
 	MaxRetries int
 	// UseMPD fetches the standards-shaped /manifest.mpd instead of the
 	// JSON manifest. An MPD carries no per-chunk sizes, so the client
@@ -76,10 +87,14 @@ func Stream(ctx context.Context, cfg ClientConfig) (*player.Result, error) {
 	if bufMax <= 0 {
 		bufMax = buffer.DefaultMax
 	}
-	retries := cfg.MaxRetries
-	if retries <= 0 {
-		retries = 3
+	endpoints := cfg.Endpoints
+	if len(endpoints) == 0 {
+		if cfg.BaseURL == "" {
+			return nil, errors.New("dash: no endpoints")
+		}
+		endpoints = []string{cfg.BaseURL}
 	}
+	fp := cfg.Fetch.withDefaults(cfg.MaxRetries)
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -90,7 +105,9 @@ func Stream(ctx context.Context, cfg ClientConfig) (*player.Result, error) {
 	case cfg.UseMPD && cfg.UseHLS:
 		return nil, errors.New("dash: UseMPD and UseHLS are mutually exclusive")
 	case cfg.UseMPD:
-		mpd, err := fetchMPD(ctx, httpc, cfg.BaseURL)
+		mpd, err := tryEndpoints(endpoints, func(base string) (MPD, error) {
+			return fetchMPD(ctx, httpc, base)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -100,12 +117,16 @@ func Stream(ctx context.Context, cfg ClientConfig) (*player.Result, error) {
 		}
 	case cfg.UseHLS:
 		var err error
-		video, err = videoFromHLS(ctx, httpc, cfg.BaseURL)
+		video, err = tryEndpoints(endpoints, func(base string) (*media.Video, error) {
+			return videoFromHLS(ctx, httpc, base)
+		})
 		if err != nil {
 			return nil, err
 		}
 	default:
-		manifest, err := fetchManifest(ctx, httpc, cfg.BaseURL)
+		manifest, err := tryEndpoints(endpoints, func(base string) (Manifest, error) {
+			return fetchManifest(ctx, httpc, base)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -140,6 +161,31 @@ func Stream(ctx context.Context, cfg ClientConfig) (*player.Result, error) {
 			Kind: telemetry.SessionStart, Chunk: -1, RateIndex: -1,
 			PrevRateIndex: -1, Label: res.Algorithm,
 		})
+	}
+
+	f := &fetcher{
+		c:  httpc,
+		es: newEndpointSet(endpoints),
+		fp: fp,
+		onRetry: func(k, attempt int, backoff time.Duration) {
+			res.Retries++
+			if obs != nil {
+				obs.OnEvent(telemetry.Event{
+					Kind: telemetry.ChunkRetry, At: time.Since(sessionStart),
+					Chunk: k, RateIndex: -1, PrevRateIndex: -1, Duration: backoff,
+				})
+			}
+		},
+		onFailover: func(from, to int, url string) {
+			res.Failovers++
+			logf("failover: endpoint %d -> %d (%s)", from, to, url)
+			if obs != nil {
+				obs.OnEvent(telemetry.Event{
+					Kind: telemetry.Failover, At: time.Since(sessionStart),
+					Chunk: -1, RateIndex: to, PrevRateIndex: from, Label: url,
+				})
+			}
+		},
 	}
 
 	for k := 0; k < stream.NumChunks(); k++ {
@@ -201,7 +247,7 @@ func Stream(ctx context.Context, cfg ClientConfig) (*player.Result, error) {
 		}
 
 		start := time.Now()
-		n, err := fetchChunk(ctx, httpc, cfg.BaseURL, stream.VideoIndex(idx), k, retries)
+		n, err := f.fetchChunk(ctx, stream.VideoIndex(idx), k)
 		dl := time.Since(start)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -419,39 +465,87 @@ func fetchManifest(ctx context.Context, c *http.Client, base string) (Manifest, 
 	return m, nil
 }
 
-// fetchChunk downloads one chunk with retries, returning the byte count.
-func fetchChunk(ctx context.Context, c *http.Client, base string, rate, k, retries int) (int64, error) {
-	url := fmt.Sprintf("%s/chunk/%d/%d", base, rate, k)
+// tryEndpoints runs fetch against each endpoint in preference order until
+// one succeeds.
+func tryEndpoints[T any](endpoints []string, fetch func(base string) (T, error)) (T, error) {
+	var zero T
 	var lastErr error
-	for attempt := 0; attempt < retries; attempt++ {
+	for _, base := range endpoints {
+		v, err := fetch(base)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+	}
+	return zero, lastErr
+}
+
+// fetcher downloads chunks under a FetchPolicy with endpoint failover.
+type fetcher struct {
+	c          *http.Client
+	es         *endpointSet
+	fp         FetchPolicy
+	onRetry    func(k, attempt int, backoff time.Duration)
+	onFailover func(from, to int, url string)
+}
+
+// fetchChunk downloads one chunk, retrying with deterministic backoff and
+// failing over between endpoints, and returns the byte count.
+func (f *fetcher) fetchChunk(ctx context.Context, rate, k int) (int64, error) {
+	var lastErr error
+	for attempt := 0; attempt < f.fp.MaxAttempts; attempt++ {
 		if attempt > 0 {
+			backoff := faults.Backoff(f.fp.BackoffBase, f.fp.BackoffCap, uint64(f.fp.JitterSeed), k, attempt)
+			if f.onRetry != nil {
+				f.onRetry(k, attempt, backoff)
+			}
 			select {
 			case <-ctx.Done():
 				return 0, ctx.Err()
-			case <-time.After(time.Duration(attempt) * 100 * time.Millisecond):
+			case <-time.After(backoff):
 			}
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-		if err != nil {
-			return 0, err
+		_, base := f.es.current()
+		n, err := f.try(ctx, base, rate, k)
+		if err == nil {
+			if switched, from, to := f.es.success(); switched && f.onFailover != nil {
+				f.onFailover(from, to, f.es.urls[to])
+			}
+			return n, nil
 		}
-		resp, err := c.Do(req)
-		if err != nil {
-			lastErr = err
-			continue
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
 		}
-		if resp.StatusCode != http.StatusOK {
-			resp.Body.Close()
-			lastErr = fmt.Errorf("status %s", resp.Status)
-			continue
+		lastErr = err
+		if switched, from, to := f.es.failure(); switched && f.onFailover != nil {
+			f.onFailover(from, to, f.es.urls[to])
 		}
-		n, err := io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		return n, nil
 	}
-	return 0, fmt.Errorf("%w: %s after %d attempts: %v", ErrChunkFailed, url, retries, lastErr)
+	return 0, fmt.Errorf("%w: chunk %d/%d after %d attempts: %v", ErrChunkFailed, rate, k, f.fp.MaxAttempts, lastErr)
+}
+
+// try performs a single attempt against base under the per-chunk timeout.
+func (f *fetcher) try(ctx context.Context, base string, rate, k int) (int64, error) {
+	if f.fp.ChunkTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.fp.ChunkTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/chunk/%d/%d", base, rate, k), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %s", resp.Status)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
 }

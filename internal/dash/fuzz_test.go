@@ -1,0 +1,148 @@
+package dash
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"bba/internal/media"
+	"bba/internal/units"
+)
+
+// The fuzz targets exercise the manifest parsers with the round-trip
+// property: any input the parser accepts must serialize back into a form
+// the parser accepts again, with the semantic fields (ladder, durations,
+// segment counts) preserved. Inputs the parser rejects are uninteresting —
+// rejection IS the correct handling of hostile data.
+
+func fuzzVideo(f *testing.F) *media.Video {
+	f.Helper()
+	v, err := media.NewCBR("fuzz-seed", media.DefaultLadder(), 4*time.Second, 6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return v
+}
+
+func FuzzMPDRoundTrip(f *testing.F) {
+	mpd, err := xml.MarshalIndent(MPDFor(fuzzVideo(f)), "", "  ")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mpd)
+	f.Add([]byte(`<MPD mediaPresentationDuration="PT24S"></MPD>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m MPD
+		if xml.Unmarshal(data, &m) != nil {
+			return
+		}
+		out, err := xml.Marshal(m)
+		if err != nil {
+			// Accepted input that cannot re-serialize (e.g. attribute
+			// values with invalid code points) is tolerable; the round
+			// trip only applies to serializable documents.
+			return
+		}
+		var m2 MPD
+		if err := xml.Unmarshal(out, &m2); err != nil {
+			t.Fatalf("re-parse of serialized MPD failed: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(m.Ladder(), m2.Ladder()) {
+			t.Fatalf("ladder changed across round trip: %v -> %v", m.Ladder(), m2.Ladder())
+		}
+		d1, err1 := m.Duration()
+		d2, err2 := m2.Duration()
+		if (err1 == nil) != (err2 == nil) || d1 != d2 {
+			t.Fatalf("duration changed across round trip: %v/%v -> %v/%v", d1, err1, d2, err2)
+		}
+	})
+}
+
+func FuzzMasterPlaylistRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteMasterPlaylist(&seed, fuzzVideo(f)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("#EXTM3U\n#EXT-X-STREAM-INF:BANDWIDTH=1000000\n/playlist/0.m3u8\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseMasterPlaylist(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		ladder := m.Ladder()
+		// Serialization goes through a Video, which requires a strictly
+		// ascending positive ladder; parsed playlists outside that space
+		// have no writer to round-trip through.
+		v, err := media.NewCBR("fuzz", ladder, time.Second, 1)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMasterPlaylist(&buf, v); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := ParseMasterPlaylist(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of serialized master playlist failed: %v\n%s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(m2.Ladder(), ladder) {
+			t.Fatalf("ladder changed across round trip: %v -> %v", ladder, m2.Ladder())
+		}
+	})
+}
+
+func FuzzMediaPlaylistRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteMediaPlaylist(&seed, fuzzVideo(f), 0); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("#EXTM3U\n#EXTINF:4.000,\n/chunk/0/0\n#EXT-X-ENDLIST\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pl, err := ParseMediaPlaylist(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := len(pl.SegmentURIs)
+		if n == 0 || n > 4096 || len(pl.SegmentSecs) != n {
+			return
+		}
+		// The writer emits uniform segment durations, so only uniform
+		// parses round-trip structurally.
+		secs := pl.SegmentSecs[0]
+		if secs <= 0 || secs > 3600 || math.IsNaN(secs) || math.IsInf(secs, 0) {
+			return
+		}
+		for _, s := range pl.SegmentSecs {
+			if s != secs {
+				return
+			}
+		}
+		v, err := media.NewCBR("fuzz", media.DefaultLadder(), units.SecondsToDuration(secs), n)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMediaPlaylist(&buf, v, 0); err != nil {
+			t.Fatal(err)
+		}
+		pl2, err := ParseMediaPlaylist(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of serialized media playlist failed: %v\n%s", err, buf.Bytes())
+		}
+		if len(pl2.SegmentURIs) != n {
+			t.Fatalf("segment count changed across round trip: %d -> %d", n, len(pl2.SegmentURIs))
+		}
+		if !pl2.Ended {
+			t.Fatal("serialized playlist lost its ENDLIST marker")
+		}
+		// The writer prints durations at millisecond precision.
+		if len(pl2.SegmentSecs) > 0 && math.Abs(pl2.SegmentSecs[0]-secs) > 0.001 {
+			t.Fatalf("segment duration drifted across round trip: %v -> %v", secs, pl2.SegmentSecs[0])
+		}
+	})
+}

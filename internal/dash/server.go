@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bba/internal/faults"
 	"bba/internal/media"
 	"bba/internal/telemetry"
 	"bba/internal/units"
@@ -83,6 +84,11 @@ type Server struct {
 	// FailChunk, when non-nil, makes matching chunk requests fail with
 	// a 503 — fault injection for client retry tests.
 	FailChunk func(rate, chunk int) bool
+	// Injector, when non-nil, puts the server in fault-injecting mode:
+	// chunk requests inside scheduled episodes suffer 503s, stalled
+	// bodies, mid-download aborts and added first-byte latency, as the
+	// injector decides.
+	Injector *faults.HTTPInjector
 	// Observer, when non-nil, receives server-side telemetry: a
 	// ChunkRequest when a chunk request arrives and a ChunkComplete when
 	// its body has been written (At is time since server start). Wire a
@@ -166,6 +172,38 @@ func (s *Server) serveChunk(w http.ResponseWriter, r *http.Request) {
 		time.Sleep(s.Latency)
 	}
 	size := s.video.ChunkSize(rate, chunk)
+	if s.Injector != nil {
+		latency, kind, fault := s.Injector.Request()
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		if fault {
+			s.observeFault(kind, rate, chunk, size)
+			switch kind {
+			case faults.ServerError:
+				http.Error(w, "injected failure", http.StatusServiceUnavailable)
+				return
+			case faults.StallBody, faults.ConnReset:
+				// Deliver a partial body, then hang (slowloris) or tear the
+				// connection down mid-download.
+				w.Header().Set("Content-Type", "video/mp4")
+				w.Header().Set("Content-Length", fmt.Sprint(size))
+				partial := size / 4
+				if partial > 64<<10 {
+					partial = 64 << 10
+				}
+				writeFiller(w, partial)
+				if f, ok := w.(http.Flusher); ok {
+					f.Flush()
+				}
+				if kind == faults.ConnReset {
+					panic(http.ErrAbortHandler)
+				}
+				time.Sleep(s.Injector.Stall())
+				return
+			}
+		}
+	}
 	if s.Observer != nil {
 		s.Observer.OnEvent(telemetry.Event{
 			Kind: telemetry.ChunkRequest, At: time.Since(s.start),
@@ -185,6 +223,18 @@ func (s *Server) serveChunk(w http.ResponseWriter, r *http.Request) {
 			Duration: time.Since(served),
 		})
 	}
+}
+
+// observeFault reports an injected fault through the server's Observer.
+func (s *Server) observeFault(kind faults.Kind, rate, chunk int, size int64) {
+	if s.Observer == nil {
+		return
+	}
+	s.Observer.OnEvent(telemetry.Event{
+		Kind: telemetry.FaultInject, At: time.Since(s.start),
+		Chunk: chunk, RateIndex: rate, PrevRateIndex: -1,
+		Rate: s.video.Ladder[rate], Bytes: size, Label: kind.String(),
+	})
 }
 
 // writeFiller streams size bytes of deterministic filler.

@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"time"
+)
+
+// mix64 is the SplitMix64 finalizer — the same mixer the A/B harness uses
+// to derive per-session RNGs, reused here so fault decisions are pure
+// functions of their coordinates.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// hash folds the seed and coordinates into a uniform 64-bit value.
+func hash(seed uint64, coords ...uint64) uint64 {
+	x := seed
+	for _, v := range coords {
+		x += (v + 1) * 0x9E3779B97F4A7C15
+		x = mix64(x)
+	}
+	return x
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}
+
+// Backoff returns the capped exponential backoff before retry attempt
+// (attempt ≥ 1), with deterministic jitter: the base delay doubles per
+// attempt up to cap, then ±25% jitter derived from hash(seed, chunk,
+// attempt) is applied. No wall-clock or shared RNG is read, so retry
+// timing — and therefore every journal built on it — is reproducible.
+func Backoff(base, cap time.Duration, seed uint64, chunk, attempt int) time.Duration {
+	if base <= 0 || attempt <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if cap > 0 && d > cap {
+		d = cap
+	}
+	// Jitter in [0.75, 1.25): desynchronizes retry herds without
+	// sacrificing determinism.
+	j := 0.75 + 0.5*unitFloat(hash(seed, uint64(chunk), uint64(attempt), 0x9e37))
+	return time.Duration(float64(d) * j)
+}
+
+// AttemptFailProb is the probability a chunk attempt fails while an
+// HTTP-path episode is active. It is deliberately below 1 so a retry
+// inside the episode can still succeed occasionally — bursts in the wild
+// are lossy, not absolute.
+const AttemptFailProb = 0.9
+
+// SessionInjector makes per-chunk fault decisions for the virtual-time
+// player. It is stateless: every decision is a pure function of (seed,
+// chunk, attempt) and the schedule, so a shared injector is safe for
+// concurrent paired sessions and identical coordinates always reproduce
+// identical fault histories.
+type SessionInjector struct {
+	sched *Schedule
+	seed  uint64
+
+	// StallTimeout is the virtual cost of an attempt lost to a stalled
+	// body — the client waits its per-chunk timeout (default 8 s).
+	StallTimeout time.Duration
+	// ErrorDelay is the virtual cost of a 503 round trip (default 250 ms).
+	ErrorDelay time.Duration
+	// ResetDelay is the virtual cost of a mid-download reset (default 1 s:
+	// part of the chunk transferred, then the teardown).
+	ResetDelay time.Duration
+}
+
+// NewSessionInjector builds an injector for the schedule, deterministic in
+// seed.
+func NewSessionInjector(s *Schedule, seed int64) *SessionInjector {
+	return &SessionInjector{
+		sched:        s,
+		seed:         mix64(uint64(seed)),
+		StallTimeout: 8 * time.Second,
+		ErrorDelay:   250 * time.Millisecond,
+		ResetDelay:   time.Second,
+	}
+}
+
+// ChunkFault decides whether attempt (0-based) of chunk fails at session
+// time now. It returns the fault's telemetry label, the virtual time the
+// failure costs, and whether the attempt failed. It implements the
+// player's injector hook.
+func (in *SessionInjector) ChunkFault(now time.Duration, chunk, attempt int) (label string, delay time.Duration, failed bool) {
+	if in == nil || in.sched.Empty() {
+		return "", 0, false
+	}
+	f, ok := in.sched.ActiveHTTP(now)
+	if !ok {
+		return "", 0, false
+	}
+	if unitFloat(hash(in.seed, uint64(f.Kind), uint64(chunk), uint64(attempt))) >= AttemptFailProb {
+		return "", 0, false
+	}
+	switch f.Kind {
+	case ServerError:
+		return f.Kind.String(), in.ErrorDelay, true
+	case StallBody:
+		return f.Kind.String(), in.StallTimeout, true
+	case ConnReset:
+		return f.Kind.String(), in.ResetDelay, true
+	}
+	return "", 0, false
+}
+
+// RequestLatency returns the extra first-byte delay a request issued at
+// session time now pays under an active latency spike. It implements the
+// player's latency hook.
+func (in *SessionInjector) RequestLatency(now time.Duration) time.Duration {
+	if in == nil || in.sched.Empty() {
+		return 0
+	}
+	if f, ok := in.sched.Active(LatencySpike, now); ok {
+		return f.Latency
+	}
+	return 0
+}
+
+// Schedule returns the schedule the injector draws decisions from.
+func (in *SessionInjector) Schedule() *Schedule { return in.sched }

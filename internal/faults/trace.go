@@ -1,0 +1,145 @@
+package faults
+
+import (
+	"sort"
+	"time"
+
+	"bba/internal/trace"
+)
+
+// ApplyToTrace overlays the schedule's capacity faults — blackouts and
+// collapses — onto base and returns the faulted trace. Blackouts force
+// capacity to zero; collapses scale the base capacity (segment by segment,
+// so a collapse over a varying trace stays proportional to it); where the
+// two overlap the blackout wins. HTTP-path faults and latency spikes do
+// not touch the trace — they are the injectors' business.
+//
+// Episodes extending past the base trace's explicit end are honoured by
+// extending the final segment (the trace's persistence rule made
+// explicit), so a schedule drawn over a longer horizon composes with any
+// base.
+func (s *Schedule) ApplyToTrace(base *trace.Trace) (*trace.Trace, error) {
+	if s.Empty() {
+		return base, nil
+	}
+	spans := s.capacitySpans()
+	if len(spans) == 0 {
+		return base, nil
+	}
+
+	// Extend the base so every span fits strictly inside it — one second
+	// past the last span, so the rate that persists beyond the trace is
+	// the restored base rate, not the tail of a fault.
+	segs := base.Segments()
+	total := base.Total()
+	if end := spans[len(spans)-1].end; end >= total {
+		segs[len(segs)-1].Duration += end - total + time.Second
+		total = end + time.Second
+	}
+	extended, err := trace.New(segs)
+	if err != nil {
+		return nil, err
+	}
+
+	bounds := segBounds(extended)
+	var ovs []trace.Override
+	for _, sp := range spans {
+		start, end := sp.start, sp.end
+		if start >= total {
+			continue
+		}
+		if end > total {
+			end = total
+		}
+		if sp.factor == 0 {
+			ovs = append(ovs, trace.Override{Start: start, Duration: end - start})
+			continue
+		}
+		// A collapse scales whatever the base was doing, so it needs one
+		// override per underlying segment it crosses.
+		for cursor := start; cursor < end; {
+			// The base rate next changes at the first segment boundary
+			// strictly after cursor.
+			i := sort.Search(len(bounds), func(i int) bool { return bounds[i] > cursor })
+			segEnd := end
+			if i < len(bounds) && bounds[i] < segEnd {
+				segEnd = bounds[i]
+			}
+			ovs = append(ovs, trace.Override{
+				Start:    cursor,
+				Duration: segEnd - cursor,
+				Rate:     extended.RateAt(cursor).Scale(sp.factor),
+			})
+			cursor = segEnd
+		}
+	}
+	return trace.WithOverrides(extended, ovs)
+}
+
+// capacitySpan is a maximal interval with a uniform capacity factor < 1.
+type capacitySpan struct {
+	start, end time.Duration
+	factor     float64
+}
+
+// capacitySpans flattens the (possibly overlapping) blackout and collapse
+// episodes into disjoint spans, taking the minimum factor where they
+// overlap.
+func (s *Schedule) capacitySpans() []capacitySpan {
+	type episode struct {
+		start, end time.Duration
+		factor     float64
+	}
+	var eps []episode
+	for _, f := range s.faults {
+		switch f.Kind {
+		case Blackout:
+			eps = append(eps, episode{f.Start, f.End(), 0})
+		case Collapse:
+			eps = append(eps, episode{f.Start, f.End(), f.Factor})
+		}
+	}
+	if len(eps) == 0 {
+		return nil
+	}
+	bounds := make([]time.Duration, 0, 2*len(eps))
+	for _, e := range eps {
+		bounds = append(bounds, e.start, e.end)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	var spans []capacitySpan
+	for i := 0; i+1 < len(bounds); i++ {
+		a, b := bounds[i], bounds[i+1]
+		if a == b {
+			continue
+		}
+		factor := 1.0
+		for _, e := range eps {
+			if e.start <= a && b <= e.end && e.factor < factor {
+				factor = e.factor
+			}
+		}
+		if factor >= 1 {
+			continue
+		}
+		// Merge with the previous span when contiguous and same factor.
+		if n := len(spans); n > 0 && spans[n-1].end == a && spans[n-1].factor == factor {
+			spans[n-1].end = b
+			continue
+		}
+		spans = append(spans, capacitySpan{a, b, factor})
+	}
+	return spans
+}
+
+// segBounds returns the start time of every segment of t, ascending.
+func segBounds(t *trace.Trace) []time.Duration {
+	segs := t.Segments()
+	out := make([]time.Duration, len(segs))
+	var at time.Duration
+	for i, s := range segs {
+		out[i] = at
+		at += s.Duration
+	}
+	return out
+}

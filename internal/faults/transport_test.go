@@ -1,0 +1,192 @@
+package faults
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedClock steps a Transport/HTTPInjector through schedule time without
+// wall-clock reads.
+type fixedClock struct{ at time.Time }
+
+func (c *fixedClock) now() time.Time             { return c.at }
+func (c *fixedClock) advance(d time.Duration)    { c.at = c.at.Add(d) }
+func epoch() time.Time                           { return time.Unix(1_700_000_000, 0) }
+func newFixedClock(at time.Duration) *fixedClock { return &fixedClock{at: epoch().Add(at)} }
+
+func newFaultTransport(t *testing.T, s *Schedule, at time.Duration) (*Transport, *httptest.Server, *[]Kind) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(strings.Repeat("x", 4<<10)))
+	}))
+	t.Cleanup(srv.Close)
+	clock := newFixedClock(at)
+	var seen []Kind
+	tr := &Transport{
+		Base:     srv.Client().Transport,
+		Schedule: s,
+		Seed:     1,
+		Now:      clock.now,
+		Sleep:    func(time.Duration) {},
+		OnFault:  func(k Kind, _ int64) { seen = append(seen, k) },
+	}
+	tr.Start(epoch())
+	return tr, srv, &seen
+}
+
+// get issues requests through tr until one lands inside the fault window
+// (injection is probabilistic per request at p=0.9).
+func getFaulted(t *testing.T, tr *Transport, url string, want Kind, seen *[]Kind) *http.Response {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		resp, err := tr.RoundTrip(mustReq(t, url))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(*seen); n > 0 && (*seen)[n-1] == want {
+			return resp
+		}
+		resp.Body.Close()
+	}
+	t.Fatalf("no %v injected in 64 requests at p=0.9", want)
+	return nil
+}
+
+func mustReq(t *testing.T, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestTransportServerError(t *testing.T) {
+	s := MustSchedule([]Fault{{Kind: ServerError, Start: 10 * time.Second, Duration: 10 * time.Second}})
+	tr, srv, seen := newFaultTransport(t, s, 15*time.Second)
+	resp := getFaulted(t, tr, srv.URL, ServerError, seen)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestTransportConnReset(t *testing.T) {
+	s := MustSchedule([]Fault{{Kind: ConnReset, Start: 0, Duration: 10 * time.Second}})
+	tr, srv, seen := newFaultTransport(t, s, 5*time.Second)
+	resp := getFaulted(t, tr, srv.URL, ConnReset, seen)
+	defer resp.Body.Close()
+	_, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, ErrConnReset) {
+		t.Fatalf("ReadAll err = %v, want ErrConnReset", err)
+	}
+}
+
+func TestTransportStallBody(t *testing.T) {
+	s := MustSchedule([]Fault{{Kind: StallBody, Start: 0, Duration: 10 * time.Second}})
+	tr, srv, seen := newFaultTransport(t, s, 5*time.Second)
+	var stalled bool
+	tr.Sleep = func(time.Duration) { stalled = true }
+	resp := getFaulted(t, tr, srv.URL, StallBody, seen)
+	defer resp.Body.Close()
+	buf := make([]byte, 8<<10)
+	var total int
+	for i := 0; i < 8 && !stalled; i++ {
+		n, err := resp.Body.Read(buf)
+		total += n
+		if err != nil {
+			t.Fatalf("read err %v before stall", err)
+		}
+	}
+	if !stalled {
+		t.Fatal("body never stalled")
+	}
+	if total > 1<<10 {
+		t.Fatalf("delivered %d bytes before stalling, want ≤ 1KiB", total)
+	}
+}
+
+func TestTransportLatencySpikeAndTransparency(t *testing.T) {
+	s := MustSchedule([]Fault{{Kind: LatencySpike, Start: 10 * time.Second, Duration: 10 * time.Second, Latency: 750 * time.Millisecond}})
+	tr, srv, _ := newFaultTransport(t, s, 15*time.Second)
+	var slept time.Duration
+	tr.Sleep = func(d time.Duration) { slept += d }
+	resp, err := tr.RoundTrip(mustReq(t, srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if slept != 750*time.Millisecond {
+		t.Errorf("slept %v, want the spike's 750ms", slept)
+	}
+	if len(body) != 4<<10 {
+		t.Errorf("body %d bytes, want full response (spikes delay, not corrupt)", len(body))
+	}
+
+	// Outside every episode the transport is transparent.
+	clock := newFixedClock(25 * time.Second)
+	tr.Now = clock.now
+	slept = 0
+	resp, err = tr.RoundTrip(mustReq(t, srv.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if slept != 0 || len(body) != 4<<10 {
+		t.Errorf("outside episodes: slept %v, body %d bytes; want 0 and full body", slept, len(body))
+	}
+}
+
+func TestHTTPInjectorRequest(t *testing.T) {
+	s := MustSchedule([]Fault{
+		{Kind: LatencySpike, Start: 0, Duration: 10 * time.Second, Latency: time.Second},
+		{Kind: ServerError, Start: 5 * time.Second, Duration: 5 * time.Second},
+	})
+	clock := newFixedClock(6 * time.Second)
+	in := &HTTPInjector{Schedule: s, Seed: 3, Now: clock.now}
+	in.Start(epoch())
+	sawBoth := false
+	for i := 0; i < 64 && !sawBoth; i++ {
+		lat, kind, fault := in.Request()
+		if lat != time.Second {
+			t.Fatalf("latency %v, want the spike's 1s", lat)
+		}
+		if fault {
+			if kind != ServerError {
+				t.Fatalf("fault kind %v, want server_error", kind)
+			}
+			sawBoth = true
+		}
+	}
+	if !sawBoth {
+		t.Fatal("no server_error in 64 requests at p=0.9")
+	}
+	// Decisions replay identically for the same seed and sequence.
+	rerun := &HTTPInjector{Schedule: s, Seed: 3, Now: clock.now}
+	rerun.Start(epoch())
+	a := &HTTPInjector{Schedule: s, Seed: 3, Now: clock.now}
+	a.Start(epoch())
+	for i := 0; i < 32; i++ {
+		l1, k1, f1 := rerun.Request()
+		l2, k2, f2 := a.Request()
+		if l1 != l2 || k1 != k2 || f1 != f2 {
+			t.Fatal("same seed and sequence disagreed")
+		}
+	}
+	// Outside episodes: inert.
+	clock.advance(20 * time.Second)
+	if lat, _, fault := in.Request(); lat != 0 || fault {
+		t.Error("injector fired outside every episode")
+	}
+	var nilInj *HTTPInjector
+	if lat, _, fault := nilInj.Request(); lat != 0 || fault {
+		t.Error("nil injector fired")
+	}
+}

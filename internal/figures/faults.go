@@ -1,0 +1,127 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/abtest"
+	"bba/internal/faults"
+	"bba/internal/media"
+	"bba/internal/player"
+)
+
+// ExperimentConfig returns the weekend experiment's abtest configuration
+// at a scale — the exact population ExperimentOutcome runs — so callers
+// (cmd/abtest's fault mode) can replay it under modified conditions.
+func ExperimentConfig(scale Scale) abtest.Config {
+	cfg := abtest.Config{Seed: ExperimentSeed, Days: 2, SessionsPerWindow: 80}
+	if scale == Full {
+		cfg.Days = 3
+		cfg.SessionsPerWindow = 160
+	}
+	return cfg
+}
+
+// OutageRobustness sweeps a single mid-session link blackout from seconds
+// to beyond the 240 s player buffer and reports each algorithm's rebuffer
+// rate — the §7.1 design argument made quantitative: the buffer the BBA
+// family deliberately accrues is outage insurance, so buffer-based
+// sessions ride out any outage shorter than their accrued buffer while
+// the estimator-driven Control, converging to a thinner buffer, freezes
+// first. Past the buffer capacity nobody survives and the curves converge.
+func OutageRobustness() (*Figure, error) {
+	catalog, err := media.NewCatalog(24, media.DefaultLadder(), ExperimentSeed)
+	if err != nil {
+		return nil, err
+	}
+	algs := []struct {
+		name string
+		mk   func(abtest.User) abr.Algorithm
+	}{
+		{"Control", func(u abtest.User) abr.Algorithm {
+			c := abr.NewControl()
+			c.InitialEstimate = u.History
+			return c
+		}},
+		{"BBA-0", func(abtest.User) abr.Algorithm { return abr.NewBBA0() }},
+		{"BBA-1", func(abtest.User) abr.Algorithm { return abr.NewBBA1() }},
+	}
+	outages := []time.Duration{
+		15 * time.Second, 30 * time.Second, 60 * time.Second,
+		120 * time.Second, 180 * time.Second, 300 * time.Second,
+	}
+	const (
+		sessions = 70
+		// The blackout hits after the session has had time to accrue
+		// buffer but well before the watch limit, so its whole duration
+		// lands mid-playback.
+		outageAt = 8 * time.Minute
+		watch    = 20 * time.Minute
+	)
+
+	fig := &Figure{
+		ID:     "ext-outage",
+		Title:  "Extension (§7.1): rebuffer rate versus outage duration",
+		XLabel: "outage duration",
+		YLabel: "rebuffers per playhour",
+	}
+	series := make([]Series, len(algs))
+	for ai, a := range algs {
+		series[ai] = Series{Name: a.name}
+	}
+	for _, d := range outages {
+		sched := faults.MustSchedule([]faults.Fault{
+			{Kind: faults.Blackout, Start: outageAt, Duration: d},
+		})
+		rebuffers := make([]int, len(algs))
+		hours := make([]float64, len(algs))
+		// The same drawn users face every outage duration: the sweep is
+		// paired along both axes.
+		for i := 0; i < sessions; i++ {
+			rng := abtest.SessionRNG(ExperimentSeed+37, 0, 0, i)
+			u := abtest.DrawUser(abtest.PopulationConfig{}, 0, 0, rng) // peak window
+			u.WatchTime = watch
+			tr, err := sched.ApplyToTrace(u.Trace)
+			if err != nil {
+				return nil, err
+			}
+			stream := abr.NewStream(u.Pick(catalog), u.Rmin)
+			for ai, a := range algs {
+				res, err := player.Run(player.Config{
+					Algorithm:  a.mk(u),
+					Stream:     stream,
+					Trace:      tr,
+					WatchLimit: u.WatchTime,
+				})
+				if err != nil {
+					return nil, err
+				}
+				rebuffers[ai] += res.Rebuffers
+				hours[ai] += res.PlayHours()
+			}
+		}
+		label := fmt.Sprintf("%ds", int(d.Seconds()))
+		for ai := range algs {
+			y := 0.0
+			if hours[ai] > 0 {
+				y = float64(rebuffers[ai]) / hours[ai]
+			}
+			series[ai].Points = append(series[ai].Points, Point{X: label, Y: y})
+		}
+	}
+	fig.Series = series
+
+	// Quantify the headline: how much longer an outage the BBA family
+	// absorbs at the Control's rebuffer cost, and where the curves meet.
+	last := len(outages) - 1
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("at a 60 s outage: Control %.2f vs BBA-0 %.2f vs BBA-1 %.2f rebuffers/playhour",
+			series[0].Points[2].Y, series[1].Points[2].Y, series[2].Points[2].Y),
+		fmt.Sprintf("past the %v player buffer (%s outage) every algorithm must freeze: Control %.2f vs BBA-1 %.2f",
+			4*time.Minute, series[0].Points[last].X, series[0].Points[last].Y, series[2].Points[last].Y),
+		"design claim (§7.1): buffer occupancy is outage insurance — the deliberately accrued buffer rides out any outage shorter than itself, with no estimator in the loop to mispredict through the gap",
+		"demo: `go run ./examples/outage` replays one such blackout (plus a 5xx burst and a latency spike) through the same faults.Schedule against four algorithm variants",
+	)
+	return fig, nil
+}

@@ -95,6 +95,7 @@ func All() []Entry {
 		{"SeekStartup", "extension (§6 seeks)", fixed(SeekStartup)},
 		{"RelatedWorkComparison", "extension (§2.2/§8)", fixed(RelatedWorkComparison)},
 		{"QoERanking", "extension (QoE, [7][11])", fixed(QoERanking)},
+		{"OutageRobustness", "extension (§7.1 outages)", fixed(OutageRobustness)},
 		{"BufferOccupancy", "extension (buffer dynamics)", fixed(BufferOccupancy)},
 	}
 }

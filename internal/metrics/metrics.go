@@ -37,6 +37,12 @@ type Session struct {
 	// QoE is the session's composite quality-of-experience score under
 	// qoe.Default weights.
 	QoE float64
+	// Faults, Retries and Degradations count fault-injection activity
+	// (zero on clean runs).
+	Faults       int
+	Retries      int
+	Degradations int
+	Failovers    int
 }
 
 // FromResult extracts a Session from a player result.
@@ -53,6 +59,10 @@ func FromResult(r *player.Result, window, day int) Session {
 		SteadyReached:   steady > 0,
 		StartupRateKbps: r.StartupAvgRateKbps(),
 		QoE:             qoe.Score(r, qoe.Default()).QoE,
+		Faults:          r.Faults,
+		Retries:         r.Retries,
+		Degradations:    r.Degradations,
+		Failovers:       r.Failovers,
 	}
 }
 

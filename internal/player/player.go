@@ -25,6 +25,7 @@ import (
 
 	"bba/internal/abr"
 	"bba/internal/buffer"
+	"bba/internal/faults"
 	"bba/internal/telemetry"
 	"bba/internal/trace"
 	"bba/internal/units"
@@ -59,6 +60,58 @@ type Config struct {
 	// in session-clock order. A nil observer costs nothing: no event
 	// values are built and no buffer state is polled.
 	Observer telemetry.Observer
+	// Injector, when non-nil, subjects each chunk download attempt to
+	// injected faults. Failed attempts are retried with deterministic
+	// capped-exponential backoff; when the per-rate budget runs out the
+	// session degrades to the lowest rate and shrinks the request instead
+	// of aborting. A nil injector costs nothing: the download path is the
+	// uninstrumented one.
+	Injector FaultInjector
+	// Retry tunes the retry/degradation policy; the zero value means
+	// defaults (budget 3, backoff 200 ms doubling to a 5 s cap).
+	Retry RetryPolicy
+}
+
+// FaultInjector decides per-attempt chunk failures and per-request latency
+// for a session under injected faults. *faults.SessionInjector satisfies
+// it. Implementations must be pure functions of their arguments so
+// sessions stay deterministic and replayable.
+type FaultInjector interface {
+	// ChunkFault reports whether this attempt (0-based) at chunk fails at
+	// session time now, the telemetry label of the fault, and the virtual
+	// time the failed attempt costs.
+	ChunkFault(now time.Duration, chunk, attempt int) (label string, delay time.Duration, failed bool)
+	// RequestLatency is the extra first-byte delay a request issued at
+	// session time now pays (latency spikes).
+	RequestLatency(now time.Duration) time.Duration
+}
+
+// RetryPolicy bounds the player's chunk-retry behaviour under faults.
+type RetryPolicy struct {
+	// Budget is how many failed attempts at the current rate trigger
+	// degradation to the lowest rate (default 3). At the lowest rate the
+	// player keeps retrying: every attempt advances the session clock, so
+	// it always outlives a finite fault episode.
+	Budget int
+	// BackoffBase and BackoffCap bound the exponential backoff between
+	// attempts (defaults 200 ms and 5 s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed drives the deterministic backoff jitter.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Budget <= 0 {
+		p.Budget = 3
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 200 * time.Millisecond
+	}
+	if p.BackoffCap <= 0 {
+		p.BackoffCap = 5 * time.Second
+	}
+	return p
 }
 
 // Seek is one viewer seek.
@@ -111,6 +164,14 @@ type Result struct {
 	// Incomplete marks a session whose download could never finish
 	// (the trace ended in a permanent outage).
 	Incomplete bool
+	// Faults counts injected faults that hit chunk attempts.
+	Faults int
+	// Retries counts chunk re-attempts after injected failures.
+	Retries int
+	// Degradations counts drops to the lowest rate under repeated failure.
+	Degradations int
+	// Failovers counts endpoint switches (HTTP client sessions only).
+	Failovers int
 	// Seeks logs the viewer seeks that executed.
 	Seeks []SeekRecord
 	// End is the session clock when the session finished.
@@ -180,6 +241,35 @@ func run(ctx context.Context, cfg Config) (*Result, error) {
 			Kind: telemetry.SessionStart, Chunk: -1, RateIndex: -1,
 			PrevRateIndex: -1, Label: res.Algorithm,
 		})
+	}
+
+	// Fault state. Only built when an injector is configured, so the
+	// nil-injector hot path stays byte-for-byte the uninstrumented engine.
+	inj := cfg.Injector
+	var (
+		rp           RetryPolicy
+		faultAdvance func(d time.Duration, chunk int)
+	)
+	if inj != nil {
+		rp = cfg.Retry.withDefaults()
+		// Advance the session clock through a failed attempt or backoff:
+		// the buffer keeps draining, and a drain-to-empty is a real
+		// rebuffer with the same telemetry as one during a download.
+		faultAdvance = func(d time.Duration, chunk int) {
+			if d <= 0 {
+				return
+			}
+			preLevel, preStall, preRebuf := buf.Level(), buf.StallTime(), buf.Rebuffers()
+			buf.Advance(d)
+			now += d
+			if obs != nil && buf.Rebuffers() > preRebuf {
+				stallBase = preStall
+				obs.OnEvent(telemetry.Event{
+					Kind: telemetry.RebufferStart, At: now - d + preLevel,
+					Chunk: chunk, RateIndex: -1, PrevRateIndex: -1,
+				})
+			}
+		}
 	}
 
 	seeks := cfg.Seeks
@@ -264,6 +354,64 @@ func run(ctx context.Context, cfg Config) (*Result, error) {
 				RateIndex: idx, PrevRateIndex: -1,
 				Rate: ladder[idx], Bytes: bytes, Buffer: buf.Level(),
 			})
+		}
+
+		if inj != nil {
+			// Resilience loop: each attempt pays any active latency spike,
+			// may fail to an injected fault (costing its virtual delay plus
+			// a deterministic backoff), and after Budget failures at the
+			// chosen rate the session degrades to the lowest rung with a
+			// shrunken request rather than aborting. The loop always
+			// terminates: every failed attempt advances the clock by at
+			// least the backoff, so a finite episode is always outlived.
+			attempt, budgetUsed := 0, 0
+			degraded := false
+			for {
+				faultAdvance(inj.RequestLatency(now), k)
+				label, cost, failed := inj.ChunkFault(now, k, attempt)
+				if !failed {
+					break
+				}
+				res.Faults++
+				if obs != nil {
+					obs.OnEvent(telemetry.Event{
+						Kind: telemetry.FaultInject, At: now, Chunk: k,
+						RateIndex: idx, PrevRateIndex: -1,
+						Duration: cost, Label: label,
+					})
+				}
+				attempt++
+				budgetUsed++
+				backoff := faults.Backoff(rp.BackoffBase, rp.BackoffCap, uint64(rp.Seed), k, attempt)
+				faultAdvance(cost+backoff, k)
+				res.Retries++
+				if obs != nil {
+					obs.OnEvent(telemetry.Event{
+						Kind: telemetry.ChunkRetry, At: now, Chunk: k,
+						RateIndex: idx, PrevRateIndex: -1, Duration: backoff,
+					})
+				}
+				if budgetUsed >= rp.Budget && !degraded && idx > 0 {
+					degraded = true
+					budgetUsed = 0
+					res.Degradations++
+					prevReq := idx
+					idx = 0
+					bytes = s.ChunkSize(0, k)
+					if obs != nil {
+						obs.OnEvent(telemetry.Event{
+							Kind: telemetry.Degrade, At: now, Chunk: k,
+							RateIndex: 0, PrevRateIndex: prevReq,
+							Rate: ladder[0], Bytes: bytes, Buffer: buf.Level(),
+						})
+						obs.OnEvent(telemetry.Event{
+							Kind: telemetry.ChunkRequest, At: now, Chunk: k,
+							RateIndex: 0, PrevRateIndex: -1,
+							Rate: ladder[0], Bytes: bytes, Buffer: buf.Level(),
+						})
+					}
+				}
+			}
 		}
 
 		dl, ok := link.DownloadTime(now, bytes)

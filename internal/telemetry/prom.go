@@ -26,8 +26,12 @@ type Prom struct {
 	rebuffers       uint64
 	seeks           uint64
 	stallSeconds    float64
+	faults          map[string]uint64
+	retries         uint64
+	failovers       uint64
+	degradations    uint64
 
-	download hist // chunk download time, seconds
+	download  hist // chunk download time, seconds
 	occupancy hist // buffer level at sample points, seconds
 }
 
@@ -71,6 +75,17 @@ func (p *Prom) OnEvent(e Event) {
 		p.occupancy.observe(e.Buffer.Seconds())
 	case Seek:
 		p.seeks++
+	case FaultInject:
+		if p.faults == nil {
+			p.faults = make(map[string]uint64)
+		}
+		p.faults[e.Label]++
+	case ChunkRetry:
+		p.retries++
+	case Failover:
+		p.failovers++
+	case Degrade:
+		p.degradations++
 	}
 }
 
@@ -97,6 +112,20 @@ func (p *Prom) WriteTo(w interface{ Write([]byte) (int, error) }) {
 	counter("rebuffers_total", "Rebuffer events (playback freezes).", float64(p.rebuffers))
 	counter("stall_seconds_total", "Total time playback was frozen.", p.stallSeconds)
 	counter("seeks_total", "Viewer seeks executed.", float64(p.seeks))
+	if len(p.faults) > 0 {
+		fmt.Fprintf(w, "# HELP %s_faults_injected_total Injected faults observed, by kind.\n# TYPE %s_faults_injected_total counter\n", p.ns, p.ns)
+		kinds := make([]string, 0, len(p.faults))
+		for k := range p.faults {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(w, "%s_faults_injected_total{kind=%q} %d\n", p.ns, k, p.faults[k])
+		}
+	}
+	counter("chunk_retries_total", "Chunk download re-attempts after failure.", float64(p.retries))
+	counter("failovers_total", "Endpoint failovers executed by clients.", float64(p.failovers))
+	counter("degradations_total", "Sessions degraded to minimum rate under faults.", float64(p.degradations))
 	p.download.writeTo(w, p.ns+"_chunk_download_seconds", "Chunk download time.")
 	p.occupancy.writeTo(w, p.ns+"_buffer_level_seconds", "Playback-buffer occupancy at decision points.")
 }

@@ -65,6 +65,22 @@ const (
 	// SessionEnd closes the session: Played, Duration (total stall
 	// time) and Chunk (number of chunks downloaded) summarize it.
 	SessionEnd
+	// FaultInject is emitted when an injected fault hits a chunk attempt:
+	// Label carries the fault kind, Chunk the affected chunk, Duration the
+	// time the failed attempt cost.
+	FaultInject
+	// ChunkRetry is emitted when the client re-attempts a chunk after a
+	// failure: Chunk and RateIndex identify the retry, Duration the backoff
+	// charged before it.
+	ChunkRetry
+	// Failover is emitted when the client switches endpoints: Label is the
+	// endpoint switched to, PrevRateIndex/RateIndex carry the old/new
+	// endpoint indices.
+	Failover
+	// Degrade is emitted when repeated chunk failure drops the session to
+	// the minimum rate: PrevRateIndex → RateIndex, Bytes the shrunken
+	// request size.
+	Degrade
 )
 
 var kindNames = [...]string{
@@ -78,6 +94,10 @@ var kindNames = [...]string{
 	ReservoirUpdate: "reservoir_update",
 	Seek:            "seek",
 	SessionEnd:      "session_end",
+	FaultInject:     "fault_inject",
+	ChunkRetry:      "chunk_retry",
+	Failover:        "failover",
+	Degrade:         "degrade",
 }
 
 // String returns the snake_case name used in the JSONL journal.

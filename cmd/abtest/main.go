@@ -1,19 +1,22 @@
 // Command abtest runs the weekend-scale A/B experiment and regenerates the
 // paper's figures as text tables. Figure generation fans out across cores
 // with the shared weekend experiment computed once; SIGINT cancels a run in
-// flight. After any path that runs the weekend experiment, the wall-clock
-// time and simulated sessions/sec are reported on stderr.
+// flight, marks any partial output "# TRUNCATED" and exits non-zero. After
+// any path that runs the weekend experiment, the wall-clock time and
+// simulated sessions/sec are reported on stderr.
 //
 // Examples:
 //
 //	abtest                       # every figure, quick scale
 //	abtest -fig Fig18SteadyStateRate
 //	abtest -scale full -experiments-md > EXPERIMENTS.md
+//	abtest -stream-agg           # constant-memory accumulator report
 //	abtest -list
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,8 +25,10 @@ import (
 	"time"
 
 	"bba/internal/abtest"
+	"bba/internal/campaign"
 	"bba/internal/faults"
 	"bba/internal/figures"
+	"bba/internal/metrics"
 )
 
 func main() {
@@ -34,6 +39,7 @@ func main() {
 		mdOut     = flag.Bool("experiments-md", false, "emit the EXPERIMENTS.md body to stdout")
 		csvOut    = flag.Bool("csv", false, "emit the weekend experiment's per-window aggregates as CSV")
 		faultsOn  = flag.Bool("faults", false, "replay the weekend experiment under the standard fault schedule and emit its CSV (fault counters go to stderr)")
+		streamAgg = flag.Bool("stream-agg", false, "run the weekend experiment through the campaign accumulators (constant memory) and emit the per-group JSON report")
 	)
 	flag.Parse()
 
@@ -42,13 +48,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if err := run(ctx, os.Stdout, *scaleName, *figName, *list, *mdOut, *csvOut, *faultsOn); err != nil {
+	if err := run(ctx, os.Stdout, *scaleName, *figName, *list, *mdOut, *csvOut, *faultsOn, *streamAgg); err != nil {
 		fmt.Fprintln(os.Stderr, "abtest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, out io.Writer, scaleName, figName string, list, mdOut, csvOut, faultsOn bool) error {
+func run(ctx context.Context, out io.Writer, scaleName, figName string, list, mdOut, csvOut, faultsOn, streamAgg bool) error {
 	var scale figures.Scale
 	switch scaleName {
 	case "quick":
@@ -65,7 +71,29 @@ func run(ctx context.Context, out io.Writer, scaleName, figName string, list, md
 		}
 		return nil
 	}
+
+	err := dispatch(ctx, out, scale, figName, mdOut, csvOut, faultsOn, streamAgg)
+	// A canceled context can reach here two ways: dispatch surfaces the
+	// cancellation itself, or — because the figure cache returns completed
+	// outcomes regardless of ctx — dispatch succeeds with output written.
+	// Either way an interrupted run must not masquerade as a normal one:
+	// mark whatever was written truncated and exit non-zero.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		fmt.Fprintln(out, "# TRUNCATED: run interrupted; output above is incomplete")
+		if err == nil {
+			err = ctxErr
+		}
+		return fmt.Errorf("interrupted: %w", err)
+	}
+	return err
+}
+
+func dispatch(ctx context.Context, out io.Writer, scale figures.Scale, figName string, mdOut, csvOut, faultsOn, streamAgg bool) error {
 	defer reportExperimentStats(scale)
+
+	if streamAgg {
+		return runStreamAgg(ctx, out, scale)
+	}
 
 	if faultsOn {
 		// The fault replay is the clean weekend population under the
@@ -117,6 +145,58 @@ func run(ctx context.Context, out io.Writer, scaleName, figName string, list, md
 		fmt.Fprintln(out)
 	}
 	return nil
+}
+
+// runStreamAgg runs the weekend experiment in streaming-aggregation mode:
+// no raw session retention; every merged session folds into the campaign
+// layer's per-group constant-memory accumulators, and the per-group report
+// is emitted as JSON. This is the -stream-agg path the campaign runner is
+// built on, exposed at weekend scale.
+func runStreamAgg(ctx context.Context, out io.Writer, scale figures.Scale) error {
+	cfg := figures.ExperimentConfig(scale)
+	if len(cfg.Groups) == 0 {
+		cfg.Groups = abtest.StandardGroups()
+	}
+	index := make(map[string]int, len(cfg.Groups))
+	counts := make([]uint64, len(cfg.Groups))
+	accums := make([]*campaign.GroupAccum, len(cfg.Groups))
+	for gi, g := range cfg.Groups {
+		index[g.Name] = gi
+		accums[gi] = campaign.NewGroupAccum(g.Name, 512)
+	}
+	var foldErr error
+	cfg.OnSession = func(group string, s metrics.Session) {
+		gi := index[group]
+		// Key = (per-group ordinal, group): unique across the run, so the
+		// sketches keep exact set-union semantics.
+		key := counts[gi]<<8 | uint64(gi)
+		counts[gi]++
+		if err := accums[gi].AddSession(key, s); err != nil && foldErr == nil {
+			foldErr = err
+		}
+	}
+	o, err := abtest.RunContext(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if foldErr != nil {
+		return foldErr
+	}
+	if n := len(o.Sessions[cfg.Groups[0].Name]); n != 0 {
+		return fmt.Errorf("streaming run retained %d raw sessions", n)
+	}
+	printRunStats(o.Stats)
+	reports := make([]campaign.GroupReport, len(accums))
+	for gi, a := range accums {
+		reports[gi] = a.Report()
+	}
+	return writeJSON(out, reports)
+}
+
+func writeJSON(out io.Writer, v any) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // reportExperimentStats prints the weekend experiment's wall-clock time and

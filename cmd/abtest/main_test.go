@@ -3,14 +3,17 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
+
+	"bba/internal/campaign"
 )
 
 func TestList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, "quick", "", true, false, false, false); err != nil {
+	if err := run(context.Background(), &out, "quick", "", true, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Fig07RebufferRateBBA0", "Figure 18", "SharedLinkFairness"} {
@@ -22,7 +25,7 @@ func TestList(t *testing.T) {
 
 func TestSingleFigure(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, "quick", "Fig10VBRChunkSizes", false, false, false, false); err != nil {
+	if err := run(context.Background(), &out, "quick", "Fig10VBRChunkSizes", false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "max-to-average ratio") {
@@ -32,25 +35,78 @@ func TestSingleFigure(t *testing.T) {
 
 func TestBadInputs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, "enormous", "", false, false, false, false); err == nil {
+	if err := run(context.Background(), &out, "enormous", "", false, false, false, false, false); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run(context.Background(), &out, "quick", "Fig99", false, false, false, false); err == nil {
+	if err := run(context.Background(), &out, "quick", "Fig99", false, false, false, false, false); err == nil {
 		t.Error("unknown figure accepted")
 	}
 }
 
-// TestCanceledContext pins the SIGINT path: a canceled context aborts the
-// experiment-backed CSV output with the context's error.
+// TestStreamAgg pins the -stream-agg path: the weekend experiment routed
+// through the campaign accumulators, emitting per-group JSON with no raw
+// session retention.
+func TestStreamAgg(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, "quick", "", false, false, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	var reports []campaign.GroupReport
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatalf("stream-agg output is not a JSON group report: %v", err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("stream-agg emitted no groups")
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		seen[r.Name] = true
+		if r.Sessions == 0 {
+			t.Errorf("group %s aggregated zero sessions", r.Name)
+		}
+		if r.AvgRateKbps.N != r.Sessions {
+			t.Errorf("group %s: avg-rate samples %d != sessions %d", r.Name, r.AvgRateKbps.N, r.Sessions)
+		}
+	}
+	if !seen["Control"] || !seen["BBA-2"] {
+		t.Errorf("stream-agg groups incomplete: %v", seen)
+	}
+}
+
+// TestCanceledContext pins the SIGINT path: a canceled context must abort
+// with a non-zero error even when the experiment cache can serve the
+// outcome, and any output produced must carry the truncation marker — the
+// regression was an interrupted run reporting exactly like a normal one.
 func TestCanceledContext(t *testing.T) {
+	// Populate the experiment cache first, so the canceled run below hits
+	// the worst case: output fully available without touching the context.
+	var warm bytes.Buffer
+	if err := run(context.Background(), &warm, "quick", "", false, false, true, false, false); err != nil {
+		t.Fatal(err)
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var out bytes.Buffer
-	err := run(ctx, &out, "quick", "", false, false, true, false)
+	err := run(ctx, &out, "quick", "", false, false, true, false, false)
 	if err == nil {
-		t.Skip("experiment already cached by an earlier test in this process")
+		t.Fatal("canceled run returned nil (would exit zero)")
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if out.Len() > 0 && !strings.Contains(out.String(), "# TRUNCATED") {
+		t.Error("canceled run produced output without the truncation marker")
+	}
+
+	// The uncached path — dispatch surfaces the cancellation itself (a
+	// different scale misses the warmed cache) — must carry the marker too.
+	var cold bytes.Buffer
+	err = run(ctx, &cold, "full", "", false, false, true, false, false)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("uncached canceled run: err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(cold.String(), "# TRUNCATED") {
+		t.Error("uncached canceled run lacks the truncation marker")
 	}
 }

@@ -24,8 +24,10 @@ import (
 
 	"bba/internal/abr"
 	"bba/internal/abtest"
+	"bba/internal/campaign"
 	"bba/internal/figures"
 	"bba/internal/media"
+	"bba/internal/metrics"
 	"bba/internal/netem"
 	"bba/internal/player"
 	"bba/internal/telemetry"
@@ -136,7 +138,57 @@ func benches() []bench {
 		{name: "TraceDownloadTimeCursor", run: traceBench(true)},
 		{name: "NetemShaperTake", run: netemBench},
 		{name: "ABHarness", run: harnessBench, heavy: false},
+		{name: "CampaignAccumMerge", run: accumMergeBench},
 		{name: "GenerateAllFigures", run: figuresBench, heavy: true},
+	}
+}
+
+// accumMergeBench measures the campaign's merge path in isolation: folding
+// a fleet of populated shard accumulators into a prefix in shard order —
+// the per-shard cost every checkpoint fold and stripe merge pays,
+// independent of session simulation.
+func accumMergeBench(quick bool) func(b *testing.B) {
+	shards, perShard := 64, 1024
+	if quick {
+		shards, perShard = 16, 256
+	}
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(3))
+		fleet := make([][]*campaign.GroupAccum, shards)
+		key := uint64(0)
+		for s := range fleet {
+			fleet[s] = campaign.NewGroupAccums([]string{"Control", "BBA-2"}, 512)
+			for i := 0; i < perShard; i++ {
+				sess := metrics.Session{
+					PlayHours:       0.1 + rng.Float64(),
+					Rebuffers:       rng.Intn(4),
+					Switches:        rng.Intn(20),
+					AvgRateKbps:     500 + 3000*rng.Float64(),
+					SteadyRateKbps:  500 + 3000*rng.Float64(),
+					SteadyReached:   true,
+					StartupRateKbps: 300 + 2000*rng.Float64(),
+					QoE:             rng.Float64(),
+				}
+				for _, a := range fleet[s] {
+					if err := a.AddSession(key, sess); err != nil {
+						b.Fatal(err)
+					}
+					key++
+				}
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prefix := campaign.NewGroupAccums([]string{"Control", "BBA-2"}, 512)
+			for _, shard := range fleet {
+				for gi, a := range shard {
+					if err := prefix[gi].Merge(a); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -56,6 +56,13 @@ func TestWriteReport(t *testing.T) {
 	}
 }
 
+// TestAccumMergeWorkloadRuns smoke-tests the campaign merge benchmark body
+// so a broken fixture fails here rather than in CI's timed run. Session
+// keys must stay globally unique or the sketch merges reject the fold.
+func TestAccumMergeWorkloadRuns(t *testing.T) {
+	accumMergeBench(true)(&testing.B{N: 1})
+}
+
 // TestSessionWorkloadRuns smoke-tests the headline benchmark body with a
 // single session — a broken workload fails here rather than in CI's timed
 // run.

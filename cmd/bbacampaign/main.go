@@ -1,0 +1,244 @@
+// Command bbacampaign runs a large-scale streaming campaign: the paired A/B
+// population at million-session counts with constant memory, deterministic
+// sharding and kill-resume checkpointing.
+//
+// A campaign is split into fixed shards (shard-size paired sessions each).
+// One process can run the whole campaign, or the shard space can be striped
+// across processes with -shards/-shard-of and the per-process checkpoints
+// combined afterwards with -merge; either way the final report is
+// byte-identical to a single-threaded run.
+//
+// Examples:
+//
+//	bbacampaign -sessions 170000 -faults -checkpoint cp.json -report report.json
+//	bbacampaign -sessions 170000 -shards 4 -shard-of 2 -checkpoint cp2.json
+//	bbacampaign -merge cp0.json,cp1.json,cp2.json,cp3.json -report report.json
+//
+// SIGINT saves a final checkpoint, emits a truncated report (marked
+// "truncated": true) and exits non-zero; re-running with the same flags and
+// -checkpoint resumes without re-running or double-counting any completed
+// shard. Progress — sessions/s, ETA and live per-group deltas — streams to
+// stderr.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"bba/internal/campaign"
+	"bba/internal/faults"
+)
+
+type options struct {
+	sessions        int
+	shardSize       int
+	days            int
+	seed            int64
+	faultSeed       int64
+	faultsOn        bool
+	workers         int
+	sketch          int
+	stripes         int
+	stripe          int
+	checkpoint      string
+	checkpointEvery int
+	resume          bool
+	merge           string
+	report          string
+	progressEvery   time.Duration
+	// progressHook is a test seam: called with every progress snapshot in
+	// addition to the stderr printer.
+	progressHook func(campaign.Progress)
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.sessions, "sessions", 10000, "paired session draws (each streamed once per group)")
+	flag.IntVar(&o.shardSize, "shard-size", 1024, "paired sessions per shard (part of the campaign identity)")
+	flag.IntVar(&o.days, "days", 3, "simulated calendar days")
+	flag.Int64Var(&o.seed, "seed", 2014, "campaign seed")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 2014, "fault-weather seed (with -faults)")
+	flag.BoolVar(&o.faultsOn, "faults", false, "run every session under the standard fault schedule")
+	flag.IntVar(&o.workers, "workers", 0, "worker goroutines (default GOMAXPROCS)")
+	flag.IntVar(&o.sketch, "sketch", 512, "quantile-sketch size per metric (part of the campaign identity)")
+	flag.IntVar(&o.stripes, "shards", 1, "total process stripes the campaign is split across")
+	flag.IntVar(&o.stripe, "shard-of", 0, "this process's stripe index in [0,-shards)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file path (written periodically and on exit; resumed from when present)")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 8, "completed shards between checkpoint writes")
+	flag.StringVar(&o.merge, "merge", "", "comma-separated stripe checkpoints to merge into a final report (runs nothing)")
+	flag.StringVar(&o.report, "report", "", "final report path (default stdout)")
+	flag.DurationVar(&o.progressEvery, "progress-every", 2*time.Second, "progress line interval on stderr (0 disables)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, os.Stdout, os.Stderr, o); err != nil {
+		fmt.Fprintln(os.Stderr, "bbacampaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, out io.Writer, errw io.Writer, o options) error {
+	if o.merge != "" {
+		return runMerge(out, o)
+	}
+
+	cfg := campaign.Config{
+		Seed:            o.seed,
+		Sessions:        o.sessions,
+		ShardSize:       o.shardSize,
+		Days:            o.days,
+		Parallelism:     o.workers,
+		SketchSize:      o.sketch,
+		Stripe:          o.stripe,
+		Stripes:         o.stripes,
+		CheckpointPath:  o.checkpoint,
+		CheckpointEvery: o.checkpointEvery,
+	}
+	if o.faultsOn {
+		fc := faults.DefaultScheduleConfig()
+		cfg.Faults = &fc
+		cfg.FaultSeed = o.faultSeed
+	}
+	if o.checkpoint != "" {
+		if cp, err := campaign.LoadCheckpoint(o.checkpoint); err == nil {
+			cfg.Resume = cp
+			fmt.Fprintf(errw, "resuming from %s: %d shards (%d sessions) already recorded\n",
+				o.checkpoint, cp.CompletedShards(), cp.SessionsDone())
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	if o.progressEvery > 0 {
+		cfg.Progress = progressPrinter(errw, o.progressEvery)
+	}
+	if o.progressHook != nil {
+		printer := cfg.Progress
+		cfg.Progress = func(p campaign.Progress) {
+			if printer != nil {
+				printer(p)
+			}
+			o.progressHook(p)
+		}
+	}
+
+	res, runErr := campaign.RunContext(ctx, cfg)
+	if res != nil {
+		printStats(errw, res.Stats)
+	}
+	if runErr != nil {
+		// A cancelled run still has a resumable checkpoint and a best-effort
+		// truncated report; anything else is a hard failure.
+		if errors.Is(runErr, context.Canceled) && res != nil && res.Checkpoint != nil {
+			if trunc, err := campaign.TruncatedReport(res.Checkpoint); err == nil {
+				if err := writeReport(out, o.report, trunc); err != nil {
+					return err
+				}
+			}
+			if o.checkpoint != "" {
+				fmt.Fprintf(errw, "interrupted: checkpoint saved to %s; rerun the same command to resume\n", o.checkpoint)
+			}
+			return fmt.Errorf("interrupted after %d shards: %w", res.Checkpoint.CompletedShards(), runErr)
+		}
+		return runErr
+	}
+
+	if res.Report == nil {
+		// A stripe subset: the checkpoint is the product; the report comes
+		// from -merge once every stripe has run.
+		fmt.Fprintf(errw, "stripe %d/%d complete: %d shards in checkpoint; merge all stripes with -merge for the final report\n",
+			o.stripe, o.stripes, res.Checkpoint.CompletedShards())
+		if o.checkpoint == "" {
+			return fmt.Errorf("stripe run without -checkpoint produces no output; pass -checkpoint")
+		}
+		return nil
+	}
+	return writeReport(out, o.report, res.Report)
+}
+
+// runMerge combines stripe checkpoints into the final report.
+func runMerge(out io.Writer, o options) error {
+	var cps []*campaign.Checkpoint
+	for _, path := range strings.Split(o.merge, ",") {
+		cp, err := campaign.LoadCheckpoint(strings.TrimSpace(path))
+		if err != nil {
+			return err
+		}
+		cps = append(cps, cp)
+	}
+	merged, err := campaign.MergeCheckpoints(cps...)
+	if err != nil {
+		return err
+	}
+	rep, err := campaign.FinalReport(merged)
+	if err != nil {
+		return err
+	}
+	return writeReport(out, o.report, rep)
+}
+
+func writeReport(out io.Writer, path string, r *campaign.Report) error {
+	if path == "" {
+		return r.WriteJSON(out)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// progressPrinter returns a Progress callback that writes a throttled
+// status line: shard and session counts, sessions/s, ETA and the live
+// rebuffer-rate delta of each arm against the control.
+func progressPrinter(w io.Writer, every time.Duration) func(campaign.Progress) {
+	var last time.Duration
+	return func(p campaign.Progress) {
+		if p.Elapsed-last < every && p.SessionsDone < p.SessionsTotal {
+			return
+		}
+		last = p.Elapsed
+		fmt.Fprintf(w, "shard %d/%d  sessions %d/%d  %.0f/s  eta %v",
+			p.ShardsDone, p.ShardsTotal, p.SessionsDone, p.SessionsTotal,
+			p.SessionsPerSec, p.ETA.Round(time.Second))
+		for i, g := range p.Groups {
+			if i == 0 {
+				fmt.Fprintf(w, "  [%s %.2f reb/hr", g.Name, g.RebufferRate)
+				continue
+			}
+			fmt.Fprintf(w, " | %s %.2f", g.Name, g.RebufferRate)
+			if g.VsControl > 0 {
+				fmt.Fprintf(w, " (%.0f%%)", 100*g.VsControl)
+			}
+		}
+		if len(p.Groups) > 0 {
+			fmt.Fprint(w, "]")
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func printStats(w io.Writer, s campaign.RunStats) {
+	if s.PlayerSessions == 0 {
+		return
+	}
+	fmt.Fprintf(w, "campaign: %d player sessions (%d paired) in %v (%.0f sessions/s, parallelism %d, peak pending %d shards)\n",
+		s.PlayerSessions, s.SessionsRun, s.Elapsed.Round(time.Millisecond),
+		s.SessionsPerSecond(), s.Parallelism, s.PeakPending)
+	if s.Faults > 0 || s.Retries > 0 || s.Degradations > 0 || s.Failovers > 0 {
+		fmt.Fprintf(w, "fault injection: %d faults, %d retries, %d degradations, %d failovers\n",
+			s.Faults, s.Retries, s.Degradations, s.Failovers)
+	}
+}

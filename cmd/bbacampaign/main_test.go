@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bba/internal/campaign"
+)
+
+func testOpts(sessions int) options {
+	return options{
+		sessions:        sessions,
+		shardSize:       8,
+		days:            3,
+		seed:            11,
+		workers:         2,
+		sketch:          64,
+		stripes:         1,
+		checkpointEvery: 1,
+		progressEvery:   time.Nanosecond, // print every shard
+	}
+}
+
+// TestEndToEndReport runs a tiny campaign through the CLI path and checks
+// the report and the progress stream.
+func TestEndToEndReport(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, testOpts(24)); err != nil {
+		t.Fatal(err)
+	}
+	var rep campaign.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if rep.Truncated {
+		t.Error("complete run reported truncated")
+	}
+	if rep.Sessions != 24 {
+		t.Errorf("report covers %d sessions, want 24", rep.Sessions)
+	}
+	if !strings.Contains(errw.String(), "eta") || !strings.Contains(errw.String(), "sessions/s") {
+		t.Errorf("progress stream missing throughput/ETA: %q", errw.String())
+	}
+}
+
+// TestStripesAndMerge runs each stripe as its own CLI invocation, merges
+// the checkpoints with -merge, and compares against the unsharded report.
+func TestStripesAndMerge(t *testing.T) {
+	var want bytes.Buffer
+	o := testOpts(40)
+	o.progressEvery = 0
+	if err := run(context.Background(), &want, new(bytes.Buffer), o); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	var paths []string
+	for stripe := 0; stripe < 2; stripe++ {
+		so := o
+		so.stripes, so.stripe = 2, stripe
+		so.checkpoint = filepath.Join(dir, "cp"+string(rune('0'+stripe))+".json")
+		paths = append(paths, so.checkpoint)
+		var out, errw bytes.Buffer
+		if err := run(context.Background(), &out, &errw, so); err != nil {
+			t.Fatalf("stripe %d: %v", stripe, err)
+		}
+		if out.Len() != 0 {
+			t.Errorf("stripe %d wrote a report on its own", stripe)
+		}
+	}
+
+	var got bytes.Buffer
+	mo := o
+	mo.merge = strings.Join(paths, ",")
+	if err := run(context.Background(), &got, new(bytes.Buffer), mo); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("merged stripe report differs from unsharded report")
+	}
+}
+
+// TestInterruptResume cancels a run mid-campaign, then resumes it from the
+// checkpoint via the same CLI path: the cancelled invocation must fail with
+// a truncated report, and the resumed one must finish with the same report
+// an uninterrupted run produces.
+func TestInterruptResume(t *testing.T) {
+	o := testOpts(40)
+	o.progressEvery = 0
+
+	var want bytes.Buffer
+	if err := run(context.Background(), &want, new(bytes.Buffer), o); err != nil {
+		t.Fatal(err)
+	}
+
+	o.checkpoint = filepath.Join(t.TempDir(), "cp.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	shards := 0
+	// Cancel from the progress stream after two shards, as a SIGINT would.
+	o.progressHook = func(campaign.Progress) {
+		if shards++; shards == 2 {
+			cancel()
+		}
+	}
+	var out, errw bytes.Buffer
+	err := run(ctx, &out, &errw, o)
+	if err == nil {
+		t.Fatal("interrupted run returned nil error (must exit non-zero)")
+	}
+	var trunc campaign.Report
+	if jerr := json.Unmarshal(out.Bytes(), &trunc); jerr != nil {
+		t.Fatalf("interrupted run wrote no truncated report: %v", jerr)
+	}
+	if !trunc.Truncated {
+		t.Error("interrupted run's report not marked truncated")
+	}
+	if !strings.Contains(errw.String(), "resume") {
+		t.Errorf("stderr does not mention resuming: %q", errw.String())
+	}
+
+	o.progressHook = nil
+	var resumed, errw2 bytes.Buffer
+	if err := run(context.Background(), &resumed, &errw2, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw2.String(), "resuming from") {
+		t.Errorf("resume did not load the checkpoint: %q", errw2.String())
+	}
+	if !bytes.Equal(resumed.Bytes(), want.Bytes()) {
+		t.Error("resumed report differs from uninterrupted report")
+	}
+}

@@ -83,6 +83,17 @@ type Config struct {
 	// incrementally instead of being held until the run ends. Nil
 	// disables capture entirely.
 	Observer telemetry.Observer
+	// OnSession, when non-nil, switches the run to streaming aggregation:
+	// every merged session is handed to the callback in the same
+	// deterministic (session, group) order the Observer stream uses, and
+	// Outcome.Sessions is left empty — memory stays O(Parallelism) instead
+	// of O(sessions). Outcome.Windows is still computed (incrementally).
+	// The callback runs on the merger goroutine; it must not block.
+	OnSession func(group string, s metrics.Session)
+	// RetainSessions forces the raw per-session retention even when
+	// OnSession is set — the opt-in for figure-sized runs that need
+	// significance tests or bootstrap CIs on top of the stream.
+	RetainSessions bool
 }
 
 func (c *Config) applyDefaults() {
@@ -111,7 +122,8 @@ type Outcome struct {
 	// Windows holds each group's per-two-hour-window aggregates.
 	Windows map[string][]metrics.Window
 	// Sessions holds each group's raw per-session metrics, for
-	// significance testing.
+	// significance testing. It is empty when the run streamed sessions to
+	// Config.OnSession without Config.RetainSessions.
 	Sessions map[string][]metrics.Session
 	// Stats describes the run's execution: wall-clock time and simulated
 	// session throughput.
@@ -243,8 +255,20 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 		Windows:  make(map[string][]metrics.Window, len(cfg.Groups)),
 		Sessions: make(map[string][]metrics.Session, len(cfg.Groups)),
 	}
-	for _, g := range cfg.Groups {
-		out.Sessions[g.Name] = make([]metrics.Session, 0, total)
+	// Streaming aggregation: with an OnSession sink (and no retention
+	// opt-in) raw sessions are handed off instead of accumulated, and the
+	// window aggregates build incrementally — identical float operations in
+	// identical order to the batch Aggregate, so Windows is bit-identical
+	// either way.
+	retain := cfg.OnSession == nil || cfg.RetainSessions
+	winAccums := make([]*metrics.WindowAccum, len(cfg.Groups))
+	for gi, g := range cfg.Groups {
+		if retain {
+			out.Sessions[g.Name] = make([]metrics.Session, 0, total)
+		} else {
+			out.Sessions[g.Name] = nil
+		}
+		winAccums[gi] = metrics.NewWindowAccum()
 	}
 
 	// In-order streaming merge. Out-of-order arrivals park in pending
@@ -271,7 +295,16 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 			}
 			for gi, g := range cfg.Groups {
 				s := rs.metrics[gi]
-				out.Sessions[g.Name] = append(out.Sessions[g.Name], s)
+				if retain {
+					out.Sessions[g.Name] = append(out.Sessions[g.Name], s)
+				}
+				if err := winAccums[gi].Add(s); err != nil && firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				if cfg.OnSession != nil {
+					cfg.OnSession(g.Name, s)
+				}
 				out.Stats.Faults += s.Faults
 				out.Stats.Retries += s.Retries
 				out.Stats.Degradations += s.Degradations
@@ -293,12 +326,8 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for _, g := range cfg.Groups {
-		ws, err := metrics.Aggregate(out.Sessions[g.Name])
-		if err != nil {
-			return nil, err
-		}
-		out.Windows[g.Name] = ws
+	for gi, g := range cfg.Groups {
+		out.Windows[g.Name] = winAccums[gi].Windows()
 	}
 	out.Stats.Elapsed = time.Since(start)
 	out.Stats.Sessions = total * len(cfg.Groups)
@@ -312,32 +341,61 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 func runPairedSession(ctx context.Context, cfg Config, catalog *media.Catalog, day, window, i int) ([]metrics.Session, [][]telemetry.Event, error) {
 	rng := sessionRNG(cfg.Seed, day, window, i)
 	u := DrawUser(cfg.Population, window, day, rng)
-	video := u.Pick(catalog)
+	var fseed int64
+	if cfg.Faults != nil {
+		fseed = sessionFaultSeed(cfg.FaultSeed, day, window, i)
+	}
+	var captures []*telemetry.Capture
+	var observer func(gi int) telemetry.Observer
+	if cfg.Observer != nil {
+		captures = make([]*telemetry.Capture, len(cfg.Groups))
+		observer = func(gi int) telemetry.Observer {
+			captures[gi] = &telemetry.Capture{Session: fmt.Sprintf("d%d.w%02d.s%03d.%s", day, window, i, cfg.Groups[gi].Name)}
+			return captures[gi]
+		}
+	}
+	ms, err := PlayUser(ctx, u, u.Pick(catalog), cfg.Groups, cfg.Faults, fseed, observer)
+	if err != nil {
+		return nil, nil, fmt.Errorf("abtest: day %d window %d session %d %w", day, window, i, err)
+	}
+	var evs [][]telemetry.Event
+	if captures != nil {
+		evs = make([][]telemetry.Event, len(captures))
+		for gi, rec := range captures {
+			evs[gi] = rec.Events
+		}
+	}
+	return ms, evs, nil
+}
+
+// PlayUser streams the drawn user u's identical session once per group —
+// the paired common-random-numbers design at the heart of the harness —
+// returning one metrics.Session per group in group order. When fcfg is
+// non-nil every group runs under the identical fault schedule drawn from
+// (fcfg, fseed): capacity faults reshape the shared trace, request-path
+// faults drive the player's retry/degradation loop. observer, when non-nil,
+// supplies each group's telemetry observer by group index (it may return
+// nil for groups that need none). The campaign layer drives this same
+// paired core shard by shard.
+func PlayUser(ctx context.Context, u User, video *media.Video, groups []Group, fcfg *faults.ScheduleConfig, fseed int64, observer func(gi int) telemetry.Observer) ([]metrics.Session, error) {
 	stream := abr.NewStream(video, u.Rmin)
 
 	// Under fault weather every group runs the identical schedule against
 	// the identical reshaped trace — the paired design extends to faults.
 	tr := u.Trace
 	var inj *faults.SessionInjector
-	var fseed int64
-	if cfg.Faults != nil {
-		fseed = sessionFaultSeed(cfg.FaultSeed, day, window, i)
-		sched := faults.GenerateSeeded(*cfg.Faults, fseed)
+	if fcfg != nil {
+		sched := faults.GenerateSeeded(*fcfg, fseed)
 		var err error
 		tr, err = sched.ApplyToTrace(u.Trace)
 		if err != nil {
-			return nil, nil, fmt.Errorf("abtest: day %d window %d session %d fault trace: %w", day, window, i, err)
+			return nil, fmt.Errorf("fault trace: %w", err)
 		}
 		inj = faults.NewSessionInjector(sched, fseed)
 	}
 
-	ms := make([]metrics.Session, len(cfg.Groups))
-	var evs [][]telemetry.Event
-	if cfg.Observer != nil {
-		evs = make([][]telemetry.Event, len(cfg.Groups))
-	}
-	for gi, g := range cfg.Groups {
-		var rec *telemetry.Capture
+	ms := make([]metrics.Session, len(groups))
+	for gi, g := range groups {
 		pc := player.Config{
 			Algorithm:  g.New(u),
 			Stream:     stream,
@@ -348,20 +406,16 @@ func runPairedSession(ctx context.Context, cfg Config, catalog *media.Catalog, d
 			pc.Injector = inj
 			pc.Retry = player.RetryPolicy{Seed: fseed}
 		}
-		if cfg.Observer != nil {
-			rec = &telemetry.Capture{Session: fmt.Sprintf("d%d.w%02d.s%03d.%s", day, window, i, g.Name)}
-			pc.Observer = rec
+		if observer != nil {
+			pc.Observer = observer(gi)
 		}
 		res, err := player.RunContext(ctx, pc)
 		if err != nil {
-			return nil, nil, fmt.Errorf("abtest: day %d window %d session %d group %s: %w", day, window, i, g.Name, err)
+			return nil, fmt.Errorf("group %s: %w", g.Name, err)
 		}
-		ms[gi] = metrics.FromResult(res, window, day)
-		if rec != nil {
-			evs[gi] = rec.Events
-		}
+		ms[gi] = metrics.FromResult(res, u.Window, u.Day)
 	}
-	return ms, evs, nil
+	return ms, nil
 }
 
 // WriteCSV emits every group's per-window aggregates as CSV, one row per

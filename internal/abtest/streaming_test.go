@@ -1,0 +1,76 @@
+package abtest
+
+import (
+	"reflect"
+	"testing"
+
+	"bba/internal/metrics"
+)
+
+// TestStreamingAggregationMatchesRetained pins the -stream-agg contract:
+// with an OnSession sink the run retains no raw sessions, yet streams the
+// exact same sessions in the exact same deterministic order the retained
+// path would have stored, and produces bit-identical Windows.
+func TestStreamingAggregationMatchesRetained(t *testing.T) {
+	cfg := Config{Seed: 99, Days: 1, SessionsPerWindow: 3, CatalogSize: 4}
+	retained, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamed := make(map[string][]metrics.Session)
+	scfg := cfg
+	scfg.OnSession = func(group string, s metrics.Session) {
+		streamed[group] = append(streamed[group], s)
+	}
+	out, err := Run(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for g, want := range retained.Sessions {
+		if len(out.Sessions[g]) != 0 {
+			t.Errorf("group %q: streaming run retained %d sessions", g, len(out.Sessions[g]))
+		}
+		if !reflect.DeepEqual(streamed[g], want) {
+			t.Errorf("group %q: streamed sessions differ from retained", g)
+		}
+		if !reflect.DeepEqual(out.Windows[g], retained.Windows[g]) {
+			t.Errorf("group %q: streaming Windows differ from retained", g)
+		}
+	}
+
+	// RetainSessions opts back into the raw path on top of the stream.
+	scfg.RetainSessions = true
+	streamed = make(map[string][]metrics.Session)
+	both, err := Run(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, want := range retained.Sessions {
+		if !reflect.DeepEqual(both.Sessions[g], want) {
+			t.Errorf("group %q: RetainSessions did not retain the raw sessions", g)
+		}
+	}
+}
+
+// TestStreamingOrderDeterministicAcrossParallelism pins that the OnSession
+// stream is identical at any worker count, like the Observer stream.
+func TestStreamingOrderDeterministicAcrossParallelism(t *testing.T) {
+	collect := func(par int) map[string][]metrics.Session {
+		got := make(map[string][]metrics.Session)
+		_, err := Run(Config{
+			Seed: 7, Days: 1, SessionsPerWindow: 2, CatalogSize: 4, Parallelism: par,
+			OnSession: func(group string, s metrics.Session) {
+				got[group] = append(got[group], s)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if !reflect.DeepEqual(collect(1), collect(8)) {
+		t.Error("OnSession stream differs across parallelism")
+	}
+}

@@ -1,0 +1,248 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+
+	"bba/internal/metrics"
+	"bba/internal/stats"
+)
+
+// GroupAccum is one experiment arm's constant-memory aggregate: integer
+// totals plus a streaming Dist (Welford moments + fixed-size mergeable
+// quantile sketch) per paper metric. A shard folds its sessions into a
+// fresh GroupAccum; the campaign folds shard accumulators in shard-index
+// order, so the merged state is bit-identical at any worker count or
+// process split. Its JSON form is the checkpoint serialization.
+type GroupAccum struct {
+	Name     string `json:"name"`
+	Sessions int64  `json:"sessions"`
+	// Rebuffers, Faults, Retries, Degradations and Failovers are exact
+	// integer totals across every session folded in.
+	Rebuffers    int64 `json:"rebuffers"`
+	Faults       int64 `json:"faults,omitempty"`
+	Retries      int64 `json:"retries,omitempty"`
+	Degradations int64 `json:"degradations,omitempty"`
+	Failovers    int64 `json:"failovers,omitempty"`
+	// PlayHours accumulates per-session play hours (Sum() is the group's
+	// total play time).
+	PlayHours stats.Welford `json:"play_hours"`
+	// RebufferRate is the per-session rebuffers-per-playhour distribution
+	// (sessions with zero play time excluded, as in RebufferSamples).
+	RebufferRate stats.Dist `json:"rebuffer_rate"`
+	// AvgRate is the per-session delivered video rate in kb/s.
+	AvgRate stats.Dist `json:"avg_rate_kbps"`
+	// SteadyRate is the steady-state rate over sessions that reached
+	// steady state (Figure 18's metric).
+	SteadyRate stats.Dist `json:"steady_rate_kbps"`
+	// SwitchRate is per-session switches per playhour.
+	SwitchRate stats.Dist `json:"switch_rate"`
+	// StartupRate is the first-minute average rate over sessions that
+	// delivered any startup chunks.
+	StartupRate stats.Dist `json:"startup_rate_kbps"`
+	// QoERate is per-session QoE per playhour.
+	QoERate stats.Dist `json:"qoe_per_playhour"`
+}
+
+// NewGroupAccum returns an empty accumulator whose sketches retain
+// sketchSize samples each.
+func NewGroupAccum(name string, sketchSize int) *GroupAccum {
+	return &GroupAccum{
+		Name:         name,
+		RebufferRate: stats.NewDist(sketchSize),
+		AvgRate:      stats.NewDist(sketchSize),
+		SteadyRate:   stats.NewDist(sketchSize),
+		SwitchRate:   stats.NewDist(sketchSize),
+		StartupRate:  stats.NewDist(sketchSize),
+		QoERate:      stats.NewDist(sketchSize),
+	}
+}
+
+// NewGroupAccums returns one empty accumulator per group name, in order.
+func NewGroupAccums(names []string, sketchSize int) []*GroupAccum {
+	out := make([]*GroupAccum, len(names))
+	for i, n := range names {
+		out[i] = NewGroupAccum(n, sketchSize)
+	}
+	return out
+}
+
+// distAdd folds a sample in, tolerating the explicit non-finite filter
+// (counted inside the Dist) but propagating real errors such as duplicate
+// keys.
+func distAdd(d *stats.Dist, x float64, key uint64) error {
+	if err := d.Add(x, key); err != nil && !errors.Is(err, stats.ErrNonFinite) {
+		return err
+	}
+	return nil
+}
+
+// AddSession folds one session in. key must be unique per (group, session)
+// — the campaign uses the global paired-session index — so sketch retention
+// stays an unbiased sample and shard merges stay exact set unions.
+func (a *GroupAccum) AddSession(key uint64, s metrics.Session) error {
+	a.Sessions++
+	a.Rebuffers += int64(s.Rebuffers)
+	a.Faults += int64(s.Faults)
+	a.Retries += int64(s.Retries)
+	a.Degradations += int64(s.Degradations)
+	a.Failovers += int64(s.Failovers)
+	if err := a.PlayHours.Add(s.PlayHours); err != nil {
+		return fmt.Errorf("campaign: group %s play hours: %w", a.Name, err)
+	}
+	if s.PlayHours > 0 {
+		if err := distAdd(&a.RebufferRate, float64(s.Rebuffers)/s.PlayHours, key); err != nil {
+			return err
+		}
+		if err := distAdd(&a.SwitchRate, float64(s.Switches)/s.PlayHours, key); err != nil {
+			return err
+		}
+		if err := distAdd(&a.QoERate, s.QoE/s.PlayHours, key); err != nil {
+			return err
+		}
+	}
+	if err := distAdd(&a.AvgRate, s.AvgRateKbps, key); err != nil {
+		return err
+	}
+	if s.SteadyReached {
+		if err := distAdd(&a.SteadyRate, s.SteadyRateKbps, key); err != nil {
+			return err
+		}
+	}
+	if s.StartupRateKbps > 0 {
+		if err := distAdd(&a.StartupRate, s.StartupRateKbps, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge folds another accumulator for the same group into a. Merges must
+// run in shard-index order for bit-identical results.
+func (a *GroupAccum) Merge(o *GroupAccum) error {
+	if a.Name != o.Name {
+		return fmt.Errorf("campaign: merging group %q into %q", o.Name, a.Name)
+	}
+	a.Sessions += o.Sessions
+	a.Rebuffers += o.Rebuffers
+	a.Faults += o.Faults
+	a.Retries += o.Retries
+	a.Degradations += o.Degradations
+	a.Failovers += o.Failovers
+	a.PlayHours.Merge(o.PlayHours)
+	for _, m := range []struct {
+		dst *stats.Dist
+		src stats.Dist
+	}{
+		{&a.RebufferRate, o.RebufferRate},
+		{&a.AvgRate, o.AvgRate},
+		{&a.SteadyRate, o.SteadyRate},
+		{&a.SwitchRate, o.SwitchRate},
+		{&a.StartupRate, o.StartupRate},
+		{&a.QoERate, o.QoERate},
+	} {
+		if err := m.dst.Merge(m.src); err != nil {
+			return fmt.Errorf("campaign: group %s: %w", a.Name, err)
+		}
+	}
+	return nil
+}
+
+// mergeAccumSets folds a shard's per-group accumulators into dst in group
+// order.
+func mergeAccumSets(dst, src []*GroupAccum) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("campaign: merging %d groups into %d", len(src), len(dst))
+	}
+	for i := range dst {
+		if err := dst[i].Merge(src[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricSummary is one metric's reported aggregate: moments and extrema are
+// exact; the quantiles come from the sketch and are exact whenever Exact is
+// true (the population fit in the sketch), estimates with error O(1/√K)
+// otherwise.
+type MetricSummary struct {
+	N         int64   `json:"n"`
+	Mean      float64 `json:"mean"`
+	StdDev    float64 `json:"stddev"`
+	Min       float64 `json:"min"`
+	P25       float64 `json:"p25"`
+	P50       float64 `json:"p50"`
+	P75       float64 `json:"p75"`
+	P95       float64 `json:"p95"`
+	Max       float64 `json:"max"`
+	Exact     bool    `json:"exact"`
+	NonFinite int64   `json:"non_finite,omitempty"`
+}
+
+func summarizeDist(d stats.Dist) MetricSummary {
+	s := MetricSummary{
+		N:         d.Moments.N,
+		Mean:      d.Moments.Mean,
+		StdDev:    d.Moments.StdDev(),
+		Min:       d.Moments.Min,
+		Max:       d.Moments.Max,
+		Exact:     d.Sketch.Exact(),
+		NonFinite: d.NonFinite,
+	}
+	if d.Moments.N == 0 {
+		return s
+	}
+	s.P25, _ = d.Sketch.Quantile(25)
+	s.P50, _ = d.Sketch.Quantile(50)
+	s.P75, _ = d.Sketch.Quantile(75)
+	s.P95, _ = d.Sketch.Quantile(95)
+	return s
+}
+
+// GroupReport is one arm's final aggregates.
+type GroupReport struct {
+	Name         string  `json:"name"`
+	Sessions     int64   `json:"sessions"`
+	PlayHours    float64 `json:"play_hours"`
+	Rebuffers    int64   `json:"rebuffers"`
+	Faults       int64   `json:"faults,omitempty"`
+	Retries      int64   `json:"retries,omitempty"`
+	Degradations int64   `json:"degradations,omitempty"`
+	Failovers    int64   `json:"failovers,omitempty"`
+	// RebufferRatePooled is total rebuffers over total play hours — the
+	// play-hour-weighted rate the paper's figures report, as opposed to the
+	// unweighted per-session distribution below.
+	RebufferRatePooled  float64       `json:"rebuffers_per_playhour_pooled"`
+	RebufferRate        MetricSummary `json:"rebuffers_per_playhour"`
+	AvgRateKbps         MetricSummary `json:"avg_rate_kbps"`
+	SteadyRateKbps      MetricSummary `json:"steady_rate_kbps"`
+	SwitchesPerPlayhour MetricSummary `json:"switches_per_playhour"`
+	StartupRateKbps     MetricSummary `json:"startup_rate_kbps"`
+	QoEPerPlayhour      MetricSummary `json:"qoe_per_playhour"`
+}
+
+// Report summarizes the accumulator into its reported aggregates.
+func (a *GroupAccum) Report() GroupReport {
+	r := GroupReport{
+		Name:         a.Name,
+		Sessions:     a.Sessions,
+		PlayHours:    a.PlayHours.Sum(),
+		Rebuffers:    a.Rebuffers,
+		Faults:       a.Faults,
+		Retries:      a.Retries,
+		Degradations: a.Degradations,
+		Failovers:    a.Failovers,
+
+		RebufferRate:        summarizeDist(a.RebufferRate),
+		AvgRateKbps:         summarizeDist(a.AvgRate),
+		SteadyRateKbps:      summarizeDist(a.SteadyRate),
+		SwitchesPerPlayhour: summarizeDist(a.SwitchRate),
+		StartupRateKbps:     summarizeDist(a.StartupRate),
+		QoEPerPlayhour:      summarizeDist(a.QoERate),
+	}
+	if h := a.PlayHours.Sum(); h > 0 {
+		r.RebufferRatePooled = float64(a.Rebuffers) / h
+	}
+	return r
+}

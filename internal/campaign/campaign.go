@@ -1,0 +1,608 @@
+// Package campaign scales the A/B harness from figure-sized experiments to
+// million-session campaigns: constant memory, deterministic sharding, and
+// kill-resume checkpointing.
+//
+// The unit of work is the shard — a fixed run of ShardSize consecutive
+// global paired-session indices. Everything about a session is keyed by
+// (Seed, shard, offset), and shard boundaries depend only on the campaign
+// identity, never on worker count or process count. The determinism rule is
+// therefore:
+//
+//	per-shard accumulators are bit-identical however they are computed, and
+//	the campaign state is always the left-to-right fold of those shard
+//	accumulators in shard-index order.
+//
+// Quantile sketches are exactly mergeable (set union of hashed samples), so
+// they are order-independent outright; Welford moment merges are
+// deterministic but not exactly associative in floating point, which is why
+// the fold order is pinned. Under this rule a 4-worker run, a 4-process
+// striped run, and a single-threaded run produce byte-identical reports.
+//
+// Memory: each session folds immediately into its shard's per-group
+// accumulators (a few KB each); a single-process run folds shards into a
+// running prefix as they complete, holding at most the merge window
+// (2×Parallelism) of out-of-order shards. Checkpoints record completed
+// shards only — a shard is the atomic unit, so resuming after a kill never
+// double-counts a session.
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"time"
+
+	"bba/internal/abtest"
+	"bba/internal/faults"
+	"bba/internal/media"
+	"bba/internal/metrics"
+	"bba/internal/telemetry"
+)
+
+// Config describes one campaign. The zero value plus a Sessions count is a
+// runnable clean campaign over the standard groups.
+type Config struct {
+	// Name labels progress and telemetry (default "campaign").
+	Name string
+	// Seed makes the campaign deterministic.
+	Seed int64
+	// Sessions is the number of paired session draws; each is streamed once
+	// per group, so the player-session count is Sessions × len(Groups).
+	Sessions int
+	// ShardSize is the number of paired sessions per shard (default 1024).
+	// It is part of the campaign identity: changing it changes per-session
+	// RNG keying and therefore the drawn population.
+	ShardSize int
+	// Days is the simulated calendar depth; session g lands in window
+	// g mod 12 of day (g div 12) mod Days (default 3).
+	Days int
+	// Groups are the experiment arms; empty means abtest.StandardGroups.
+	Groups []abtest.Group
+	// Population tunes the synthetic user population.
+	Population abtest.PopulationConfig
+	// CatalogSize is the number of titles (default 24).
+	CatalogSize int
+	// Ladder is the encoding ladder (default media.DefaultLadder).
+	Ladder media.Ladder
+	// Parallelism bounds worker goroutines (default GOMAXPROCS).
+	Parallelism int
+	// Faults, when non-nil, runs every session under per-session fault
+	// weather exactly as the A/B harness does.
+	Faults *faults.ScheduleConfig
+	// FaultSeed seeds the fault schedules independently of Seed.
+	FaultSeed int64
+	// SketchSize is each metric sketch's retained-sample capacity
+	// (default 512). Part of the campaign identity.
+	SketchSize int
+	// Stripe/Stripes split the campaign across processes: this process runs
+	// only shards s with s mod Stripes == Stripe. Defaults to the whole
+	// campaign (Stripes 1, Stripe 0). A striped run's checkpoint is merged
+	// with the other stripes' via MergeCheckpoints.
+	Stripe, Stripes int
+	// Resume, when non-nil, is a previously saved checkpoint: its recorded
+	// shards are skipped (never re-run, never double-counted) and the run
+	// continues from its state. Its identity must match the config's.
+	Resume *Checkpoint
+	// CheckpointPath, when non-empty, receives an atomically written
+	// checkpoint every CheckpointEvery completed shards and at the end of
+	// the run (including cancelled runs).
+	CheckpointPath string
+	// CheckpointEvery is the shard interval between checkpoint writes
+	// (default 8).
+	CheckpointEvery int
+	// Progress, when non-nil, is called after every completed shard from
+	// the collector goroutine. It must not block.
+	Progress func(Progress)
+	// Observer, when non-nil, receives one CampaignProgress telemetry event
+	// per completed shard.
+	Observer telemetry.Observer
+}
+
+func (c *Config) applyDefaults() {
+	if c.Name == "" {
+		c.Name = "campaign"
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 1000
+	}
+	if c.ShardSize <= 0 {
+		c.ShardSize = 1024
+	}
+	if c.Days <= 0 {
+		c.Days = 3
+	}
+	if len(c.Groups) == 0 {
+		c.Groups = abtest.StandardGroups()
+	}
+	if c.CatalogSize <= 0 {
+		c.CatalogSize = 24
+	}
+	if c.Ladder == nil {
+		c.Ladder = media.DefaultLadder()
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.SketchSize <= 0 {
+		c.SketchSize = 512
+	}
+	if c.Stripes <= 0 {
+		c.Stripes = 1
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 8
+	}
+}
+
+// identity derives the campaign identity from a defaulted config.
+func (c *Config) identity() Identity {
+	names := make([]string, len(c.Groups))
+	for i, g := range c.Groups {
+		names[i] = g.Name
+	}
+	return Identity{
+		Seed:        c.Seed,
+		FaultSeed:   c.FaultSeed,
+		Faults:      c.Faults != nil,
+		Sessions:    c.Sessions,
+		ShardSize:   c.ShardSize,
+		Days:        c.Days,
+		CatalogSize: c.CatalogSize,
+		SketchSize:  c.SketchSize,
+		Groups:      names,
+	}
+}
+
+// Progress is a live snapshot handed to Config.Progress after each
+// completed shard.
+type Progress struct {
+	// ShardsDone / ShardsTotal count this run's target shard set (the
+	// stripe's shards), including shards resumed from a checkpoint.
+	ShardsDone, ShardsTotal int
+	// SessionsDone / SessionsTotal count paired sessions over the same set.
+	SessionsDone, SessionsTotal int64
+	// Elapsed is wall-clock time since the run started.
+	Elapsed time.Duration
+	// SessionsPerSec is this run's player-session throughput (excludes
+	// resumed shards).
+	SessionsPerSec float64
+	// ETA estimates the remaining wall-clock time from this run's pace;
+	// zero until the first shard completes.
+	ETA time.Duration
+	// Groups are display-only live aggregates folded in completion order
+	// (not the deterministic fold; see GroupDelta).
+	Groups []GroupDelta
+}
+
+// GroupDelta is a live, display-only view of one arm: folded in shard
+// completion order, so it is not deterministic across runs — the final
+// report is. VsControl is the group's mean rebuffer rate relative to the
+// first group's (1 = equal, 0 when the control has no samples yet).
+type GroupDelta struct {
+	Name         string
+	Sessions     int64
+	RebufferRate float64
+	AvgRateKbps  float64
+	VsControl    float64
+}
+
+// RunStats describes one Run invocation's execution.
+type RunStats struct {
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// SessionsRun counts paired sessions executed by this run (resumed
+	// shards excluded); PlayerSessions = SessionsRun × groups.
+	SessionsRun    int64
+	PlayerSessions int64
+	// ShardsRun counts shards executed by this run.
+	ShardsRun int
+	// Parallelism is the worker count used.
+	Parallelism int
+	// PeakPending is the maximum number of completed shard accumulator
+	// sets held beyond the folded prefix at any point — the memory-ceiling
+	// witness. Single-process runs keep it within the merge window
+	// (2×Parallelism); striped runs hold their whole stripe by design.
+	PeakPending int
+	// Faults, Retries, Degradations and Failovers total fault-injection
+	// activity across this run's sessions.
+	Faults, Retries, Degradations, Failovers int64
+}
+
+// SessionsPerSecond returns this run's player-session throughput.
+func (s RunStats) SessionsPerSecond() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.PlayerSessions) / s.Elapsed.Seconds()
+}
+
+// Outcome is the result of a Run.
+type Outcome struct {
+	// Report is the final campaign report; nil when the run did not
+	// complete the whole campaign (a stripe subset, or a cancelled run).
+	Report *Report
+	// Checkpoint is the run's final state — always present, resumable and
+	// mergeable even when the run was cancelled.
+	Checkpoint *Checkpoint
+	// Stats describes the run's execution.
+	Stats RunStats
+}
+
+// shardRNG derives the per-session RNG from (seed, shard, offset) — the
+// campaign's determinism key. The extra constant decorrelates campaign
+// draws from abtest.SessionRNG streams with the same seed.
+func shardRNG(seed int64, shard, off int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(shardMix(uint64(seed), uint64(shard), uint64(off), 0xCA3A16))))
+}
+
+// shardFaultSeed derives the per-session fault seed from (faultSeed, shard,
+// offset), decorrelated from the population stream.
+func shardFaultSeed(faultSeed int64, shard, off int) int64 {
+	return int64(shardMix(uint64(faultSeed), uint64(shard), uint64(off), 0xCA3A16FA5E1))
+}
+
+// sessionKey is the unique sketch-sample identity of (global session,
+// group): global index in the high bits, group index in the low bits.
+func sessionKey(global int64, gi int) uint64 {
+	return uint64(global)<<8 | uint64(gi&0xFF)
+}
+
+func shardMix(vs ...uint64) uint64 {
+	x := vs[0]
+	for _, v := range vs[1:] {
+		x += (v + 1) * 0x9E3779B97F4A7C15
+		x = splitmix(x)
+	}
+	return x
+}
+
+func splitmix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// runShard executes one shard: for each offset it draws the user keyed by
+// (seed, shard, offset) and streams the paired session once per group,
+// folding the metrics straight into fresh per-group accumulators. The
+// result depends only on (identity, shard).
+func runShard(ctx context.Context, cfg *Config, catalog *media.Catalog, shard int) ([]*GroupAccum, error) {
+	accums := NewGroupAccums(cfg.identity().Groups, cfg.SketchSize)
+	n := cfg.identity().shardSessions(shard)
+	for off := 0; off < n; off++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		global := int64(shard)*int64(cfg.ShardSize) + int64(off)
+		window := int(global % int64(metrics.WindowsPerDay))
+		day := int(global / int64(metrics.WindowsPerDay) % int64(cfg.Days))
+		rng := shardRNG(cfg.Seed, shard, off)
+		u := abtest.DrawUser(cfg.Population, window, day, rng)
+		var fseed int64
+		if cfg.Faults != nil {
+			fseed = shardFaultSeed(cfg.FaultSeed, shard, off)
+		}
+		ms, err := abtest.PlayUser(ctx, u, u.Pick(catalog), cfg.Groups, cfg.Faults, fseed, nil)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: shard %d session %d: %w", shard, off, err)
+		}
+		for gi := range cfg.Groups {
+			if err := accums[gi].AddSession(sessionKey(global, gi), ms[gi]); err != nil {
+				return nil, fmt.Errorf("campaign: shard %d session %d: %w", shard, off, err)
+			}
+		}
+	}
+	return accums, nil
+}
+
+// Run executes the campaign (or its stripe). See RunContext.
+func Run(cfg Config) (*Outcome, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext runs the campaign's stripe with cancellation. On cancellation
+// it stops issuing shards, discards partially executed shards, saves a
+// final checkpoint (when CheckpointPath is set) and returns the context's
+// error alongside a non-nil Outcome carrying the resumable checkpoint — the
+// caller decides whether a partial outcome is useful.
+func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
+	cfg.applyDefaults()
+	if cfg.Stripe < 0 || cfg.Stripe >= cfg.Stripes {
+		return nil, fmt.Errorf("campaign: stripe %d of %d", cfg.Stripe, cfg.Stripes)
+	}
+	id := cfg.identity()
+	catalog, err := media.NewCatalog(cfg.CatalogSize, cfg.Ladder, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	state := newCheckpoint(id)
+	if cfg.Resume != nil {
+		if err := cfg.Resume.validate(); err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(cfg.Resume.Identity, id) {
+			return nil, fmt.Errorf("campaign: checkpoint identity does not match config; refusing to resume")
+		}
+		state = cfg.Resume
+	}
+
+	// This run's target shard set: the stripe's shards, minus those the
+	// checkpoint already recorded.
+	var todo []int
+	stripeShards, stripeSessions := 0, int64(0)
+	for s := cfg.Stripe; s < id.Shards(); s += cfg.Stripes {
+		stripeShards++
+		stripeSessions += int64(id.shardSessions(s))
+		if !state.has(s) {
+			todo = append(todo, s)
+		}
+	}
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	start := time.Now()
+	out := &Outcome{Checkpoint: state}
+	out.Stats.Parallelism = cfg.Parallelism
+
+	type shardResult struct {
+		shard  int
+		accums []*GroupAccum
+		err    error
+	}
+	// The merge window: the producer takes a token per shard and the
+	// collector releases it when the shard is recorded. In single-stripe
+	// runs recording folds the in-order prefix, so completed-but-unfolded
+	// shards stay within the window; striped runs legitimately retain every
+	// completed shard for the cross-process merge.
+	window := 2 * cfg.Parallelism
+	tokens := make(chan struct{}, window)
+	shards := make(chan int)
+	results := make(chan shardResult, window)
+
+	go func() { // producer
+		defer close(shards)
+		for _, s := range todo {
+			select {
+			case tokens <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case shards <- s:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for n := 0; n < cfg.Parallelism; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range shards {
+				accums, err := runShard(ctx, &cfg, catalog, s)
+				select {
+				case results <- shardResult{shard: s, accums: accums, err: err}:
+				case <-ctx.Done():
+					return
+				}
+				if err != nil {
+					cancel() // fail fast, like the A/B harness
+					return
+				}
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	// Collector: record shards as they complete, fold the in-order prefix,
+	// checkpoint periodically, report progress.
+	live := NewGroupAccums(id.Groups, cfg.SketchSize) // display-only, completion order
+	resumedShards := stripeShards - len(todo)
+	resumedSessions := stripeSessions
+	for _, s := range todo {
+		resumedSessions -= int64(id.shardSessions(s))
+	}
+	sinceSave := 0
+	var firstErr error
+	for r := range results {
+		if r.err != nil {
+			if firstErr == nil && !isContextErr(r.err) {
+				firstErr = r.err
+			}
+			cancel()
+			continue
+		}
+		if err := state.record(r.shard, r.accums); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			cancel()
+			continue
+		}
+		<-tokens
+		if p := state.pending(); p > out.Stats.PeakPending {
+			out.Stats.PeakPending = p
+		}
+		out.Stats.ShardsRun++
+		ran := int64(id.shardSessions(r.shard))
+		out.Stats.SessionsRun += ran
+		out.Stats.PlayerSessions += ran * int64(len(id.Groups))
+		for gi, a := range r.accums {
+			out.Stats.Faults += a.Faults
+			out.Stats.Retries += a.Retries
+			out.Stats.Degradations += a.Degradations
+			out.Stats.Failovers += a.Failovers
+			// live is for display only; errors here cannot corrupt state.
+			_ = live[gi].Merge(a)
+		}
+
+		elapsed := time.Since(start)
+		if cfg.Observer != nil {
+			cfg.Observer.OnEvent(telemetry.Event{
+				Kind:          telemetry.CampaignProgress,
+				At:            elapsed,
+				Chunk:         r.shard,
+				RateIndex:     -1,
+				PrevRateIndex: -1,
+				Bytes:         resumedSessions + out.Stats.SessionsRun,
+				Label:         cfg.Name,
+			})
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(progressSnapshot(out.Stats, elapsed, resumedShards, resumedSessions, stripeShards, stripeSessions, live))
+		}
+		sinceSave++
+		if cfg.CheckpointPath != "" && sinceSave >= cfg.CheckpointEvery {
+			if err := state.Save(cfg.CheckpointPath); err != nil && firstErr == nil {
+				firstErr = err
+				cancel()
+			}
+			sinceSave = 0
+		}
+	}
+
+	out.Stats.Elapsed = time.Since(start)
+	if cfg.CheckpointPath != "" && (sinceSave > 0 || out.Stats.ShardsRun == 0) {
+		if err := state.Save(cfg.CheckpointPath); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return out, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	if state.Complete() {
+		out.Report = buildReport(state, false)
+	}
+	return out, nil
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func progressSnapshot(rs RunStats, elapsed time.Duration, resumedShards int, resumedSessions int64, stripeShards int, stripeSessions int64, live []*GroupAccum) Progress {
+	p := Progress{
+		ShardsDone:    resumedShards + rs.ShardsRun,
+		ShardsTotal:   stripeShards,
+		SessionsDone:  resumedSessions + rs.SessionsRun,
+		SessionsTotal: stripeSessions,
+		Elapsed:       elapsed,
+	}
+	if elapsed > 0 {
+		p.SessionsPerSec = float64(rs.PlayerSessions) / elapsed.Seconds()
+	}
+	if rs.SessionsRun > 0 && p.SessionsDone < p.SessionsTotal {
+		perSession := elapsed.Seconds() / float64(rs.SessionsRun)
+		p.ETA = time.Duration(perSession * float64(p.SessionsTotal-p.SessionsDone) * float64(time.Second))
+	}
+	var control float64
+	for gi, a := range live {
+		d := GroupDelta{
+			Name:         a.Name,
+			Sessions:     a.Sessions,
+			RebufferRate: a.RebufferRate.Moments.Mean,
+			AvgRateKbps:  a.AvgRate.Moments.Mean,
+		}
+		if gi == 0 {
+			control = d.RebufferRate
+		}
+		if control > 0 {
+			d.VsControl = d.RebufferRate / control
+		}
+		p.Groups = append(p.Groups, d)
+	}
+	return p
+}
+
+// ReportSchema identifies the report file format.
+const ReportSchema = "bba-campaign-report/v1"
+
+// Report is the campaign's final aggregate. Built from a completed
+// checkpoint's folded prefix it is byte-identical for a given identity at
+// any worker count or stripe split.
+type Report struct {
+	Schema string `json:"schema"`
+	// Truncated marks a report built from an incomplete campaign (for
+	// example after SIGINT): its aggregates cover only CompletedShards of
+	// ShardsTotal shards, folded in shard-index order.
+	Truncated       bool     `json:"truncated,omitempty"`
+	Identity        Identity `json:"identity"`
+	ShardsTotal     int      `json:"shards_total"`
+	CompletedShards int      `json:"completed_shards"`
+	// Sessions counts the paired draws covered; PlayerSessions counts
+	// player sessions (paired draws × groups).
+	Sessions       int64         `json:"sessions"`
+	PlayerSessions int64         `json:"player_sessions"`
+	Groups         []GroupReport `json:"groups"`
+}
+
+// buildReport folds the checkpoint's recorded shards in shard-index order
+// (prefix first, then any parked shards ascending) into a report. For a
+// complete checkpoint everything is already in the prefix and the result is
+// the canonical deterministic aggregate; for a truncated report the fold
+// covers whatever completed, still in pinned order.
+func buildReport(c *Checkpoint, truncated bool) *Report {
+	accums := cloneAccums(c.Prefix)
+	if accums == nil {
+		accums = NewGroupAccums(c.Identity.Groups, c.Identity.SketchSize)
+	}
+	for _, d := range c.Done {
+		_ = mergeAccumSets(accums, d.Groups)
+	}
+	r := &Report{
+		Schema:          ReportSchema,
+		Truncated:       truncated,
+		Identity:        c.Identity,
+		ShardsTotal:     c.Identity.Shards(),
+		CompletedShards: c.CompletedShards(),
+		Sessions:        c.SessionsDone(),
+	}
+	for _, a := range accums {
+		r.PlayerSessions += a.Sessions
+		r.Groups = append(r.Groups, a.Report())
+	}
+	return r
+}
+
+// FinalReport builds the canonical report from a complete checkpoint, or an
+// error if shards are missing.
+func FinalReport(c *Checkpoint) (*Report, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if !c.Complete() {
+		return nil, fmt.Errorf("campaign: checkpoint covers %d of %d shards", c.CompletedShards(), c.Identity.Shards())
+	}
+	return buildReport(c, false), nil
+}
+
+// TruncatedReport builds a best-effort report from an incomplete
+// checkpoint, marked Truncated.
+func TruncatedReport(c *Checkpoint) (*Report, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return buildReport(c, true), nil
+}
+
+// WriteJSON writes the report as indented JSON with a fixed field order —
+// the byte form the determinism tests compare.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

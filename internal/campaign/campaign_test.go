@@ -1,0 +1,286 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"bba/internal/abtest"
+	"bba/internal/faults"
+	"bba/internal/telemetry"
+)
+
+// twoGroups keeps the test campaigns cheap while still exercising the
+// paired multi-arm path.
+func twoGroups() []abtest.Group {
+	std := abtest.StandardGroups()
+	return []abtest.Group{std[0], std[2]} // Control, BBA-0
+}
+
+func testConfig(sessions int) Config {
+	fc := faults.DefaultScheduleConfig()
+	return Config{
+		Seed:        41,
+		FaultSeed:   7,
+		Faults:      &fc,
+		Sessions:    sessions,
+		ShardSize:   8,
+		CatalogSize: 4,
+		SketchSize:  64,
+		Groups:      twoGroups(),
+	}
+}
+
+func reportBytes(t *testing.T, r *Report) []byte {
+	t.Helper()
+	if r == nil {
+		t.Fatal("nil report")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardingDeterminism pins the campaign's central contract: the same
+// identity produces byte-identical reports at any worker count and at any
+// process split (stripes merged via checkpoints).
+func TestShardingDeterminism(t *testing.T) {
+	cfg := testConfig(52) // 7 shards, last one partial
+
+	cfg.Parallelism = 1
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, ref.Report)
+
+	cfg.Parallelism = 4
+	wide, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reportBytes(t, wide.Report), want) {
+		t.Error("4-worker report differs from single-worker report")
+	}
+
+	// Four separate striped processes, merged.
+	var cps []*Checkpoint
+	for stripe := 0; stripe < 4; stripe++ {
+		scfg := cfg
+		scfg.Stripe, scfg.Stripes = stripe, 4
+		scfg.Parallelism = 2
+		out, err := Run(scfg)
+		if err != nil {
+			t.Fatalf("stripe %d: %v", stripe, err)
+		}
+		if out.Report != nil {
+			t.Fatalf("stripe %d produced a final report on its own", stripe)
+		}
+		cps = append(cps, out.Checkpoint)
+	}
+	merged, err := MergeCheckpoints(cps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FinalReport(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reportBytes(t, rep), want) {
+		t.Error("merged 4-stripe report differs from unsharded report")
+	}
+}
+
+// TestResumeNoDoubleCounting kills a campaign mid-run, resumes from its
+// checkpoint, and requires the final report to be byte-identical to an
+// uninterrupted run — shards are atomic, so nothing is lost or counted
+// twice.
+func TestResumeNoDoubleCounting(t *testing.T) {
+	cfg := testConfig(48) // 6 shards
+	cfg.Parallelism = 2
+	cfg.CheckpointEvery = 1
+
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, ref.Report)
+
+	path := filepath.Join(t.TempDir(), "cp.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	kcfg := cfg
+	kcfg.CheckpointPath = path
+	var done atomic.Int32
+	kcfg.Progress = func(p Progress) {
+		if done.Add(1) == 3 { // kill after the third completed shard
+			cancel()
+		}
+	}
+	out, err := RunContext(ctx, kcfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if out == nil || out.Checkpoint == nil {
+		t.Fatal("cancelled run returned no checkpoint")
+	}
+	if out.Report != nil {
+		t.Error("cancelled run produced a final report")
+	}
+
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cp.CompletedShards()
+	if got == 0 || got >= cfg.Sessions/cfg.ShardSize {
+		t.Fatalf("checkpoint recorded %d shards; want a strict mid-run subset", got)
+	}
+
+	// A truncated report is available, and marked as such.
+	trunc, err := TruncatedReport(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trunc.Truncated {
+		t.Error("partial report not marked truncated")
+	}
+	if trunc.Sessions != cp.SessionsDone() {
+		t.Errorf("truncated report covers %d sessions, checkpoint %d", trunc.Sessions, cp.SessionsDone())
+	}
+
+	rcfg := cfg
+	rcfg.Resume = cp
+	res, err := Run(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ShardsRun+got != 6 {
+		t.Errorf("resume ran %d shards on top of %d recorded, want %d total", res.Stats.ShardsRun, got, 6)
+	}
+	if !bytes.Equal(reportBytes(t, res.Report), want) {
+		t.Error("resumed report differs from uninterrupted report")
+	}
+}
+
+// TestResumeRejectsForeignCheckpoint pins the identity guard: a checkpoint
+// from a different campaign must not resume, and checkpoints from
+// different campaigns must not merge.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	cfg := testConfig(16)
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed++
+	other.Resume = out.Checkpoint
+	if _, err := Run(other); err == nil {
+		t.Error("resume with mismatched identity succeeded")
+	}
+	o2, err := Run(Config{Seed: cfg.Seed + 1, Sessions: 16, ShardSize: 8, CatalogSize: 4, SketchSize: 64, Groups: twoGroups()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeCheckpoints(out.Checkpoint, o2.Checkpoint); err == nil {
+		t.Error("merging checkpoints with different identities succeeded")
+	}
+	if _, err := MergeCheckpoints(out.Checkpoint, out.Checkpoint); err == nil {
+		t.Error("merging overlapping checkpoints succeeded")
+	}
+}
+
+// TestMemoryCeiling pins the constant-memory design: out-of-order shard
+// retention stays within the merge window, and the serialized campaign
+// state does not grow with session count once the sketches saturate.
+func TestMemoryCeiling(t *testing.T) {
+	small := testConfig(64)
+	small.Faults = nil
+	small.Parallelism = 4
+	big := small
+	big.Sessions = 4 * small.Sessions
+
+	sizeOf := func(cfg Config) (int, RunStats) {
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "cp.json")
+		if err := out.Checkpoint.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		cp, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cp.Complete() {
+			t.Fatal("round-tripped checkpoint not complete")
+		}
+		data, err := json.Marshal(out.Checkpoint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(data), out.Stats
+	}
+	sSize, sStats := sizeOf(small)
+	bSize, bStats := sizeOf(big)
+
+	for _, st := range []RunStats{sStats, bStats} {
+		if limit := 2 * st.Parallelism; st.PeakPending > limit {
+			t.Errorf("PeakPending %d exceeds merge window %d", st.PeakPending, limit)
+		}
+	}
+	// 4× the sessions must not grow the serialized state materially: the
+	// sketches are fixed-size and everything else is O(groups).
+	if float64(bSize) > 1.25*float64(sSize) {
+		t.Errorf("checkpoint grew with session count: %d bytes at N=%d vs %d bytes at N=%d",
+			bSize, big.Sessions, sSize, small.Sessions)
+	}
+}
+
+// TestProgressAndTelemetry checks the per-shard progress stream: monotone
+// session counts, a CampaignProgress event per shard, and live group
+// deltas for every arm.
+func TestProgressAndTelemetry(t *testing.T) {
+	cfg := testConfig(24) // 3 shards
+	cfg.Faults = nil
+	cfg.Parallelism = 2
+	ring := telemetry.NewRing(64)
+	cfg.Observer = ring
+	var snaps []Progress
+	cfg.Progress = func(p Progress) { snaps = append(snaps, p) }
+
+	out, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 3 {
+		t.Fatalf("got %d progress snapshots, want 3", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.SessionsDone != int64(cfg.Sessions) || last.SessionsTotal != int64(cfg.Sessions) {
+		t.Errorf("final progress %d/%d, want %d/%d", last.SessionsDone, last.SessionsTotal, cfg.Sessions, cfg.Sessions)
+	}
+	if last.ShardsDone != 3 || last.ShardsTotal != 3 {
+		t.Errorf("final progress shards %d/%d, want 3/3", last.ShardsDone, last.ShardsTotal)
+	}
+	if len(last.Groups) != 2 || last.Groups[0].Sessions != int64(cfg.Sessions) {
+		t.Errorf("live group deltas incomplete: %+v", last.Groups)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].SessionsDone <= snaps[i-1].SessionsDone {
+			t.Error("progress SessionsDone not monotone")
+		}
+	}
+	if n := ring.CountKind(telemetry.CampaignProgress); n != 3 {
+		t.Errorf("got %d CampaignProgress events, want 3", n)
+	}
+	if out.Report == nil || out.Report.Truncated {
+		t.Error("complete run did not produce a final untruncated report")
+	}
+}

@@ -1,0 +1,297 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+
+	"bba/internal/stats"
+)
+
+// CheckpointSchema identifies the checkpoint file format.
+const CheckpointSchema = "bba-campaign-checkpoint/v1"
+
+// Identity pins everything that determines a campaign's results. Two
+// checkpoints are mergeable — and a checkpoint is resumable under a config —
+// only when their identities are equal; mixing different identities would
+// silently blend incompatible populations.
+type Identity struct {
+	Seed        int64    `json:"seed"`
+	FaultSeed   int64    `json:"fault_seed,omitempty"`
+	Faults      bool     `json:"faults,omitempty"`
+	Sessions    int      `json:"sessions"`
+	ShardSize   int      `json:"shard_size"`
+	Days        int      `json:"days"`
+	CatalogSize int      `json:"catalog_size"`
+	SketchSize  int      `json:"sketch_size"`
+	Groups      []string `json:"groups"`
+}
+
+// Shards returns the campaign's shard count: ⌈Sessions/ShardSize⌉. Shard s
+// covers global paired-session indices [s·ShardSize, min((s+1)·ShardSize,
+// Sessions)). The boundaries depend only on the identity — never on worker
+// count or process split — which is what makes merged results bit-identical
+// at any sharding.
+func (id Identity) Shards() int {
+	if id.Sessions <= 0 || id.ShardSize <= 0 {
+		return 0
+	}
+	return (id.Sessions + id.ShardSize - 1) / id.ShardSize
+}
+
+// shardSessions returns how many paired sessions shard s covers.
+func (id Identity) shardSessions(s int) int {
+	lo := s * id.ShardSize
+	hi := lo + id.ShardSize
+	if hi > id.Sessions {
+		hi = id.Sessions
+	}
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// ShardAccums is one completed shard's per-group accumulators, the atomic
+// unit of checkpointing: a shard is recorded only once fully complete, so a
+// resume can never double-count sessions.
+type ShardAccums struct {
+	Shard  int           `json:"shard"`
+	Groups []*GroupAccum `json:"groups"`
+}
+
+// Checkpoint is the resumable state of a campaign, written atomically as
+// JSON. Prefix holds the in-order fold of shards [0, PrefixShards); Done
+// holds completed shards beyond the prefix (out-of-order completions, or all
+// completions of a stripe that doesn't own shard 0), sorted by shard index.
+// fold() moves Done entries into the prefix as soon as they become
+// contiguous, so a single-process run's checkpoint stays O(groups) while a
+// stripe's checkpoint is O(completed shards) — exactly the state a merge
+// needs.
+type Checkpoint struct {
+	Schema       string        `json:"schema"`
+	Identity     Identity      `json:"identity"`
+	PrefixShards int           `json:"prefix_shards"`
+	Prefix       []*GroupAccum `json:"prefix,omitempty"`
+	Done         []ShardAccums `json:"done,omitempty"`
+}
+
+// newCheckpoint returns an empty checkpoint for the identity.
+func newCheckpoint(id Identity) *Checkpoint {
+	return &Checkpoint{Schema: CheckpointSchema, Identity: id}
+}
+
+// has reports whether shard s is already recorded.
+func (c *Checkpoint) has(s int) bool {
+	if s < c.PrefixShards {
+		return true
+	}
+	i := sort.Search(len(c.Done), func(i int) bool { return c.Done[i].Shard >= s })
+	return i < len(c.Done) && c.Done[i].Shard == s
+}
+
+// record stores a completed shard's accumulators and folds any newly
+// contiguous prefix. It returns an error on duplicates — a duplicate means
+// double-counting, the exact bug checkpointing exists to prevent.
+func (c *Checkpoint) record(s int, accums []*GroupAccum) error {
+	if c.has(s) {
+		return fmt.Errorf("campaign: shard %d recorded twice", s)
+	}
+	i := sort.Search(len(c.Done), func(i int) bool { return c.Done[i].Shard >= s })
+	c.Done = append(c.Done, ShardAccums{})
+	copy(c.Done[i+1:], c.Done[i:])
+	c.Done[i] = ShardAccums{Shard: s, Groups: accums}
+	return c.fold()
+}
+
+// fold merges Done entries into Prefix while they are contiguous with it.
+// This is the single merge path — always left-to-right in shard-index order —
+// so the folded state is bit-identical no matter which workers or processes
+// computed the shards.
+func (c *Checkpoint) fold() error {
+	for len(c.Done) > 0 && c.Done[0].Shard == c.PrefixShards {
+		if c.Prefix == nil {
+			c.Prefix = c.Done[0].Groups
+		} else if err := mergeAccumSets(c.Prefix, c.Done[0].Groups); err != nil {
+			return err
+		}
+		c.PrefixShards++
+		c.Done = c.Done[1:]
+	}
+	return nil
+}
+
+// pending returns how many completed shards are parked beyond the prefix.
+func (c *Checkpoint) pending() int { return len(c.Done) }
+
+// CompletedShards returns how many shards the checkpoint has recorded.
+func (c *Checkpoint) CompletedShards() int { return c.PrefixShards + len(c.Done) }
+
+// SessionsDone returns the paired sessions covered by recorded shards.
+func (c *Checkpoint) SessionsDone() int64 {
+	var n int64
+	for s := 0; s < c.PrefixShards; s++ {
+		n += int64(c.Identity.shardSessions(s))
+	}
+	for _, d := range c.Done {
+		n += int64(c.Identity.shardSessions(d.Shard))
+	}
+	return n
+}
+
+// Complete reports whether every shard of the campaign is folded into the
+// prefix.
+func (c *Checkpoint) Complete() bool {
+	return c.PrefixShards == c.Identity.Shards() && len(c.Done) == 0
+}
+
+// validate checks structural invariants after a load or merge.
+func (c *Checkpoint) validate() error {
+	if c.Schema != CheckpointSchema {
+		return fmt.Errorf("campaign: checkpoint schema %q, want %q", c.Schema, CheckpointSchema)
+	}
+	if c.Identity.Shards() == 0 {
+		return fmt.Errorf("campaign: checkpoint identity has no shards")
+	}
+	if c.PrefixShards > 0 && len(c.Prefix) != len(c.Identity.Groups) {
+		return fmt.Errorf("campaign: checkpoint prefix has %d groups, identity %d", len(c.Prefix), len(c.Identity.Groups))
+	}
+	last := c.PrefixShards - 1
+	for _, d := range c.Done {
+		if d.Shard <= last {
+			return fmt.Errorf("campaign: checkpoint shard %d out of order or duplicated", d.Shard)
+		}
+		if d.Shard >= c.Identity.Shards() {
+			return fmt.Errorf("campaign: checkpoint shard %d beyond campaign's %d shards", d.Shard, c.Identity.Shards())
+		}
+		if len(d.Groups) != len(c.Identity.Groups) {
+			return fmt.Errorf("campaign: checkpoint shard %d has %d groups, identity %d", d.Shard, len(d.Groups), len(c.Identity.Groups))
+		}
+		last = d.Shard
+	}
+	return nil
+}
+
+// Save writes the checkpoint atomically: marshal, write a temp file in the
+// target directory, fsync, rename. A crash mid-save leaves the previous
+// checkpoint intact.
+func (c *Checkpoint) Save(path string) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".bbacampaign-*.tmp")
+	if err != nil {
+		return fmt.Errorf("campaign: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaign: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("campaign: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("campaign: parse checkpoint %s: %w", path, err)
+	}
+	if err := c.validate(); err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return &c, nil
+}
+
+// MergeCheckpoints combines checkpoints from a striped campaign (one per
+// process) into a single checkpoint. All inputs must share an identity and
+// cover disjoint shards; the merged prefix is re-folded in shard-index
+// order, so the result is bit-identical to an unsharded run over the same
+// identity.
+func MergeCheckpoints(cs ...*Checkpoint) (*Checkpoint, error) {
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("campaign: no checkpoints to merge")
+	}
+	id := cs[0].Identity
+	out := newCheckpoint(id)
+	for _, c := range cs {
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(c.Identity, id) {
+			return nil, fmt.Errorf("campaign: checkpoint identities differ; refusing to merge")
+		}
+	}
+	// Collect every recorded shard, reject overlaps, then fold ascending.
+	type entry struct {
+		shard  int
+		groups []*GroupAccum
+		prefix *Checkpoint // non-nil when the entry is a folded prefix
+	}
+	var entries []entry
+	for _, c := range cs {
+		if c.PrefixShards > 0 {
+			entries = append(entries, entry{shard: 0, prefix: c})
+		}
+		for _, d := range c.Done {
+			entries = append(entries, entry{shard: d.Shard, groups: d.Groups})
+		}
+	}
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].shard < entries[j].shard })
+	for _, e := range entries {
+		if e.prefix != nil {
+			// A folded prefix covers shards [0, PrefixShards) as one unit;
+			// it can only merge when out's prefix is still empty (two
+			// overlapping prefixes would double-count shard 0).
+			if out.PrefixShards != 0 {
+				return nil, fmt.Errorf("campaign: checkpoints overlap at shard 0")
+			}
+			out.PrefixShards = e.prefix.PrefixShards
+			out.Prefix = cloneAccums(e.prefix.Prefix)
+			continue
+		}
+		if out.has(e.shard) {
+			return nil, fmt.Errorf("campaign: checkpoints overlap at shard %d", e.shard)
+		}
+		if err := out.record(e.shard, cloneAccums(e.groups)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// cloneAccums deep-copies a shard's accumulators so merging never aliases
+// the source checkpoint's state.
+func cloneAccums(src []*GroupAccum) []*GroupAccum {
+	out := make([]*GroupAccum, len(src))
+	for i, a := range src {
+		cp := *a
+		cp.RebufferRate.Sketch.Entries = append([]stats.SketchEntry(nil), a.RebufferRate.Sketch.Entries...)
+		cp.AvgRate.Sketch.Entries = append([]stats.SketchEntry(nil), a.AvgRate.Sketch.Entries...)
+		cp.SteadyRate.Sketch.Entries = append([]stats.SketchEntry(nil), a.SteadyRate.Sketch.Entries...)
+		cp.SwitchRate.Sketch.Entries = append([]stats.SketchEntry(nil), a.SwitchRate.Sketch.Entries...)
+		cp.StartupRate.Sketch.Entries = append([]stats.SketchEntry(nil), a.StartupRate.Sketch.Entries...)
+		cp.QoERate.Sketch.Entries = append([]stats.SketchEntry(nil), a.QoERate.Sketch.Entries...)
+		out[i] = &cp
+	}
+	return out
+}

@@ -14,7 +14,9 @@ type FetchPolicy struct {
 	// 8 s.
 	ChunkTimeout time.Duration
 	// MaxAttempts is the per-chunk attempt budget, across endpoints
-	// (default 4).
+	// (default 4). When both MaxAttempts and the legacy ClientConfig
+	// MaxRetries are set, MaxAttempts wins; MaxRetries only fills in when
+	// MaxAttempts is unset (<= 0).
 	MaxAttempts int
 	// BackoffBase and BackoffCap bound the exponential backoff between
 	// attempts (defaults 200 ms and 5 s).

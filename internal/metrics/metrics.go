@@ -88,54 +88,86 @@ type Window struct {
 // Aggregate bins sessions into two-hour windows. Sessions with invalid
 // windows are rejected.
 func Aggregate(sessions []Session) ([]Window, error) {
-	type acc struct {
-		sessions  int
-		playHours float64
-		rebuffers int
-		switches  int
-		rateWt    float64 // Σ avgRate·playHours
-		steadyWt  float64
-		steadyH   float64
-		startWt   float64
-		startN    int
-		qoeSum    float64
-		byDay     map[int]*dayAcc
-	}
-	accs := make([]acc, WindowsPerDay)
-	for i := range accs {
-		accs[i].byDay = make(map[int]*dayAcc)
-	}
+	wa := NewWindowAccum()
 	for i, s := range sessions {
-		if s.Window < 0 || s.Window >= WindowsPerDay {
-			return nil, fmt.Errorf("metrics: session %d has window %d outside [0,%d)", i, s.Window, WindowsPerDay)
+		if err := wa.Add(s); err != nil {
+			return nil, fmt.Errorf("metrics: session %d: %w", i, err)
 		}
-		a := &accs[s.Window]
-		a.sessions++
-		a.playHours += s.PlayHours
-		a.rebuffers += s.Rebuffers
-		a.switches += s.Switches
-		a.rateWt += s.AvgRateKbps * s.PlayHours
-		if s.SteadyReached {
-			a.steadyWt += s.SteadyRateKbps * s.PlayHours
-			a.steadyH += s.PlayHours
-		}
-		if s.StartupRateKbps > 0 {
-			a.startWt += s.StartupRateKbps
-			a.startN++
-		}
-		a.qoeSum += s.QoE
-		d := a.byDay[s.Day]
-		if d == nil {
-			d = &dayAcc{}
-			a.byDay[s.Day] = d
-		}
-		d.playHours += s.PlayHours
-		d.rebuffers += s.Rebuffers
 	}
+	return wa.Windows(), nil
+}
 
+// WindowAccum is the incremental form of Aggregate: sessions stream in one
+// at a time and the twelve window aggregates fall out at any point, with no
+// per-session state retained. Streaming the same sessions in the same order
+// produces bit-identical Windows to a batch Aggregate call — the property
+// the A/B harness's streaming-aggregation mode relies on. Not safe for
+// concurrent use.
+type WindowAccum struct {
+	accs []windowAcc
+}
+
+type windowAcc struct {
+	sessions  int
+	playHours float64
+	rebuffers int
+	switches  int
+	rateWt    float64 // Σ avgRate·playHours
+	steadyWt  float64
+	steadyH   float64
+	startWt   float64
+	startN    int
+	qoeSum    float64
+	byDay     map[int]*dayAcc
+}
+
+// NewWindowAccum returns an empty accumulator covering WindowsPerDay
+// windows.
+func NewWindowAccum() *WindowAccum {
+	wa := &WindowAccum{accs: make([]windowAcc, WindowsPerDay)}
+	for i := range wa.accs {
+		wa.accs[i].byDay = make(map[int]*dayAcc)
+	}
+	return wa
+}
+
+// Add folds one session into its window. Sessions with invalid windows are
+// rejected.
+func (wa *WindowAccum) Add(s Session) error {
+	if s.Window < 0 || s.Window >= WindowsPerDay {
+		return fmt.Errorf("metrics: window %d outside [0,%d)", s.Window, WindowsPerDay)
+	}
+	a := &wa.accs[s.Window]
+	a.sessions++
+	a.playHours += s.PlayHours
+	a.rebuffers += s.Rebuffers
+	a.switches += s.Switches
+	a.rateWt += s.AvgRateKbps * s.PlayHours
+	if s.SteadyReached {
+		a.steadyWt += s.SteadyRateKbps * s.PlayHours
+		a.steadyH += s.PlayHours
+	}
+	if s.StartupRateKbps > 0 {
+		a.startWt += s.StartupRateKbps
+		a.startN++
+	}
+	a.qoeSum += s.QoE
+	d := a.byDay[s.Day]
+	if d == nil {
+		d = &dayAcc{}
+		a.byDay[s.Day] = d
+	}
+	d.playHours += s.PlayHours
+	d.rebuffers += s.Rebuffers
+	return nil
+}
+
+// Windows finalizes the current aggregates. The accumulator remains usable;
+// later Adds fold into fresh finalizations.
+func (wa *WindowAccum) Windows() []Window {
 	out := make([]Window, WindowsPerDay)
-	for i := range accs {
-		a := &accs[i]
+	for i := range wa.accs {
+		a := &wa.accs[i]
 		w := Window{Index: i, Sessions: a.sessions, PlayHours: a.playHours}
 		if a.playHours > 0 {
 			w.RebuffersPerPlayhour = float64(a.rebuffers) / a.playHours
@@ -162,7 +194,7 @@ func Aggregate(sessions []Session) ([]Window, error) {
 		w.RebufferRateStdDev = stats.StdDev(w.RebufferRateByDay)
 		out[i] = w
 	}
-	return out, nil
+	return out
 }
 
 type dayAcc struct {

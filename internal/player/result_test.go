@@ -1,0 +1,70 @@
+package player
+
+import (
+	"testing"
+	"time"
+
+	"bba/internal/units"
+)
+
+// TestRateHelpersEmptySession pins the degenerate-session contract: a
+// result with no chunks and no play time reports zero for every rate
+// helper instead of NaN or a panic.
+func TestRateHelpersEmptySession(t *testing.T) {
+	r := &Result{}
+	for name, got := range map[string]float64{
+		"AvgRateKbps":          r.AvgRateKbps(),
+		"SteadyAvgRateKbps":    r.SteadyAvgRateKbps(),
+		"StartupAvgRateKbps":   r.StartupAvgRateKbps(),
+		"RebuffersPerPlayhour": r.RebuffersPerPlayhour(),
+		"SwitchesPerPlayhour":  r.SwitchesPerPlayhour(),
+		"PlayHours":            r.PlayHours(),
+	} {
+		if got != 0 {
+			t.Errorf("%s = %v on empty session, want 0", name, got)
+		}
+	}
+}
+
+// TestRateHelpersStartupOnly pins the window boundaries: a session whose
+// chunks all land inside the first minute has a startup rate and an
+// average rate but no steady-state rate (the paper's 2-minute cutoff was
+// never reached).
+func TestRateHelpersStartupOnly(t *testing.T) {
+	r := &Result{
+		Played: 45 * time.Second,
+		Chunks: []ChunkRecord{
+			{Index: 0, Start: 0, Rate: 1000 * units.Kbps},
+			{Index: 1, Start: 20 * time.Second, Rate: 2000 * units.Kbps},
+			{Index: 2, Start: 40 * time.Second, Rate: 3000 * units.Kbps},
+		},
+	}
+	if got := r.SteadyAvgRateKbps(); got != 0 {
+		t.Errorf("SteadyAvgRateKbps = %v for a sub-2-minute session, want 0", got)
+	}
+	if got := r.StartupAvgRateKbps(); got != 2000 {
+		t.Errorf("StartupAvgRateKbps = %v, want 2000", got)
+	}
+	if got := r.AvgRateKbps(); got != 2000 {
+		t.Errorf("AvgRateKbps = %v, want 2000", got)
+	}
+}
+
+// TestRateHelpersWindowEdges pins the exact boundary semantics: a chunk
+// starting exactly at 1 minute is excluded from startup, and one starting
+// exactly at 2 minutes is included in steady state.
+func TestRateHelpersWindowEdges(t *testing.T) {
+	r := &Result{
+		Chunks: []ChunkRecord{
+			{Index: 0, Start: 0, Rate: 1000 * units.Kbps},
+			{Index: 1, Start: time.Minute, Rate: 2000 * units.Kbps},
+			{Index: 2, Start: 2 * time.Minute, Rate: 4000 * units.Kbps},
+		},
+	}
+	if got := r.StartupAvgRateKbps(); got != 1000 {
+		t.Errorf("StartupAvgRateKbps = %v, want 1000 (t=60s chunk excluded)", got)
+	}
+	if got := r.SteadyAvgRateKbps(); got != 4000 {
+		t.Errorf("SteadyAvgRateKbps = %v, want 4000 (t=120s chunk included)", got)
+	}
+}

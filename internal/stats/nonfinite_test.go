@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Regression tests for the non-finite-input guard: sort.Float64s silently
+// misorders NaN, so every sort-based statistic must reject NaN/±Inf with an
+// explicit error instead of returning a silently corrupted quantile.
+
+func badSamples() map[string][]float64 {
+	return map[string][]float64{
+		"nan":      {1, math.NaN(), 3, 4, 5},
+		"plus-inf": {1, 2, math.Inf(1), 4, 5},
+		"neg-inf":  {math.Inf(-1), 2, 3, 4, 5},
+	}
+}
+
+func TestPercentileRejectsNonFinite(t *testing.T) {
+	for name, xs := range badSamples() {
+		if _, err := Percentile(xs, 50); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: Percentile err = %v, want ErrNonFinite", name, err)
+		}
+		if _, err := Median(xs); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: Median err = %v, want ErrNonFinite", name, err)
+		}
+		if _, err := QuartileRatio(xs); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: QuartileRatio err = %v, want ErrNonFinite", name, err)
+		}
+		if _, err := MedianTo95Ratio(xs); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: MedianTo95Ratio err = %v, want ErrNonFinite", name, err)
+		}
+		if _, err := Summarize(xs); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: Summarize err = %v, want ErrNonFinite", name, err)
+		}
+	}
+}
+
+func TestWelchTTestRejectsNonFinite(t *testing.T) {
+	good := []float64{1, 2, 3, 4}
+	for name, xs := range badSamples() {
+		if _, err := WelchTTest(xs, good); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: WelchTTest(bad, good) err = %v, want ErrNonFinite", name, err)
+		}
+		if _, err := WelchTTest(good, xs); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: WelchTTest(good, bad) err = %v, want ErrNonFinite", name, err)
+		}
+	}
+}
+
+func TestBootstrapRatioCIRejectsNonFinite(t *testing.T) {
+	good := []float64{1, 2, 3, 4}
+	for name, xs := range badSamples() {
+		if _, _, err := BootstrapRatioCI(xs, good, 100, 0.9, 1); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s: BootstrapRatioCI err = %v, want ErrNonFinite", name, err)
+		}
+	}
+}
+
+// TestMeanPropagatesNonFinite pins Mean's documented contract: a non-finite
+// sample surfaces as a non-finite mean — visible, never a silently wrong
+// finite number (the failure mode the sort-based quantiles had).
+func TestMeanPropagatesNonFinite(t *testing.T) {
+	if m := Mean([]float64{1, math.NaN(), 3}); !math.IsNaN(m) {
+		t.Errorf("Mean with NaN = %v, want NaN", m)
+	}
+	if m := Mean([]float64{1, math.Inf(1), 3}); !math.IsInf(m, 1) {
+		t.Errorf("Mean with +Inf = %v, want +Inf", m)
+	}
+}
+
+func TestDropNonFinite(t *testing.T) {
+	xs := []float64{1, math.NaN(), 2, math.Inf(1), 3, math.Inf(-1)}
+	kept, dropped := DropNonFinite(xs)
+	if dropped != 3 || len(kept) != 3 {
+		t.Fatalf("dropped %d kept %d", dropped, len(kept))
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if kept[i] != want {
+			t.Errorf("kept[%d] = %v, want %v", i, kept[i], want)
+		}
+	}
+	clean := []float64{1, 2}
+	if kept, dropped := DropNonFinite(clean); dropped != 0 || &kept[0] != &clean[0] {
+		t.Error("clean slice should be returned unchanged")
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	if err := CheckFinite([]float64{1, 2}, []float64{3}); err != nil {
+		t.Errorf("finite input rejected: %v", err)
+	}
+	if err := CheckFinite([]float64{1}, []float64{math.NaN()}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("err = %v, want ErrNonFinite", err)
+	}
+}

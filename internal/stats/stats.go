@@ -22,7 +22,46 @@ import (
 // statistic from an empty sample.
 var ErrNoData = errors.New("stats: empty sample")
 
+// CheckFinite returns ErrNonFinite if any sample in any slice is NaN or
+// ±Inf. Every sort-based statistic calls it first: sort.Float64s silently
+// misorders NaN, which would corrupt quantiles without any visible failure.
+func CheckFinite(xss ...[]float64) error {
+	for _, xs := range xss {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return ErrNonFinite
+			}
+		}
+	}
+	return nil
+}
+
+// DropNonFinite returns xs with NaN/±Inf samples removed, and how many were
+// dropped. It never modifies xs; when nothing is dropped it returns xs
+// itself.
+func DropNonFinite(xs []float64) ([]float64, int) {
+	dropped := 0
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return xs, 0
+	}
+	kept := make([]float64, 0, len(xs)-dropped)
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			kept = append(kept, x)
+		}
+	}
+	return kept, dropped
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+// Non-finite samples propagate into the result (the sum makes them visible
+// as NaN/±Inf rather than a silently wrong finite number); callers that
+// need rejection use CheckFinite or DropNonFinite first.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -54,10 +93,14 @@ func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
 // interpolation between closest ranks. It returns ErrNoData for an empty
-// sample and does not modify xs.
+// sample, ErrNonFinite when xs contains NaN or ±Inf (sorting would silently
+// misorder them), and does not modify xs.
 func Percentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
 		return 0, ErrNoData
+	}
+	if err := CheckFinite(xs); err != nil {
+		return 0, err
 	}
 	if p < 0 {
 		p = 0
@@ -132,10 +175,13 @@ type Summary struct {
 }
 
 // Summarize computes a Summary of xs. It returns ErrNoData for an empty
-// sample.
+// sample and ErrNonFinite when xs contains NaN or ±Inf.
 func Summarize(xs []float64) (Summary, error) {
 	if len(xs) == 0 {
 		return Summary{}, ErrNoData
+	}
+	if err := CheckFinite(xs); err != nil {
+		return Summary{}, err
 	}
 	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs)}
 	s.Min, s.Max = xs[0], xs[0]
@@ -164,6 +210,9 @@ func Summarize(xs []float64) (Summary, error) {
 func BootstrapRatioCI(treatment, control []float64, resamples int, conf float64, seed int64) (lo, hi float64, err error) {
 	if len(treatment) < 2 || len(control) < 2 {
 		return 0, 0, ErrNoData
+	}
+	if err := CheckFinite(treatment, control); err != nil {
+		return 0, 0, err
 	}
 	if Mean(control) == 0 {
 		return 0, 0, errors.New("stats: control mean is zero")
@@ -236,10 +285,15 @@ type TTestResult struct {
 // WelchTTest performs a two-sided Welch two-sample t-test of the null
 // hypothesis that xs and ys have equal means. This is the test behind the
 // paper's footnotes 4 and 5 (p-values 0.25 and 0.74 for BBA-0/BBA-1 versus
-// Rmin Always off-peak). Each sample needs at least two observations.
+// Rmin Always off-peak). Each sample needs at least two observations; a
+// sample containing NaN or ±Inf is rejected with ErrNonFinite rather than
+// yielding a NaN statistic.
 func WelchTTest(xs, ys []float64) (TTestResult, error) {
 	if len(xs) < 2 || len(ys) < 2 {
 		return TTestResult{}, ErrNoData
+	}
+	if err := CheckFinite(xs, ys); err != nil {
+		return TTestResult{}, err
 	}
 	mx, my := Mean(xs), Mean(ys)
 	vx, vy := Variance(xs), Variance(ys)

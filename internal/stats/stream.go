@@ -1,0 +1,260 @@
+// Streaming, mergeable, constant-memory accumulators — the aggregation
+// layer behind population-scale campaigns. The paper's A/B evidence covers
+// millions of sessions; retaining raw per-session samples is O(sessions),
+// so the campaign runner folds every session into a Welford moment
+// accumulator plus a fixed-size mergeable quantile sketch instead.
+//
+// Determinism contract: merged results are defined as a left-to-right fold
+// over fixed shard accumulators in shard-index order. Welford merging is
+// deterministic but not exactly associative in floating point, so the fold
+// order — never the worker count — defines the result. The quantile sketch
+// IS exactly associative (bottom-k by hashed key is a set operation), so it
+// is additionally invariant to merge grouping.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNonFinite is returned when a sample contains NaN or ±Inf. sort.Float64s
+// silently misorders NaN, which would corrupt every sort-based quantile, so
+// non-finite inputs are rejected before any ordering happens.
+var ErrNonFinite = errors.New("stats: non-finite sample")
+
+// Welford is a constant-memory accumulator for count, mean and variance
+// using Welford's online update, with min/max tracked alongside. Two
+// accumulators merge with the Chan et al. parallel formula; merging shard
+// accumulators in a fixed order reproduces a deterministic result at any
+// worker count.
+type Welford struct {
+	N    int64   `json:"n"`
+	Mean float64 `json:"mean"`
+	// M2 is the sum of squared deviations from the running mean.
+	M2  float64 `json:"m2"`
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// Add folds one sample in. Non-finite samples are rejected with
+// ErrNonFinite and leave the accumulator unchanged.
+func (w *Welford) Add(x float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return ErrNonFinite
+	}
+	w.N++
+	if w.N == 1 {
+		w.Mean, w.Min, w.Max = x, x, x
+		return nil
+	}
+	d := x - w.Mean
+	w.Mean += d / float64(w.N)
+	w.M2 += d * (x - w.Mean)
+	if x < w.Min {
+		w.Min = x
+	}
+	if x > w.Max {
+		w.Max = x
+	}
+	return nil
+}
+
+// Merge folds another accumulator into w (Chan et al.). Merging in a fixed
+// order is deterministic; merging in a different order may differ in the
+// last bits, so campaign folds always run in shard-index order.
+func (w *Welford) Merge(o Welford) {
+	if o.N == 0 {
+		return
+	}
+	if w.N == 0 {
+		*w = o
+		return
+	}
+	n := w.N + o.N
+	d := o.Mean - w.Mean
+	w.M2 += o.M2 + d*d*float64(w.N)*float64(o.N)/float64(n)
+	w.Mean += d * float64(o.N) / float64(n)
+	w.N = n
+	if o.Min < w.Min {
+		w.Min = o.Min
+	}
+	if o.Max > w.Max {
+		w.Max = o.Max
+	}
+}
+
+// Sum returns N·mean, the accumulated total.
+func (w Welford) Sum() float64 { return w.Mean * float64(w.N) }
+
+// Variance returns the unbiased (n−1) sample variance, 0 below two samples.
+func (w Welford) Variance() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return w.M2 / float64(w.N-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// SketchEntry is one retained sample of a QuantileSketch: the sample value
+// and the hash of its identity key, which decides retention.
+type SketchEntry struct {
+	Hash  uint64  `json:"h"`
+	Value float64 `json:"v"`
+}
+
+// QuantileSketch is a fixed-size mergeable quantile estimator: it retains
+// the K samples whose hashed identity keys are smallest (a bottom-k /
+// KMV-style sketch). Because retention is a pure function of the key set,
+// merging is exactly associative and commutative — the sketch of a sharded
+// population is bit-identical to the sketch of the unsharded one — and the
+// retained set is a uniform sample of the population, so quantiles estimate
+// the true ones with error O(1/√K). While the sketch has seen at most K
+// distinct keys it retains everything and its quantiles are exact (the
+// property TestSketchExactUnderCapacity pins against Percentile).
+//
+// Keys must be unique per sample (the campaign uses the global session
+// index); the hash is a bijective mix, so distinct keys never collide.
+type QuantileSketch struct {
+	K int `json:"k"`
+	// Entries is canonical: sorted ascending by Hash.
+	Entries []SketchEntry `json:"entries"`
+	// Seen counts every accepted sample, retained or not.
+	Seen int64 `json:"seen"`
+}
+
+// NewQuantileSketch returns a sketch retaining k samples (k ≥ 1).
+func NewQuantileSketch(k int) QuantileSketch {
+	if k < 1 {
+		k = 1
+	}
+	return QuantileSketch{K: k}
+}
+
+// sketchMix is SplitMix64's finalizer: bijective, so distinct keys map to
+// distinct hashes, and scrambled enough that bottom-k retention is an
+// unbiased uniform sample even over sequential keys.
+func sketchMix(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Add folds in one sample identified by key. Non-finite values are rejected
+// with ErrNonFinite; duplicate keys are rejected too (they would break the
+// set semantics merging relies on).
+func (q *QuantileSketch) Add(x float64, key uint64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return ErrNonFinite
+	}
+	if q.K < 1 {
+		q.K = 1
+	}
+	h := sketchMix(key)
+	i := sort.Search(len(q.Entries), func(i int) bool { return q.Entries[i].Hash >= h })
+	if i < len(q.Entries) && q.Entries[i].Hash == h {
+		return fmt.Errorf("stats: duplicate sketch key %d", key)
+	}
+	q.Seen++
+	if len(q.Entries) == q.K && i == q.K {
+		return nil // hash larger than everything retained: not in the bottom k
+	}
+	if len(q.Entries) < q.K {
+		q.Entries = append(q.Entries, SketchEntry{})
+	} else {
+		// Full: the largest hash falls off the end.
+		i = min(i, q.K-1)
+	}
+	copy(q.Entries[i+1:], q.Entries[i:])
+	q.Entries[i] = SketchEntry{Hash: h, Value: x}
+	return nil
+}
+
+// Merge unions another sketch into q, keeping the bottom K hashes. The two
+// sketches must not share keys. The result is exactly the sketch a single
+// accumulator would have produced over the union of both sample sets.
+func (q *QuantileSketch) Merge(o QuantileSketch) error {
+	if q.K < 1 {
+		q.K = o.K
+	}
+	merged := make([]SketchEntry, 0, min(q.K, len(q.Entries)+len(o.Entries)))
+	i, j := 0, 0
+	for len(merged) < q.K && (i < len(q.Entries) || j < len(o.Entries)) {
+		switch {
+		case i == len(q.Entries):
+			merged = append(merged, o.Entries[j])
+			j++
+		case j == len(o.Entries):
+			merged = append(merged, q.Entries[i])
+			i++
+		case q.Entries[i].Hash < o.Entries[j].Hash:
+			merged = append(merged, q.Entries[i])
+			i++
+		case q.Entries[i].Hash > o.Entries[j].Hash:
+			merged = append(merged, o.Entries[j])
+			j++
+		default:
+			return fmt.Errorf("stats: sketches share hash %d", q.Entries[i].Hash)
+		}
+	}
+	q.Entries = merged
+	q.Seen += o.Seen
+	return nil
+}
+
+// Quantile returns the p-th percentile estimate (0 ≤ p ≤ 100). It is exact
+// while the sketch has retained every sample seen. ErrNoData on an empty
+// sketch.
+func (q QuantileSketch) Quantile(p float64) (float64, error) {
+	if len(q.Entries) == 0 {
+		return 0, ErrNoData
+	}
+	vals := make([]float64, len(q.Entries))
+	for i, e := range q.Entries {
+		vals[i] = e.Value
+	}
+	return Percentile(vals, p)
+}
+
+// Exact reports whether the sketch still retains every sample it has seen,
+// making its quantiles exact rather than estimates.
+func (q QuantileSketch) Exact() bool { return int64(len(q.Entries)) == q.Seen }
+
+// Dist is the per-metric streaming aggregate a campaign keeps per group:
+// moments, extrema and a quantile sketch, with non-finite samples filtered
+// out and counted explicitly rather than silently corrupting the fold.
+type Dist struct {
+	Moments Welford        `json:"moments"`
+	Sketch  QuantileSketch `json:"sketch"`
+	// NonFinite counts samples rejected for being NaN or ±Inf.
+	NonFinite int64 `json:"non_finite,omitempty"`
+}
+
+// NewDist returns a Dist whose sketch retains k samples.
+func NewDist(k int) Dist { return Dist{Sketch: NewQuantileSketch(k)} }
+
+// Add folds in one sample identified by key (unique per sample, e.g. the
+// global session index). Non-finite samples increment NonFinite and are
+// otherwise ignored; the error reports them to callers that care.
+func (d *Dist) Add(x float64, key uint64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		d.NonFinite++
+		return ErrNonFinite
+	}
+	if err := d.Moments.Add(x); err != nil {
+		return err
+	}
+	return d.Sketch.Add(x, key)
+}
+
+// Merge folds another Dist into d. Folds must run in a fixed order for
+// bit-identical results (see the package determinism contract).
+func (d *Dist) Merge(o Dist) error {
+	d.Moments.Merge(o.Moments)
+	d.NonFinite += o.NonFinite
+	return d.Sketch.Merge(o.Sketch)
+}

@@ -68,11 +68,19 @@ func (r *Ring) Events() []Event {
 	return out
 }
 
-// CountKind returns how many retained events have kind k.
+// CountKind returns how many retained events have kind k. It counts in
+// place under the mutex — no copy of the retained buffer is made, so it is
+// allocation-free and safe to call on every scrape of a large ring.
 func (r *Ring) CountKind(k Kind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	limit := r.next
+	if r.full {
+		limit = len(r.events)
+	}
 	n := 0
-	for _, e := range r.Events() {
-		if e.Kind == k {
+	for i := 0; i < limit; i++ {
+		if r.events[i].Kind == k {
 			n++
 		}
 	}

@@ -1,0 +1,47 @@
+package telemetry
+
+import "testing"
+
+// TestCountKindAllocFree pins the O(1)-allocation contract: counting a kind
+// must not copy the retained buffer (the old implementation went through
+// Events(), cloning every retained event per call).
+func TestCountKindAllocFree(t *testing.T) {
+	r := NewRing(4096)
+	for i := 0; i < 6000; i++ { // wrap the ring so the full path is covered
+		k := ChunkRequest
+		if i%3 == 0 {
+			k = RebufferStart
+		}
+		r.OnEvent(Event{Kind: k, Chunk: i})
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.CountKind(RebufferStart)
+	})
+	if allocs != 0 {
+		t.Errorf("CountKind allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestCountKindWrapped cross-checks the in-place count against Events() on
+// both a partially filled and a wrapped ring.
+func TestCountKindWrapped(t *testing.T) {
+	for _, total := range []int{5, 23} { // capacity 16: one short, one wrapped
+		r := NewRing(16)
+		for i := 0; i < total; i++ {
+			k := ChunkComplete
+			if i%4 == 0 {
+				k = RateSwitch
+			}
+			r.OnEvent(Event{Kind: k})
+		}
+		want := 0
+		for _, e := range r.Events() {
+			if e.Kind == RateSwitch {
+				want++
+			}
+		}
+		if got := r.CountKind(RateSwitch); got != want {
+			t.Errorf("total=%d: CountKind = %d, Events scan = %d", total, got, want)
+		}
+	}
+}

@@ -81,23 +81,28 @@ const (
 	// the minimum rate: PrevRateIndex → RateIndex, Bytes the shrunken
 	// request size.
 	Degrade
+	// CampaignProgress is emitted by the campaign runner once per completed
+	// shard: Chunk is the shard index, Bytes the paired sessions completed
+	// so far, At the elapsed wall-clock time, Label the campaign name.
+	CampaignProgress
 )
 
 var kindNames = [...]string{
-	SessionStart:    "session_start",
-	ChunkRequest:    "chunk_request",
-	ChunkComplete:   "chunk_complete",
-	RateSwitch:      "rate_switch",
-	RebufferStart:   "rebuffer_start",
-	RebufferEnd:     "rebuffer_end",
-	BufferSample:    "buffer_sample",
-	ReservoirUpdate: "reservoir_update",
-	Seek:            "seek",
-	SessionEnd:      "session_end",
-	FaultInject:     "fault_inject",
-	ChunkRetry:      "chunk_retry",
-	Failover:        "failover",
-	Degrade:         "degrade",
+	SessionStart:     "session_start",
+	ChunkRequest:     "chunk_request",
+	ChunkComplete:    "chunk_complete",
+	RateSwitch:       "rate_switch",
+	RebufferStart:    "rebuffer_start",
+	RebufferEnd:      "rebuffer_end",
+	BufferSample:     "buffer_sample",
+	ReservoirUpdate:  "reservoir_update",
+	Seek:             "seek",
+	SessionEnd:       "session_end",
+	FaultInject:      "fault_inject",
+	ChunkRetry:       "chunk_retry",
+	Failover:         "failover",
+	Degrade:          "degrade",
+	CampaignProgress: "campaign_progress",
 }
 
 // String returns the snake_case name used in the JSONL journal.

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bba/internal/collect"
+	"bba/internal/telemetry"
+)
+
+// IngestReport is the BENCH_ingest.json schema: the fleet-collection
+// pipeline's performance datapoint — collector admission throughput over
+// real loopback HTTP, the shipper's player-visible hot-path cost, and a
+// measured loss/duplication recovery run proving the exactly-once
+// contract under injected failure.
+type IngestReport struct {
+	Schema    string       `json:"schema"`
+	Generated string       `json:"generated,omitempty"`
+	GoVersion string       `json:"go_version"`
+	NumCPU    int          `json:"num_cpu"`
+	Scale     string       `json:"scale"`
+	Ingest    IngestResult `json:"ingest"`
+	Shipper   Result       `json:"shipper"`
+	Recovery  Recovery     `json:"recovery"`
+}
+
+// IngestResult extends the shared Result with throughput in the pipeline's
+// native units.
+type IngestResult struct {
+	Result
+	BatchEvents  int     `json:"batch_events"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// Recovery is the loss/dup recovery measurement: every third ingest
+// attempt is refused before processing (loss) and every fifth is processed
+// but its acknowledgement replaced with a 503 (a lost ack, so the retry is
+// a duplicate). ExactlyOnce records that the collector still admitted
+// every event exactly once.
+type Recovery struct {
+	EventsSent      int64 `json:"events_sent"`
+	EventsAdmitted  int64 `json:"events_admitted"`
+	FramesShipped   int64 `json:"frames_shipped"`
+	FramesDuplicate int64 `json:"frames_duplicate"`
+	Retries         int64 `json:"retries"`
+	ExactlyOnce     bool  `json:"exactly_once"`
+}
+
+// ingestBatchEvents is the events-per-frame the ingest benchmark ships —
+// the shipper's default batch size.
+const ingestBatchEvents = 64
+
+// collectServer serves a collector over real loopback TCP (not an
+// in-process handler): the measured path includes the HTTP stack the
+// fleet actually traverses.
+func collectServer(wrap func(http.Handler) http.Handler) (*collect.Collector, string, func(), error) {
+	c := collect.NewCollector(collect.CollectorConfig{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", nil, err
+	}
+	var h http.Handler = c.Handler()
+	if wrap != nil {
+		h = wrap(h)
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln)
+	return c, "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+// ingestTakeBench measures CollectorIngestTake: one POSTed frame of
+// ingestBatchEvents events per iteration, decode + checksum + dedup +
+// admission included, over loopback HTTP.
+func ingestTakeBench(addr string, payload []byte) func(b *testing.B) {
+	return func(b *testing.B) {
+		client := &http.Client{}
+		buf := make([]byte, 0, collect.EncodedLen(len("bench"), len(payload)))
+		b.SetBytes(int64(collect.EncodedLen(len("bench"), len(payload))))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = collect.AppendFrame(buf[:0], collect.Frame{
+				Run: "bench", Session: 1, Seq: uint64(i),
+				Kind: collect.PayloadEvents, Payload: payload,
+			})
+			resp, err := client.Post(addr+"/ingest", "application/octet-stream", bytes.NewReader(buf))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusNoContent {
+				b.Fatalf("ingest: %s", resp.Status)
+			}
+		}
+	}
+}
+
+// shipperOnEventBench measures the player-visible OnEvent hot path with
+// queue capacity available; the contract is zero allocations.
+func shipperOnEventBench(addr string) func(b *testing.B) {
+	return func(b *testing.B) {
+		s, err := collect.NewShipper(collect.ShipperConfig{
+			Addr: addr, Run: "bench", Session: 2,
+			BatchEvents: ingestBatchEvents, FlushInterval: -1,
+			Queue: collect.QueueConfig{MemFrames: 1 << 16},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		ev := telemetry.Event{
+			Kind: telemetry.BufferSample, Session: "d0.w0.s0.bench", Chunk: 1,
+			RateIndex: 2, PrevRateIndex: -1, Buffer: 12 * time.Second, Label: "BBA-0",
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.OnEvent(ev)
+		}
+	}
+}
+
+// recoveryRun ships a fixed event population through a deliberately lossy
+// collector front and reports what the pipeline absorbed.
+func recoveryRun(events int) (Recovery, error) {
+	var n atomic.Int64
+	c, addr, stop, err := collectServer(func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/ingest" {
+				inner.ServeHTTP(w, r)
+				return
+			}
+			switch k := n.Add(1); {
+			case k%3 == 0:
+				// Loss: refused before the collector sees it.
+				http.Error(w, "injected loss", http.StatusServiceUnavailable)
+			case k%5 == 0:
+				// Lost ack: processed, then the 204 is withheld — the
+				// shipper's retry delivers a duplicate.
+				inner.ServeHTTP(httptest.NewRecorder(), r)
+				http.Error(w, "injected lost ack", http.StatusServiceUnavailable)
+			default:
+				inner.ServeHTTP(w, r)
+			}
+		})
+	})
+	if err != nil {
+		return Recovery{}, err
+	}
+	defer stop()
+
+	s, err := collect.NewShipper(collect.ShipperConfig{
+		Addr: addr, Run: "recovery", Session: 1,
+		BatchEvents: 16, FlushInterval: -1, Senders: 2,
+		Queue: collect.QueueConfig{MemFrames: 1 << 12},
+		Retry: collect.RetryPolicy{MaxAttempts: 1 << 10, Base: 100 * time.Microsecond, Cap: 2 * time.Millisecond, Seed: 1},
+	})
+	if err != nil {
+		return Recovery{}, err
+	}
+	ev := telemetry.Event{Kind: telemetry.BufferSample, Session: "s", Chunk: 1, RateIndex: -1, PrevRateIndex: -1}
+	for i := 0; i < events; i++ {
+		// Re-offer any event the non-blocking hot path refuses while the
+		// framer recycles batch buffers.
+		for {
+			before := s.Stats().Events
+			s.OnEvent(ev)
+			if s.Stats().Events > before {
+				break
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	if err := s.Close(); err != nil {
+		return Recovery{}, err
+	}
+	ss, cs := s.Stats(), c.Stats()
+	return Recovery{
+		EventsSent:      ss.Events,
+		EventsAdmitted:  cs.Events,
+		FramesShipped:   ss.FramesShipped,
+		FramesDuplicate: cs.FramesDup,
+		Retries:         ss.Retries,
+		// Hot-path refusals were re-offered above, so EventsDropped does not
+		// bear on delivery; a dropped frame would.
+		ExactlyOnce: cs.Events == int64(events) && ss.FramesDropped == 0,
+	}, nil
+}
+
+// runIngest executes the fleet-collection suite and writes BENCH_ingest.json.
+func runIngest(quick, stamp bool, out string) error {
+	report := IngestReport{
+		Schema:    "bba-bench-ingest/v1",
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Scale:     map[bool]string{true: "quick", false: "full"}[quick],
+	}
+	if stamp {
+		report.Generated = time.Now().UTC().Format(time.RFC3339)
+	}
+
+	var payload []byte
+	for i := 0; i < ingestBatchEvents; i++ {
+		payload = telemetry.AppendJSONL(payload, telemetry.Event{
+			Kind: telemetry.BufferSample, Session: "bench", Chunk: i,
+			RateIndex: 2, PrevRateIndex: -1, Buffer: 12 * time.Second,
+		})
+	}
+
+	_, addr, stop, err := collectServer(nil)
+	if err != nil {
+		return err
+	}
+	r := testing.Benchmark(ingestTakeBench(addr, payload))
+	stop()
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	report.Ingest = IngestResult{
+		Result: Result{
+			Name: "CollectorIngestTake", Iterations: r.N, NsPerOp: nsPerOp,
+			BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+		},
+		BatchEvents:  ingestBatchEvents,
+		FramesPerSec: 1e9 / nsPerOp,
+		EventsPerSec: ingestBatchEvents * 1e9 / nsPerOp,
+	}
+	fmt.Fprintf(os.Stderr, "bench %-28s %12.0f ns/op %14.0f events/s\n",
+		report.Ingest.Name, report.Ingest.NsPerOp, report.Ingest.EventsPerSec)
+
+	_, addr, stop, err = collectServer(nil)
+	if err != nil {
+		return err
+	}
+	r = testing.Benchmark(shipperOnEventBench(addr))
+	stop()
+	report.Shipper = Result{
+		Name: "ShipperOnEvent", Iterations: r.N,
+		NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp(),
+	}
+	fmt.Fprintf(os.Stderr, "bench %-28s %12.1f ns/op %6d allocs/op\n",
+		report.Shipper.Name, report.Shipper.NsPerOp, report.Shipper.AllocsPerOp)
+
+	events := 20000
+	if quick {
+		events = 2000
+	}
+	rec, err := recoveryRun(events)
+	if err != nil {
+		return err
+	}
+	report.Recovery = rec
+	fmt.Fprintf(os.Stderr, "recovery: %d/%d events exactly-once, %d dup frames absorbed, %d retries\n",
+		rec.EventsAdmitted, rec.EventsSent, rec.FramesDuplicate, rec.Retries)
+	if !rec.ExactlyOnce {
+		return fmt.Errorf("recovery run violated exactly-once: %+v", rec)
+	}
+
+	return write(report, out)
+}

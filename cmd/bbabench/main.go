@@ -5,6 +5,7 @@
 //
 //	go run ./cmd/bbabench -quick                 # CI-sized run
 //	go run ./cmd/bbabench -out BENCH_sessions.json
+//	go run ./cmd/bbabench -ingest-out BENCH_ingest.json  # fleet-collection suite
 //
 // Compare two commits by running it on each and diffing the JSON; the
 // committed BENCH_sessions.json holds the most recent reference datapoint
@@ -280,11 +281,20 @@ func figuresBench(bool) func(b *testing.B) {
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "shrink workloads and skip the heavy benchmarks (CI smoke)")
-		out     = flag.String("out", "BENCH_sessions.json", "output path, '-' for stdout")
-		noStamp = flag.Bool("no-timestamp", false, "omit the generation timestamp (reproducible output)")
+		quick     = flag.Bool("quick", false, "shrink workloads and skip the heavy benchmarks (CI smoke)")
+		out       = flag.String("out", "BENCH_sessions.json", "output path, '-' for stdout")
+		noStamp   = flag.Bool("no-timestamp", false, "omit the generation timestamp (reproducible output)")
+		ingestOut = flag.String("ingest-out", "", "run only the fleet-collection ingest suite and write its datapoint (BENCH_ingest.json schema) to this path")
 	)
 	flag.Parse()
+
+	if *ingestOut != "" {
+		if err := runIngest(*quick, !*noStamp, *ingestOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bbabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	report := Report{
 		Schema:    "bba-bench/v1",
@@ -320,7 +330,7 @@ func main() {
 	}
 }
 
-func write(report Report, path string) error {
+func write(report any, path string) error {
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -63,6 +63,35 @@ func TestAccumMergeWorkloadRuns(t *testing.T) {
 	accumMergeBench(true)(&testing.B{N: 1})
 }
 
+// TestIngestWorkloadRuns smoke-tests the fleet-collection suite bodies so
+// broken fixtures fail here rather than in a timed run: one benchmark
+// iteration of each, plus a small recovery run that must hold the
+// exactly-once contract.
+func TestIngestWorkloadRuns(t *testing.T) {
+	var payload []byte
+	for i := 0; i < ingestBatchEvents; i++ {
+		payload = append(payload, "{}\n"...)
+	}
+	_, addr, stop, err := collectServer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	ingestTakeBench(addr, payload)(&testing.B{N: 2})
+	shipperOnEventBench(addr)(&testing.B{N: 2})
+
+	rec, err := recoveryRun(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.ExactlyOnce || rec.EventsAdmitted != 200 {
+		t.Errorf("recovery run %+v", rec)
+	}
+	if rec.FramesDuplicate == 0 || rec.Retries == 0 {
+		t.Errorf("injection did not engage: %+v", rec)
+	}
+}
+
 // TestSessionWorkloadRuns smoke-tests the headline benchmark body with a
 // single session — a broken workload fails here rather than in CI's timed
 // run.

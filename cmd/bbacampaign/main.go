@@ -22,17 +22,21 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
 	"bba/internal/campaign"
+	"bba/internal/collect"
 	"bba/internal/faults"
 )
 
@@ -52,6 +56,8 @@ type options struct {
 	resume          bool
 	merge           string
 	report          string
+	ship            string
+	runID           string
 	progressEvery   time.Duration
 	// progressHook is a test seam: called with every progress snapshot in
 	// addition to the stderr printer.
@@ -74,6 +80,8 @@ func main() {
 	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 8, "completed shards between checkpoint writes")
 	flag.StringVar(&o.merge, "merge", "", "comma-separated stripe checkpoints to merge into a final report (runs nothing)")
 	flag.StringVar(&o.report, "report", "", "final report path (default stdout)")
+	flag.StringVar(&o.ship, "ship", "", "ship telemetry and shard results to this collector URL (e.g. http://host:8406); the remotely aggregated report is verified byte-for-byte against the local fold")
+	flag.StringVar(&o.runID, "run-id", "", "run identifier at the collector (default campaign-<seed>)")
 	flag.DurationVar(&o.progressEvery, "progress-every", 2*time.Second, "progress line interval on stderr (0 disables)")
 	flag.Parse()
 
@@ -87,6 +95,17 @@ func main() {
 }
 
 func run(ctx context.Context, out io.Writer, errw io.Writer, o options) error {
+	if o.ship != "" {
+		if o.merge != "" {
+			return errors.New("-ship and -merge are mutually exclusive: merging is local-only; ship each stripe instead")
+		}
+		if o.stripes != 1 {
+			return errors.New("-ship covers the whole campaign from one process; drop -shards or merge stripe checkpoints locally")
+		}
+		if !strings.HasPrefix(o.ship, "http://") && !strings.HasPrefix(o.ship, "https://") {
+			return fmt.Errorf("-ship requires an http(s) collector URL (the UDP lane is best-effort events only), got %q", o.ship)
+		}
+	}
 	if o.merge != "" {
 		return runMerge(out, o)
 	}
@@ -110,6 +129,9 @@ func run(ctx context.Context, out io.Writer, errw io.Writer, o options) error {
 	}
 	if o.checkpoint != "" {
 		if cp, err := campaign.LoadCheckpoint(o.checkpoint); err == nil {
+			if o.ship != "" {
+				return fmt.Errorf("cannot ship a resumed run: shards already in %s would never reach the collector; remove the checkpoint or drop -ship", o.checkpoint)
+			}
 			cfg.Resume = cp
 			fmt.Fprintf(errw, "resuming from %s: %d shards (%d sessions) already recorded\n",
 				o.checkpoint, cp.CompletedShards(), cp.SessionsDone())
@@ -127,6 +149,46 @@ func run(ctx context.Context, out io.Writer, errw io.Writer, o options) error {
 				printer(p)
 			}
 			o.progressHook(p)
+		}
+	}
+
+	var shipper *collect.Shipper
+	runID := o.runID
+	if o.ship != "" {
+		if runID == "" {
+			runID = fmt.Sprintf("campaign-%d", o.seed)
+		}
+		spill, err := os.MkdirTemp("", "bbaship-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(spill)
+		shipper, err = collect.NewShipper(collect.ShipperConfig{
+			Addr:    o.ship,
+			Run:     runID,
+			Session: uint64(os.Getpid()),
+			Queue:   collect.QueueConfig{SpillDir: spill},
+			Retry:   collect.RetryPolicy{Seed: o.seed},
+		})
+		if err != nil {
+			return err
+		}
+		defer shipper.Close()
+		idJSON, err := json.Marshal(cfg.Identity())
+		if err != nil {
+			return err
+		}
+		if err := shipper.ShipRunStart(idJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "shipping run %q to %s (session %d)\n", runID, o.ship, os.Getpid())
+		cfg.Observer = shipper
+		cfg.OnShard = func(shard int, accums []*campaign.GroupAccum) error {
+			p, err := json.Marshal(campaign.ShardAccums{Shard: shard, Groups: accums})
+			if err != nil {
+				return err
+			}
+			return shipper.ShipShard(p)
 		}
 	}
 
@@ -161,7 +223,87 @@ func run(ctx context.Context, out io.Writer, errw io.Writer, o options) error {
 		}
 		return nil
 	}
+	if shipper != nil {
+		return finishShipped(ctx, out, errw, o, shipper, runID, res.Report)
+	}
 	return writeReport(out, o.report, res.Report)
+}
+
+// finishShipped completes the run protocol — flush outstanding frames,
+// announce run_end, flush again — then fetches the remotely aggregated
+// report, verifies it byte-for-byte against the local fold and emits the
+// remote bytes as the final report.
+func finishShipped(ctx context.Context, out, errw io.Writer, o options, s *collect.Shipper, runID string, local *campaign.Report) error {
+	if err := s.Flush(ctx); err != nil {
+		return fmt.Errorf("flushing shipped frames: %w", err)
+	}
+	if err := s.ShipRunEnd(); err != nil {
+		return err
+	}
+	if err := s.Flush(ctx); err != nil {
+		return fmt.Errorf("flushing run_end: %w", err)
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	ss := s.Stats()
+	fmt.Fprintf(errw, "shipped %d frames (%d events, %d retries, %d spilled, %d dropped)\n",
+		ss.FramesShipped, ss.Events, ss.Retries, ss.Queue.Spilled, ss.FramesDropped)
+
+	remote, err := fetchReport(ctx, o.ship, runID)
+	if err != nil {
+		return err
+	}
+	var localBytes bytes.Buffer
+	if err := local.WriteJSON(&localBytes); err != nil {
+		return err
+	}
+	if !bytes.Equal(remote, localBytes.Bytes()) {
+		return fmt.Errorf("remote report for run %q differs from the local fold — collector state is suspect (mixed runs under one id?)", runID)
+	}
+	fmt.Fprintln(errw, "remote aggregation verified: report byte-identical to the local fold")
+	return writeReportBytes(out, o.report, remote)
+}
+
+// fetchReport polls the collector for the finished report. The run_end
+// frame was acknowledged before this is called, so anything beyond a brief
+// wait means the collector lost state.
+func fetchReport(ctx context.Context, base, runID string) ([]byte, error) {
+	url := strings.TrimSuffix(base, "/") + "/report/" + runID
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			var body bytes.Buffer
+			_, rerr := body.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && rerr == nil {
+				return body.Bytes(), nil
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("collector report %s: %s: %s", url, resp.Status, strings.TrimSpace(body.String()))
+			}
+		} else if time.Now().After(deadline) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func writeReportBytes(out io.Writer, path string, b []byte) error {
+	if path == "" {
+		_, err := out.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 // runMerge combines stripe checkpoints into the final report.

@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"bba/internal/campaign"
+	"bba/internal/collect"
 )
 
 func testOpts(sessions int) options {
@@ -82,6 +84,81 @@ func TestStripesAndMerge(t *testing.T) {
 	}
 	if !bytes.Equal(got.Bytes(), want.Bytes()) {
 		t.Error("merged stripe report differs from unsharded report")
+	}
+}
+
+// TestShipRemoteAggregation runs the CLI with -ship against a live
+// collector and checks the emitted report is the remote aggregation,
+// byte-identical to a plain local run.
+func TestShipRemoteAggregation(t *testing.T) {
+	o := testOpts(24)
+	o.progressEvery = 0
+
+	var want bytes.Buffer
+	if err := run(context.Background(), &want, new(bytes.Buffer), o); err != nil {
+		t.Fatal(err)
+	}
+
+	c := collect.NewCollector(collect.CollectorConfig{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	var out, errw bytes.Buffer
+	so := o
+	so.ship = srv.URL
+	so.runID = "cli-ship"
+	if err := run(context.Background(), &out, &errw, so); err != nil {
+		t.Fatalf("shipped run: %v\nstderr: %s", err, errw.String())
+	}
+	if !bytes.Equal(out.Bytes(), want.Bytes()) {
+		t.Error("shipped report differs from local report")
+	}
+	for _, s := range []string{"shipping run", "remote aggregation verified"} {
+		if !strings.Contains(errw.String(), s) {
+			t.Errorf("stderr missing %q: %q", s, errw.String())
+		}
+	}
+	if cs := c.Stats(); cs.RunsEnded != 1 || cs.Shards == 0 {
+		t.Errorf("collector stats %+v", cs)
+	}
+}
+
+// TestShipFlagConflicts pins the modes -ship cannot combine with.
+func TestShipFlagConflicts(t *testing.T) {
+	base := testOpts(8)
+	base.progressEvery = 0
+
+	o := base
+	o.ship = "http://127.0.0.1:1"
+	o.merge = "x.json"
+	if err := run(context.Background(), new(bytes.Buffer), new(bytes.Buffer), o); err == nil {
+		t.Error("-ship with -merge accepted")
+	}
+
+	o = base
+	o.ship = "http://127.0.0.1:1"
+	o.stripes = 2
+	if err := run(context.Background(), new(bytes.Buffer), new(bytes.Buffer), o); err == nil {
+		t.Error("-ship with stripes accepted")
+	}
+
+	o = base
+	o.ship = "udp://127.0.0.1:1"
+	if err := run(context.Background(), new(bytes.Buffer), new(bytes.Buffer), o); err == nil {
+		t.Error("-ship over udp accepted (report fetch needs HTTP)")
+	}
+
+	// A resumable checkpoint on disk conflicts with shipping: its shards
+	// would never reach the collector.
+	o = base
+	o.checkpoint = filepath.Join(t.TempDir(), "cp.json")
+	if err := run(context.Background(), new(bytes.Buffer), new(bytes.Buffer), o); err != nil {
+		t.Fatal(err)
+	}
+	o.ship = "http://127.0.0.1:1"
+	err := run(context.Background(), new(bytes.Buffer), new(bytes.Buffer), o)
+	if err == nil || !strings.Contains(err.Error(), "resumed") {
+		t.Errorf("-ship with a resumable checkpoint: %v", err)
 	}
 }
 

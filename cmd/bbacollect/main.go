@@ -1,0 +1,165 @@
+// Command bbacollect is the fleet collection daemon: it ingests telemetry
+// frames shipped by bbacampaign (or any internal/collect Shipper) over
+// HTTP POST and/or UDP, deduplicates them per (run, session) stream, folds
+// shard accumulators into campaign checkpoints exactly once, and serves
+// the finished report.
+//
+// Endpoints:
+//
+//	POST /ingest        one frame per request body
+//	GET  /report/{run}  the aggregated report once the run has ended
+//	GET  /metrics       Prometheus-text counters
+//	GET  /healthz       liveness
+//
+// An optional -archive file receives every admitted event batch as
+// telemetry journal JSONL — the fleet's raw event log, duplicates already
+// removed. SIGINT/SIGTERM drains in-flight ingests, flushes the archive
+// and exits.
+//
+// Example:
+//
+//	bbacollect -addr 127.0.0.1:8406 -udp 127.0.0.1:8406 -archive fleet.jsonl &
+//	bbacampaign -sessions 20000 -ship http://127.0.0.1:8406
+//	curl http://127.0.0.1:8406/metrics
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bba/internal/collect"
+)
+
+type options struct {
+	addr        string
+	udp         string
+	archive     string
+	dedupWindow int
+	grace       time.Duration
+	// ready is a test seam: when non-nil it receives the bound HTTP
+	// address once the daemon is serving, then the UDP address if -udp
+	// was given.
+	ready chan<- string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8406", "HTTP listen address (ingest, reports, metrics)")
+	flag.StringVar(&o.udp, "udp", "", "UDP listen address for the fire-and-forget event lane (default off)")
+	flag.StringVar(&o.archive, "archive", "", "append admitted event batches to this journal JSONL file")
+	flag.IntVar(&o.dedupWindow, "dedup-window", collect.DefaultDedupWindow, "per-stream out-of-order admission window, in frames")
+	flag.DurationVar(&o.grace, "grace", 5*time.Second, "drain deadline for in-flight ingests on shutdown")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Stderr, o); err != nil {
+		fmt.Fprintln(os.Stderr, "bbacollect:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled, then drains and flushes the archive.
+func run(ctx context.Context, out, errw io.Writer, o options) error {
+	var archive io.Writer
+	var flush func() error
+	if o.archive != "" {
+		f, err := os.OpenFile(o.archive, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		bw := bufio.NewWriter(f)
+		archive = bw
+		flush = func() error {
+			if err := bw.Flush(); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+	}
+
+	c := collect.NewCollector(collect.CollectorConfig{
+		DedupWindow: o.dedupWindow,
+		Archive:     archive,
+	})
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	var pc net.PacketConn
+	if o.udp != "" {
+		pc, err = net.ListenPacket("udp", o.udp)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		go c.ServeUDP(pc)
+	}
+
+	fmt.Fprintf(out, "collecting on http://%s (/ingest, /report/{run}, /metrics, /healthz)\n", ln.Addr())
+	if pc != nil {
+		fmt.Fprintf(out, "udp event lane on %s\n", pc.LocalAddr())
+	}
+	if o.ready != nil {
+		o.ready <- ln.Addr().String()
+		if pc != nil {
+			o.ready <- pc.LocalAddr().String()
+		}
+	}
+
+	hs := &http.Server{Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if pc != nil {
+			pc.Close()
+		}
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, finish in-flight ingests, then flush the
+	// archive so every acknowledged frame is on disk.
+	fmt.Fprintln(errw, "bbacollect: shutting down")
+	if pc != nil {
+		pc.Close()
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), o.grace)
+	defer cancel()
+	shutdownErr := hs.Shutdown(shctx)
+	if flush != nil {
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+	printStats(errw, c.Stats())
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+	return nil
+}
+
+// printStats summarizes the daemon's lifetime on shutdown.
+func printStats(w io.Writer, s collect.CollectorStats) {
+	var frames int64
+	for _, n := range s.Frames {
+		frames += n
+	}
+	fmt.Fprintf(w, "collected: %d frames (%d events, %d shards) across %d runs (%d ended, %d streams); %d duplicates, %d bad, %d retried\n",
+		frames, s.Events, s.Shards, s.Runs, s.RunsEnded, s.Streams,
+		s.FramesDup, s.FramesBad, s.FramesRetry)
+}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bba/internal/campaign"
+	"bba/internal/collect"
+	"bba/internal/telemetry"
+)
+
+// startDaemon runs the daemon on ephemeral ports and returns its bound
+// HTTP and UDP addresses plus a shutdown func that drains and returns its
+// error and output.
+func startDaemon(t *testing.T, o options) (httpAddr, udpAddr string, shutdown func() (error, string, string)) {
+	t.Helper()
+	ready := make(chan string, 2)
+	o.ready = ready
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errw bytes.Buffer
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, &out, &errw, o) }()
+	select {
+	case httpAddr = <-ready:
+	case err := <-errc:
+		cancel()
+		t.Fatalf("daemon exited before serving: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never became ready")
+	}
+	if o.udp != "" {
+		udpAddr = <-ready
+	}
+	return httpAddr, udpAddr, func() (error, string, string) {
+		cancel()
+		select {
+		case err := <-errc:
+			return err, out.String(), errw.String()
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not drain")
+			return nil, "", ""
+		}
+	}
+}
+
+// TestDaemonEndToEnd drives the full daemon lifecycle: ingest a campaign's
+// frames over HTTP (with a duplicate), an extra event batch over UDP,
+// fetch the aggregated report, then drain on cancel and check the archive
+// holds each admitted batch exactly once.
+func TestDaemonEndToEnd(t *testing.T) {
+	// Ground truth: the same campaign aggregated in-process, its shard
+	// payloads captured as the shipper would send them.
+	cfg := campaign.Config{
+		Name: "daemon", Seed: 5, Sessions: 8, ShardSize: 8,
+		Parallelism: 2, SketchSize: 32, CatalogSize: 4,
+	}
+	shardJSON := map[int][]byte{}
+	cfg.OnShard = func(shard int, accums []*campaign.GroupAccum) error {
+		p, err := json.Marshal(campaign.ShardAccums{Shard: shard, Groups: accums})
+		if err != nil {
+			return err
+		}
+		shardJSON[shard] = p
+		return nil
+	}
+	local, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := local.Report.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	idJSON, err := json.Marshal(cfg.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	archive := filepath.Join(t.TempDir(), "fleet.jsonl")
+	httpAddr, udpAddr, shutdown := startDaemon(t, options{
+		addr: "127.0.0.1:0", udp: "127.0.0.1:0",
+		archive: archive, dedupWindow: collect.DefaultDedupWindow,
+		grace: 5 * time.Second,
+	})
+
+	events := telemetry.AppendJSONL(nil, telemetry.Event{
+		Kind: telemetry.BufferSample, Session: "s", Chunk: 1,
+		RateIndex: -1, PrevRateIndex: -1, Buffer: 3 * time.Second,
+	})
+	frame := func(seq uint64, kind collect.PayloadKind, payload []byte) []byte {
+		return collect.AppendFrame(nil, collect.Frame{Run: "d", Session: 1, Seq: seq, Kind: kind, Payload: payload})
+	}
+	post := func(body []byte, wantCode int) {
+		t.Helper()
+		resp, err := http.Post("http://"+httpAddr+"/ingest", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("ingest: got %d, want %d", resp.StatusCode, wantCode)
+		}
+	}
+	post(frame(0, collect.PayloadRunStart, idJSON), http.StatusNoContent)
+	ev := frame(1, collect.PayloadEvents, events)
+	post(ev, http.StatusNoContent)
+	post(ev, http.StatusNoContent) // duplicate: acknowledged, not double-counted
+	post(frame(2, collect.PayloadShard, shardJSON[0]), http.StatusNoContent)
+	post(frame(3, collect.PayloadRunEnd, nil), http.StatusNoContent)
+
+	// The fire-and-forget lane: one datagram from a second session.
+	uc, err := net.Dial("udp", udpAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uc.Write(collect.AppendFrame(nil, collect.Frame{Run: "d", Session: 2, Seq: 0, Kind: collect.PayloadEvents, Payload: events})); err != nil {
+		t.Fatal(err)
+	}
+	uc.Close()
+
+	// Wait for the UDP frame via metrics, then fetch the report.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + httpAddr + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m bytes.Buffer
+		m.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(m.String(), "bba_collect_events_total 2") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("UDP event never admitted:\n%s", m.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/report/d", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	got.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: %s: %s", resp.Status, got.String())
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("daemon report differs from local run:\n%s\nvs\n%s", got.String(), want.String())
+	}
+
+	err, stdout, stderr := shutdown()
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if !strings.Contains(stdout, "collecting on http://") {
+		t.Errorf("stdout missing listen line: %q", stdout)
+	}
+	if !strings.Contains(stderr, "shutting down") || !strings.Contains(stderr, "collected:") {
+		t.Errorf("stderr missing drain summary: %q", stderr)
+	}
+
+	// The archive holds the HTTP batch once (duplicate discarded) and the
+	// UDP batch once, flushed by the drain.
+	b, err := os.ReadFile(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, append(append([]byte(nil), events...), events...)) {
+		t.Fatalf("archive:\n%q\nwant two batches:\n%q", b, events)
+	}
+}
+
+func TestDaemonBadAddr(t *testing.T) {
+	err := run(context.Background(), new(bytes.Buffer), new(bytes.Buffer), options{addr: "127.0.0.1:-1"})
+	if err == nil {
+		t.Fatal("invalid address accepted")
+	}
+}

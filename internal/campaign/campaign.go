@@ -96,6 +96,12 @@ type Config struct {
 	// CheckpointEvery is the shard interval between checkpoint writes
 	// (default 8).
 	CheckpointEvery int
+	// OnShard, when non-nil, is called from the collector goroutine with
+	// each completed shard's accumulators before they fold into the run
+	// state; returning an error cancels the run. The collect shipper hooks
+	// here to ship shard aggregates to a remote collector. Callers must not
+	// retain or mutate accums — the run state takes ownership afterwards.
+	OnShard func(shard int, accums []*GroupAccum) error
 	// Progress, when non-nil, is called after every completed shard from
 	// the collector goroutine. It must not block.
 	Progress func(Progress)
@@ -138,6 +144,14 @@ func (c *Config) applyDefaults() {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 8
 	}
+}
+
+// Identity returns the campaign identity the config pins, with defaults
+// applied — what a remote collector aggregates under.
+func (c *Config) Identity() Identity {
+	d := *c
+	d.applyDefaults()
+	return d.identity()
 }
 
 // identity derives the campaign identity from a defaulted config.
@@ -422,6 +436,15 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 			}
 			cancel()
 			continue
+		}
+		if cfg.OnShard != nil {
+			if err := cfg.OnShard(r.shard, r.accums); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				cancel()
+				continue
+			}
 		}
 		if err := state.record(r.shard, r.accums); err != nil {
 			if firstErr == nil {

@@ -84,6 +84,20 @@ func newCheckpoint(id Identity) *Checkpoint {
 	return &Checkpoint{Schema: CheckpointSchema, Identity: id}
 }
 
+// NewCheckpoint returns an empty checkpoint for the identity. Exported for
+// the collect subsystem, which seeds remote aggregation state with it and
+// re-folds shipped shards through the same in-order path a local run uses —
+// that shared fold is what makes the remote report byte-identical.
+func NewCheckpoint(id Identity) *Checkpoint { return newCheckpoint(id) }
+
+// Has reports whether shard s is already recorded.
+func (c *Checkpoint) Has(s int) bool { return c.has(s) }
+
+// Record stores a completed shard's accumulators and folds any newly
+// contiguous prefix. Duplicates are an error — recording the same shard
+// twice means double-counting. Record takes ownership of accums.
+func (c *Checkpoint) Record(s int, accums []*GroupAccum) error { return c.record(s, accums) }
+
 // has reports whether shard s is already recorded.
 func (c *Checkpoint) has(s int) bool {
 	if s < c.PrefixShards {

@@ -1,0 +1,380 @@
+package collect
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"bba/internal/campaign"
+)
+
+// DefaultDedupWindow bounds per-stream out-of-order admission state.
+const DefaultDedupWindow = 4096
+
+// ErrUnknownRun reports a shard or run-end frame for a run the collector
+// has not seen a RunStart for. It is retryable: under reordering the
+// RunStart may simply not have landed yet, so the collector NACKs and the
+// shipper's retry delivers the frame after it has.
+var ErrUnknownRun = errors.New("collect: unknown run")
+
+// CollectorConfig configures a Collector.
+type CollectorConfig struct {
+	// DedupWindow bounds each stream's out-of-order admission state
+	// (default DefaultDedupWindow). Reliable frames beyond it are NACKed
+	// for retry; event frames slide the window instead.
+	DedupWindow int
+	// Archive, when non-nil, receives every admitted event batch verbatim.
+	// Batches are telemetry journal JSONL (telemetry.AppendJSONL), so the
+	// archive is a valid journal file. Writes are serialized by the
+	// collector; ordering across sessions follows admission order.
+	Archive io.Writer
+}
+
+// CollectorStats is a snapshot of collector activity.
+type CollectorStats struct {
+	// Frames counts admitted frames by kind name; FramesDup counts
+	// duplicate deliveries recognized and discarded — the at-least-once
+	// overhead the dedup layer absorbs.
+	Frames      map[string]int64
+	FramesDup   int64
+	FramesBad   int64 // undecodable or invalid: permanently rejected
+	FramesRetry int64 // NACKed retryable (window overflow, unknown run)
+	Events      int64 // events admitted across all event frames
+	Runs        int64 // runs started
+	RunsEnded   int64
+	Streams     int64 // distinct (run, session) streams seen
+	Shards      int64 // shard frames folded into checkpoints
+	ShardsDup   int64 // shard frames for already-recorded shards
+}
+
+// Collector is the server half of the pipeline: it ingests frames from any
+// transport, verifies and dedups them, and folds shard aggregates into
+// per-run campaign checkpoints. Ingest is safe for concurrent use; all
+// state lives behind one mutex, which loopback benchmarks show is nowhere
+// near the bottleneck at the target ingest rate.
+type Collector struct {
+	cfg CollectorConfig
+
+	mu      sync.Mutex
+	streams map[streamKey]*stream
+	runs    map[string]*runState
+	stats   CollectorStats
+}
+
+type streamKey struct {
+	run     string
+	session uint64
+}
+
+// runState is one run's aggregation state.
+type runState struct {
+	id    campaign.Identity
+	cp    *campaign.Checkpoint
+	ended bool
+}
+
+// NewCollector returns a Collector with the config's defaults applied.
+func NewCollector(cfg CollectorConfig) *Collector {
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = DefaultDedupWindow
+	}
+	return &Collector{
+		cfg:     cfg,
+		streams: make(map[streamKey]*stream),
+		runs:    make(map[string]*runState),
+		stats:   CollectorStats{Frames: make(map[string]int64)},
+	}
+}
+
+// Ingest processes one encoded frame. A nil return acknowledges the frame
+// (including recognized duplicates — re-acknowledging a duplicate is what
+// stops retry loops). Errors matching ErrDedupWindow or ErrUnknownRun are
+// retryable NACKs; anything else is a permanent rejection.
+//
+// Validation runs before admission: an admitted (run, session, seq) is
+// spent forever, so a frame must be fully applicable before its seq is
+// consumed — otherwise a retry of a failed frame would be discarded as a
+// duplicate and its payload lost.
+func (c *Collector) Ingest(b []byte) error {
+	f, _, err := DecodeFrame(b)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.FramesBad++
+		c.mu.Unlock()
+		return err
+	}
+	return c.ingestFrame(f)
+}
+
+func (c *Collector) ingestFrame(f Frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Validate the payload and stage the state change before admitting.
+	var apply func()
+	switch f.Kind {
+	case PayloadEvents:
+		payload := f.Payload
+		apply = func() {
+			c.stats.Events += int64(bytes.Count(payload, []byte{'\n'}))
+			if c.cfg.Archive != nil {
+				c.cfg.Archive.Write(payload)
+			}
+		}
+		// Archive writes need the payload beyond this call; copy out of the
+		// caller's buffer.
+		if c.cfg.Archive != nil {
+			payload = append([]byte(nil), f.Payload...)
+		}
+	case PayloadRunStart:
+		var id campaign.Identity
+		if err := json.Unmarshal(f.Payload, &id); err != nil {
+			c.stats.FramesBad++
+			return fmt.Errorf("%w: run_start identity: %v", ErrBadFrame, err)
+		}
+		if id.Shards() == 0 {
+			c.stats.FramesBad++
+			return fmt.Errorf("%w: run_start identity has no shards", ErrBadFrame)
+		}
+		run := f.Run
+		if r, ok := c.runs[run]; ok {
+			ra, _ := json.Marshal(r.id)
+			rb, _ := json.Marshal(id)
+			if !bytes.Equal(ra, rb) {
+				c.stats.FramesBad++
+				return fmt.Errorf("%w: run %q restarted with a different identity", ErrBadFrame, run)
+			}
+			apply = func() {} // idempotent re-announce from another session
+		} else {
+			apply = func() {
+				c.runs[run] = &runState{id: id, cp: campaign.NewCheckpoint(id)}
+				c.stats.Runs++
+			}
+		}
+	case PayloadShard:
+		r, ok := c.runs[f.Run]
+		if !ok {
+			c.stats.FramesRetry++
+			return fmt.Errorf("%w: %q (shard frame before run_start)", ErrUnknownRun, f.Run)
+		}
+		var sa campaign.ShardAccums
+		if err := json.Unmarshal(f.Payload, &sa); err != nil {
+			c.stats.FramesBad++
+			return fmt.Errorf("%w: shard payload: %v", ErrBadFrame, err)
+		}
+		if sa.Shard < 0 || sa.Shard >= r.id.Shards() || len(sa.Groups) != len(r.id.Groups) {
+			c.stats.FramesBad++
+			return fmt.Errorf("%w: shard %d outside run %q", ErrBadFrame, sa.Shard, f.Run)
+		}
+		if r.cp.Has(sa.Shard) {
+			// Another session already delivered this shard; the frame is
+			// valid, its seq must still be spent below.
+			apply = func() { c.stats.ShardsDup++ }
+		} else {
+			apply = func() {
+				if err := r.cp.Record(sa.Shard, sa.Groups); err == nil {
+					c.stats.Shards++
+				} else {
+					c.stats.ShardsDup++
+				}
+			}
+		}
+	case PayloadRunEnd:
+		r, ok := c.runs[f.Run]
+		if !ok {
+			c.stats.FramesRetry++
+			return fmt.Errorf("%w: %q (run_end before run_start)", ErrUnknownRun, f.Run)
+		}
+		apply = func() {
+			if !r.ended {
+				r.ended = true
+				c.stats.RunsEnded++
+			}
+		}
+	default:
+		c.stats.FramesBad++
+		return fmt.Errorf("%w: kind %d", ErrBadFrame, f.Kind)
+	}
+
+	key := streamKey{run: f.Run, session: f.Session}
+	st, ok := c.streams[key]
+	if !ok {
+		st = &stream{}
+		c.streams[key] = st
+		c.stats.Streams++
+	}
+	if f.Kind.Reliable() {
+		fresh, err := st.admit(f.Seq, c.cfg.DedupWindow)
+		if err != nil {
+			c.stats.FramesRetry++
+			return err
+		}
+		if !fresh {
+			c.stats.FramesDup++
+			return nil
+		}
+	} else if !st.admitSlide(f.Seq, c.cfg.DedupWindow) {
+		c.stats.FramesDup++
+		return nil
+	}
+	apply()
+	c.stats.Frames[f.Kind.String()]++
+	return nil
+}
+
+// Report renders run's canonical campaign report — the byte-identical
+// aggregate a local run of the same identity produces — or an error while
+// shards are still outstanding.
+func (c *Collector) Report(run string) ([]byte, error) {
+	c.mu.Lock()
+	r, ok := c.runs[run]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRun, run)
+	}
+	rep, err := campaign.FinalReport(r.cp)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Stats returns a snapshot of the collector counters.
+func (c *Collector) Stats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Frames = make(map[string]int64, len(c.stats.Frames))
+	for k, v := range c.stats.Frames {
+		s.Frames[k] = v
+	}
+	return s
+}
+
+// retryable reports whether err is a NACK the shipper should retry.
+func retryable(err error) bool {
+	return errors.Is(err, ErrDedupWindow) || errors.Is(err, ErrUnknownRun)
+}
+
+// Handler returns the collector's HTTP interface:
+//
+//	POST /ingest        one frame per request body; 204 acknowledges,
+//	                    503 asks for retry, 400 rejects permanently
+//	GET  /report/{run}  the finalized campaign report (404 until complete)
+//	GET  /metrics       Prometheus text exposition
+//	GET  /healthz       liveness JSON
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", c.handleIngest)
+	mux.HandleFunc("/report/", c.handleReport)
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	return mux
+}
+
+func (c *Collector) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxFrame+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > MaxFrame {
+		http.Error(w, "frame too large", http.StatusBadRequest)
+		return
+	}
+	switch err := c.Ingest(body); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case retryable(err):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func (c *Collector) handleReport(w http.ResponseWriter, r *http.Request) {
+	run := strings.TrimPrefix(r.URL.Path, "/report/")
+	if run == "" {
+		http.Error(w, "missing run id", http.StatusBadRequest)
+		return
+	}
+	body, err := c.Report(run)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (c *Collector) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s := c.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":  "ok",
+		"runs":    s.Runs,
+		"streams": s.Streams,
+		"events":  s.Events,
+	})
+}
+
+// handleMetrics writes Prometheus text exposition by hand, the same
+// stdlib-only approach as telemetry.Prom.
+func (c *Collector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s := c.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b bytes.Buffer
+	b.WriteString("# HELP bba_collect_frames_total Frames admitted, by payload kind.\n")
+	b.WriteString("# TYPE bba_collect_frames_total counter\n")
+	kinds := make([]string, 0, len(s.Frames))
+	for k := range s.Frames {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "bba_collect_frames_total{kind=%q} %d\n", k, s.Frames[k])
+	}
+	scalar := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	scalar("bba_collect_frames_duplicate_total", "Duplicate frames recognized and discarded.", s.FramesDup)
+	scalar("bba_collect_frames_bad_total", "Frames permanently rejected (decode, checksum or payload).", s.FramesBad)
+	scalar("bba_collect_frames_retry_total", "Frames NACKed for retry (dedup window, unknown run).", s.FramesRetry)
+	scalar("bba_collect_events_total", "Telemetry events admitted.", s.Events)
+	scalar("bba_collect_runs_total", "Campaign runs announced.", s.Runs)
+	scalar("bba_collect_runs_ended_total", "Campaign runs marked ended.", s.RunsEnded)
+	scalar("bba_collect_streams_total", "Distinct (run, session) sender streams seen.", s.Streams)
+	scalar("bba_collect_shards_total", "Shard aggregates folded into checkpoints.", s.Shards)
+	scalar("bba_collect_shards_duplicate_total", "Shard aggregates already recorded.", s.ShardsDup)
+	w.Write(b.Bytes())
+}
+
+// ServeUDP ingests datagrams (one frame each) from conn until it is
+// closed. Decode or dedup failures are counted, never replied to — UDP is
+// the fire-and-forget lane.
+func (c *Collector) ServeUDP(conn net.PacketConn) {
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		c.Ingest(buf[:n])
+	}
+}

@@ -1,0 +1,263 @@
+package collect
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bba/internal/campaign"
+	"bba/internal/telemetry"
+)
+
+// eventsPayload renders n telemetry events as a journal JSONL batch.
+func eventsPayload(n int) []byte {
+	var b []byte
+	for i := 0; i < n; i++ {
+		b = telemetry.AppendJSONL(b, telemetry.Event{
+			Kind: telemetry.BufferSample, Session: "s", Chunk: i,
+			RateIndex: -1, PrevRateIndex: -1, Buffer: 3 * time.Second,
+		})
+	}
+	return b
+}
+
+func TestCollectorIngestEvents(t *testing.T) {
+	var archive bytes.Buffer
+	c := NewCollector(CollectorConfig{Archive: &archive})
+	f1 := AppendFrame(nil, Frame{Run: "r", Session: 1, Seq: 0, Kind: PayloadEvents, Payload: eventsPayload(3)})
+	f2 := AppendFrame(nil, Frame{Run: "r", Session: 1, Seq: 1, Kind: PayloadEvents, Payload: eventsPayload(2)})
+	for _, f := range [][]byte{f1, f2, f1, f2, f1} {
+		if err := c.Ingest(f); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	s := c.Stats()
+	if s.Events != 5 || s.Frames["events"] != 2 || s.FramesDup != 3 {
+		t.Fatalf("stats %+v: duplicates must not double-count", s)
+	}
+	// The archive holds each admitted batch exactly once, and is valid
+	// journal JSONL.
+	want := append(eventsPayload(3), eventsPayload(2)...)
+	if !bytes.Equal(archive.Bytes(), want) {
+		t.Fatalf("archive:\n%q\nwant:\n%q", archive.Bytes(), want)
+	}
+}
+
+func TestCollectorIngestBad(t *testing.T) {
+	c := NewCollector(CollectorConfig{})
+	if err := c.Ingest([]byte("not a frame at all")); err == nil {
+		t.Fatalf("garbage ingested")
+	}
+	bad := AppendFrame(nil, Frame{Run: "r", Session: 1, Seq: 0, Kind: PayloadRunStart, Payload: []byte("{not json")})
+	if err := c.Ingest(bad); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad run_start payload: %v", err)
+	}
+	unk := AppendFrame(nil, Frame{Run: "r", Session: 1, Seq: 0, Kind: PayloadKind(77), Payload: nil})
+	if err := c.Ingest(unk); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("unknown kind: %v", err)
+	}
+	if s := c.Stats(); s.FramesBad != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// runLocalCampaign runs cfg locally, capturing the shipped artifacts: the
+// identity payload, each shard's JSON, and the canonical report bytes.
+func runLocalCampaign(t *testing.T, cfg campaign.Config) (idJSON []byte, shardJSON map[int][]byte, report []byte) {
+	t.Helper()
+	shardJSON = make(map[int][]byte)
+	cfg.OnShard = func(shard int, accums []*campaign.GroupAccum) error {
+		p, err := json.Marshal(campaign.ShardAccums{Shard: shard, Groups: accums})
+		if err != nil {
+			return err
+		}
+		shardJSON[shard] = p
+		return nil
+	}
+	out, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatalf("local campaign: %v", err)
+	}
+	if out.Report == nil {
+		t.Fatalf("local campaign produced no report")
+	}
+	var buf bytes.Buffer
+	if err := out.Report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	idJSON, err = json.Marshal(cfg.Identity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idJSON, shardJSON, buf.Bytes()
+}
+
+func testCampaignConfig() campaign.Config {
+	return campaign.Config{
+		Name: "collect-test", Seed: 11, Sessions: 24, ShardSize: 8,
+		Parallelism: 2, SketchSize: 64, CatalogSize: 6,
+	}
+}
+
+func TestCollectorExactlyOnceAggregation(t *testing.T) {
+	idJSON, shards, localReport := runLocalCampaign(t, testCampaignConfig())
+	if len(shards) != 3 {
+		t.Fatalf("campaign produced %d shards, want 3", len(shards))
+	}
+
+	c := NewCollector(CollectorConfig{})
+	frame := func(seq uint64, kind PayloadKind, payload []byte) []byte {
+		return AppendFrame(nil, Frame{Run: "run-11", Session: 1, Seq: seq, Kind: kind, Payload: payload})
+	}
+	start := frame(0, PayloadRunStart, idJSON)
+	sh1 := frame(1, PayloadShard, shards[0])
+	sh2 := frame(2, PayloadShard, shards[1])
+	sh3 := frame(3, PayloadShard, shards[2])
+	end := frame(4, PayloadRunEnd, nil)
+
+	// A shard arriving before its run_start is a retryable NACK, not a loss.
+	if err := c.Ingest(sh2); !errors.Is(err, ErrUnknownRun) {
+		t.Fatalf("shard before run_start: %v", err)
+	}
+	// Delivery is then reordered and duplicated: every frame twice, shards
+	// in reverse. The aggregate must not care.
+	for _, f := range [][]byte{start, sh3, sh3, sh2, start, sh1, end, sh2, sh1, end} {
+		if err := c.Ingest(f); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+
+	remote, err := c.Report("run-11")
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if !bytes.Equal(remote, localReport) {
+		t.Fatalf("remote report differs from local:\nremote: %s\nlocal:  %s", remote, localReport)
+	}
+	s := c.Stats()
+	if s.Shards != 3 || s.ShardsDup != 0 || s.FramesDup != 5 || s.Runs != 1 || s.RunsEnded != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCollectorCrossSessionShardDup(t *testing.T) {
+	idJSON, shards, _ := runLocalCampaign(t, testCampaignConfig())
+	c := NewCollector(CollectorConfig{})
+	// Two sessions ship overlapping shards (a re-run after a lost process):
+	// the second delivery of a shard is recognized and discarded even
+	// though its (session, seq) key is fresh.
+	mk := func(session, seq uint64, kind PayloadKind, payload []byte) []byte {
+		return AppendFrame(nil, Frame{Run: "r", Session: session, Seq: seq, Kind: kind, Payload: payload})
+	}
+	for _, f := range [][]byte{
+		mk(1, 0, PayloadRunStart, idJSON),
+		mk(1, 1, PayloadShard, shards[0]),
+		mk(2, 0, PayloadRunStart, idJSON),
+		mk(2, 1, PayloadShard, shards[0]), // same shard, different session
+		mk(2, 2, PayloadShard, shards[1]),
+		mk(1, 2, PayloadShard, shards[2]),
+		mk(1, 3, PayloadRunEnd, nil),
+	} {
+		if err := c.Ingest(f); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	if s := c.Stats(); s.Shards != 3 || s.ShardsDup != 1 || s.Streams != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if _, err := c.Report("r"); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+}
+
+func TestCollectorRunRestartIdentityMismatch(t *testing.T) {
+	c := NewCollector(CollectorConfig{})
+	id1, _ := json.Marshal(campaign.Identity{Seed: 1, Sessions: 8, ShardSize: 8, Days: 1, CatalogSize: 1, SketchSize: 8, Groups: []string{"a"}})
+	id2, _ := json.Marshal(campaign.Identity{Seed: 2, Sessions: 8, ShardSize: 8, Days: 1, CatalogSize: 1, SketchSize: 8, Groups: []string{"a"}})
+	if err := c.Ingest(AppendFrame(nil, Frame{Run: "r", Session: 1, Seq: 0, Kind: PayloadRunStart, Payload: id1})); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Ingest(AppendFrame(nil, Frame{Run: "r", Session: 2, Seq: 0, Kind: PayloadRunStart, Payload: id2}))
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("conflicting identity accepted: %v", err)
+	}
+}
+
+func TestCollectorHandler(t *testing.T) {
+	idJSON, shards, localReport := runLocalCampaign(t, testCampaignConfig())
+	c := NewCollector(CollectorConfig{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	post := func(body []byte) int {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/ingest", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post([]byte("garbage")); code != http.StatusBadRequest {
+		t.Fatalf("garbage: %d", code)
+	}
+	orphan := AppendFrame(nil, Frame{Run: "h", Session: 1, Seq: 1, Kind: PayloadShard, Payload: shards[0]})
+	if code := post(orphan); code != http.StatusServiceUnavailable {
+		t.Fatalf("orphan shard must be retryable: %d", code)
+	}
+	if resp, err := http.Get(srv.URL + "/report/h"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("report before run: %v %v", err, resp.Status)
+	}
+
+	frames := [][]byte{
+		AppendFrame(nil, Frame{Run: "h", Session: 1, Seq: 0, Kind: PayloadRunStart, Payload: idJSON}),
+		orphan,
+		AppendFrame(nil, Frame{Run: "h", Session: 1, Seq: 2, Kind: PayloadShard, Payload: shards[1]}),
+		AppendFrame(nil, Frame{Run: "h", Session: 1, Seq: 3, Kind: PayloadShard, Payload: shards[2]}),
+		AppendFrame(nil, Frame{Run: "h", Session: 1, Seq: 4, Kind: PayloadRunEnd, Payload: nil}),
+	}
+	for i, f := range frames {
+		if code := post(f); code != http.StatusNoContent {
+			t.Fatalf("frame %d: %d", i, code)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/report/h")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: %v %v", err, resp.Status)
+	}
+	var got bytes.Buffer
+	got.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(got.Bytes(), localReport) {
+		t.Fatalf("remote report differs from local")
+	}
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil || mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %v", err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`bba_collect_frames_total{kind="shard"} 3`,
+		"bba_collect_shards_total 3",
+		"bba_collect_runs_ended_total 1",
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics.String())
+		}
+	}
+
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v", err)
+	}
+	hresp.Body.Close()
+}

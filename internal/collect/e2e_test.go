@@ -1,0 +1,235 @@
+package collect
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bba/internal/campaign"
+	"bba/internal/faults"
+	"bba/internal/netem"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+// lossDupTransport sits above the fault injector and manufactures the two
+// remaining at-least-once pathologies deterministically:
+//
+//   - every dupEvery-th acknowledged ingest is re-sent once (duplicate
+//     delivery on the wire), and
+//   - every loseAckEvery-th acknowledged ingest has its acknowledgement
+//     replaced by a synthesized 503 — the server processed the frame but
+//     the client must assume it didn't, so the retry is a duplicate too.
+type lossDupTransport struct {
+	base         http.RoundTripper
+	dupEvery     int64
+	loseAckEvery int64
+	acked        atomic.Int64
+}
+
+func (t *lossDupTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || resp.StatusCode >= 300 || req.URL.Path != "/ingest" {
+		return resp, err
+	}
+	n := t.acked.Add(1)
+	if n%t.dupEvery == 0 && req.GetBody != nil {
+		if body, berr := req.GetBody(); berr == nil {
+			dup := req.Clone(req.Context())
+			dup.Body = body
+			if dresp, derr := t.base.RoundTrip(dup); derr == nil {
+				io.Copy(io.Discard, dresp.Body)
+				dresp.Body.Close()
+			}
+		}
+	}
+	if n%t.loseAckEvery == 0 {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return &http.Response{
+			Status: "503 Service Unavailable", StatusCode: http.StatusServiceUnavailable,
+			Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header: http.Header{}, Body: io.NopCloser(bytes.NewReader(nil)),
+			Request: req,
+		}, nil
+	}
+	return resp, err
+}
+
+// shipCampaign runs cfg with its shards and progress events shipped
+// through s, propagating the run protocol: run_start, shards via OnShard,
+// flush, run_end, final flush.
+func shipCampaign(ctx context.Context, cfg campaign.Config, s *Shipper) error {
+	idJSON, err := json.Marshal(cfg.Identity())
+	if err != nil {
+		return err
+	}
+	if err := s.ShipRunStart(idJSON); err != nil {
+		return err
+	}
+	cfg.Observer = s
+	cfg.OnShard = func(shard int, accums []*campaign.GroupAccum) error {
+		p, err := json.Marshal(campaign.ShardAccums{Shard: shard, Groups: accums})
+		if err != nil {
+			return err
+		}
+		return s.ShipShard(p)
+	}
+	if _, err := campaign.RunContext(ctx, cfg); err != nil {
+		return err
+	}
+	if err := s.Flush(ctx); err != nil {
+		return err
+	}
+	if err := s.ShipRunEnd(); err != nil {
+		return err
+	}
+	return s.Flush(ctx)
+}
+
+// TestShipCollectDeterminism is the pipeline's acceptance test, pinned in
+// CI under -race: a campaign shipped through a netem-shaped loopback path
+// with injected loss (edge 503s), duplication (re-sent frames, lost acks)
+// and reordering (three concurrent senders) must aggregate remotely to the
+// byte-identical report a local run of the same seed produces.
+func TestShipCollectDeterminism(t *testing.T) {
+	cfg := campaign.Config{
+		Name: "e2e", Seed: 42, Sessions: 48, ShardSize: 8,
+		Parallelism: 4, SketchSize: 64, CatalogSize: 6,
+	}
+
+	// The ground truth: the same campaign aggregated in-process.
+	local, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatalf("local campaign: %v", err)
+	}
+	var localBytes bytes.Buffer
+	if err := local.Report.WriteJSON(&localBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	collector := NewCollector(CollectorConfig{})
+	srv := httptest.NewServer(collector.Handler())
+	defer srv.Close()
+
+	// The collection path: every connection netem-shaped, a faults
+	// schedule dropping ~90% of attempts at the edge for the whole run,
+	// and the loss/dup layer above it.
+	shapedTrace := trace.MustNew([]trace.Segment{{Duration: time.Hour, Rate: 20 * units.Mbps}})
+	dialer := &net.Dialer{Timeout: 5 * time.Second}
+	shaped := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			c, err := dialer.DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			return netem.NewConn(c, netem.NewShaper(shapedTrace)), nil
+		},
+	}
+	defer shaped.CloseIdleConnections()
+	faulty := &faults.Transport{
+		Base:     shaped,
+		Schedule: faults.MustSchedule([]faults.Fault{{Kind: faults.ServerError, Start: 0, Duration: time.Hour}}),
+		Seed:     99,
+	}
+	client := &http.Client{
+		Transport: &lossDupTransport{base: faulty, dupEvery: 2, loseAckEvery: 5},
+		Timeout:   10 * time.Second,
+	}
+
+	shipper, err := NewShipper(ShipperConfig{
+		Addr: srv.URL, Run: "e2e-42", Session: 1,
+		BatchEvents: 4, FlushInterval: -1,
+		Queue:      QueueConfig{MemFrames: 64, SpillDir: t.TempDir()},
+		Senders:    3,
+		Retry:      RetryPolicy{MaxAttempts: 400, Base: 200 * time.Microsecond, Cap: 2 * time.Millisecond, Seed: 7},
+		HTTPClient: client,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := shipCampaign(ctx, cfg, shipper); err != nil {
+		t.Fatalf("shipped campaign: %v", err)
+	}
+	if err := shipper.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/report/e2e-42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteBytes, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: %s: %s", resp.Status, remoteBytes)
+	}
+	if !bytes.Equal(remoteBytes, localBytes.Bytes()) {
+		t.Fatalf("remote report differs from local run:\nremote: %s\nlocal:  %s", remoteBytes, localBytes.Bytes())
+	}
+
+	// The path must actually have been hostile: retries prove loss,
+	// duplicate frames prove at-least-once delivery happened.
+	ss := shipper.Stats()
+	if ss.Retries == 0 {
+		t.Fatalf("no retries — fault injection did not engage: %+v", ss)
+	}
+	if ss.FramesDropped != 0 || ss.EventsDropped != 0 {
+		t.Fatalf("frames lost despite reliable retry budget: %+v", ss)
+	}
+	cs := collector.Stats()
+	if cs.FramesDup == 0 {
+		t.Fatalf("no duplicate deliveries — dup injection did not engage: %+v", cs)
+	}
+	if cs.Shards != 6 || cs.ShardsDup != 0 || cs.RunsEnded != 1 {
+		t.Fatalf("collector stats %+v", cs)
+	}
+}
+
+// TestShipCollectRepeatable re-runs the shipped campaign against a fresh
+// collector and expects byte-identical remote reports — same seed, same
+// bytes, arrival order notwithstanding.
+func TestShipCollectRepeatable(t *testing.T) {
+	cfg := campaign.Config{
+		Name: "rep", Seed: 7, Sessions: 16, ShardSize: 4,
+		Parallelism: 4, SketchSize: 32, CatalogSize: 4,
+	}
+	run := func() []byte {
+		collector := NewCollector(CollectorConfig{})
+		srv := httptest.NewServer(collector.Handler())
+		defer srv.Close()
+		shipper, err := NewShipper(ShipperConfig{
+			Addr: srv.URL, Run: "rep", Session: 1, FlushInterval: -1,
+			Senders: 2,
+			Retry:   RetryPolicy{MaxAttempts: 10, Base: time.Millisecond, Cap: 4 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := shipCampaign(ctx, cfg, shipper); err != nil {
+			t.Fatalf("ship: %v", err)
+		}
+		shipper.Close()
+		body, err := collector.Report("rep")
+		if err != nil {
+			t.Fatalf("report: %v", err)
+		}
+		return body
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two shipped runs of the same seed differ:\n%s\n%s", a, b)
+	}
+}

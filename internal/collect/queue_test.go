@@ -1,0 +1,248 @@
+package collect
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func popString(t *testing.T, q *queue) string {
+	t.Helper()
+	b, ok := q.Pop()
+	if !ok {
+		t.Fatalf("queue closed early")
+	}
+	return string(b)
+}
+
+func TestQueueFIFOMemory(t *testing.T) {
+	q := newQueue(QueueConfig{MemFrames: 8})
+	for i := 0; i < 5; i++ {
+		if ok, err := q.Push([]byte(fmt.Sprintf("f%d", i)), false); !ok || err != nil {
+			t.Fatalf("push %d: %v %v", i, ok, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if got := popString(t, q); got != fmt.Sprintf("f%d", i) {
+			t.Fatalf("pop %d: %q", i, got)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("depth %d after drain", q.Len())
+	}
+}
+
+func TestQueueDropNewestDefault(t *testing.T) {
+	q := newQueue(QueueConfig{MemFrames: 2})
+	q.Push([]byte("a"), false)
+	q.Push([]byte("b"), false)
+	if ok, err := q.Push([]byte("c"), false); ok || err != nil {
+		t.Fatalf("overflow push accepted: %v %v", ok, err)
+	}
+	if s := q.Stats(); s.Dropped != 1 || s.Pushed != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if a, b := popString(t, q), popString(t, q); a != "a" || b != "b" {
+		t.Fatalf("kept %q %q, want oldest", a, b)
+	}
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	q := newQueue(QueueConfig{MemFrames: 2, DropOldest: true})
+	q.Push([]byte("a"), false)
+	q.Push([]byte("b"), false)
+	if ok, err := q.Push([]byte("c"), false); !ok || err != nil {
+		t.Fatalf("drop-oldest push refused: %v %v", ok, err)
+	}
+	if s := q.Stats(); s.Dropped != 1 || s.Depth != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if a, b := popString(t, q), popString(t, q); a != "b" || b != "c" {
+		t.Fatalf("kept %q %q, want newest", a, b)
+	}
+}
+
+func TestQueueReliableFull(t *testing.T) {
+	q := newQueue(QueueConfig{MemFrames: 1})
+	q.Push([]byte("a"), false)
+	if _, err := q.Push([]byte("b"), true); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("reliable overflow: %v", err)
+	}
+	// Reliable frames are never silently dropped: the failure is an error,
+	// not a Dropped increment.
+	if s := q.Stats(); s.Dropped != 0 {
+		t.Fatalf("reliable overflow counted as drop: %+v", s)
+	}
+}
+
+func TestQueueSpillFIFO(t *testing.T) {
+	dir := t.TempDir()
+	q := newQueue(QueueConfig{MemFrames: 2, SpillDir: dir})
+	for i := 0; i < 6; i++ {
+		if ok, err := q.Push([]byte(fmt.Sprintf("f%d", i)), false); !ok || err != nil {
+			t.Fatalf("push %d: %v %v", i, ok, err)
+		}
+	}
+	if s := q.Stats(); s.Spilled != 4 || s.Depth != 6 || s.SpillBytes == 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Drain two, then push two more: the new frames must still come out
+	// after the spilled ones — FIFO holds across the spill boundary.
+	if a, b := popString(t, q), popString(t, q); a != "f0" || b != "f1" {
+		t.Fatalf("popped %q %q", a, b)
+	}
+	q.Push([]byte("f6"), false)
+	q.Push([]byte("f7"), false)
+	for i := 2; i < 8; i++ {
+		if got := popString(t, q); got != fmt.Sprintf("f%d", i) {
+			t.Fatalf("pop %d: %q", i, got)
+		}
+	}
+	if s := q.Stats(); s.Depth != 0 || s.SpillBytes != 0 {
+		t.Fatalf("stats after drain %+v", s)
+	}
+	// Drained segments are removed from disk.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d spill files left after drain", len(ents))
+	}
+}
+
+func TestQueueSpillCap(t *testing.T) {
+	dir := t.TempDir()
+	frame := make([]byte, 1024)
+	q := newQueue(QueueConfig{MemFrames: 1, SpillDir: dir, MaxSpillBytes: 4096})
+	q.Push(frame, false) // memory
+	accepted := 1
+	for i := 0; i < 10; i++ {
+		if ok, _ := q.Push(frame, false); ok {
+			accepted++
+		}
+	}
+	// 1 in memory + ⌊4096/1028⌋ = 3 on disk.
+	if accepted != 4 {
+		t.Fatalf("accepted %d frames, want 4", accepted)
+	}
+	if s := q.Stats(); s.Dropped != 7 {
+		t.Fatalf("stats %+v", s)
+	}
+	if _, err := q.Push(frame, true); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("reliable push into full spill: %v", err)
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := newQueue(QueueConfig{})
+	got := make(chan string, 1)
+	go func() {
+		b, ok := q.Pop()
+		if !ok {
+			got <- ""
+			return
+		}
+		got <- string(b)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push([]byte("late"), false)
+	select {
+	case s := <-got:
+		if s != "late" {
+			t.Fatalf("got %q", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Pop never woke")
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := newQueue(QueueConfig{})
+	q.Push([]byte("a"), false)
+	q.Close()
+	if got := popString(t, q); got != "a" {
+		t.Fatalf("got %q", got)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatalf("Pop after drain on closed queue")
+	}
+	if _, err := q.Push([]byte("b"), false); !errors.Is(err, errQueueClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+}
+
+func TestQueueDamagedSegment(t *testing.T) {
+	dir := t.TempDir()
+	q := newQueue(QueueConfig{MemFrames: 1, SpillDir: dir})
+	q.Push([]byte("mem"), false)
+	q.Push([]byte("disk0"), false) // segment 0
+	// A frame too big to share segment 0 forces a rotation, sealing the
+	// first segment so it can be corrupted independently.
+	big := make([]byte, segMaxBytes)
+	copy(big, "big")
+	if ok, err := q.Push(big, false); !ok || err != nil {
+		t.Fatalf("big push: %v %v", ok, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 2 {
+		t.Fatalf("spill files: %v %d", err, len(ents))
+	}
+	// Corrupt the older segment; its frame must be counted lost — the
+	// queue moves on to the next segment instead of wedging.
+	name := ents[0].Name()
+	if ents[1].Name() < name {
+		name = ents[1].Name()
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte{0xFF, 0xFF}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := popString(t, q); got != "mem" {
+		t.Fatalf("got %q", got)
+	}
+	got, ok := q.Pop()
+	if !ok || len(got) != segMaxBytes || string(got[:3]) != "big" {
+		t.Fatalf("pop after damaged segment: ok=%v len=%d", ok, len(got))
+	}
+	if s := q.Stats(); s.Dropped != 1 {
+		t.Fatalf("stats %+v, want damaged frame counted dropped", s)
+	}
+}
+
+func TestQueueConcurrent(t *testing.T) {
+	q := newQueue(QueueConfig{MemFrames: 64, SpillDir: t.TempDir()})
+	const n = 2000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			for {
+				if ok, err := q.Push([]byte{byte(i), byte(i >> 8)}, false); ok {
+					break
+				} else if err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+				time.Sleep(time.Microsecond)
+			}
+		}
+	}()
+	seen := 0
+	for seen < n {
+		b, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue closed at %d", seen)
+		}
+		if got := int(b[0]) | int(b[1])<<8; got != seen {
+			t.Fatalf("frame %d out of order: %d", seen, got)
+		}
+		seen++
+	}
+	wg.Wait()
+	q.Close()
+}

@@ -1,0 +1,544 @@
+package collect
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bba/internal/telemetry"
+)
+
+// RetryPolicy caps the shipper's per-frame retry loop: exponential backoff
+// from Base to Cap with seeded jitter, up to MaxAttempts tries.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per frame (default 10).
+	MaxAttempts int
+	// Base is the first backoff delay (default 50ms).
+	Base time.Duration
+	// Cap bounds a single backoff delay (default 2s).
+	Cap time.Duration
+	// Seed drives the jitter.
+	Seed int64
+}
+
+func (r *RetryPolicy) applyDefaults() {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 10
+	}
+	if r.Base <= 0 {
+		r.Base = 50 * time.Millisecond
+	}
+	if r.Cap <= 0 {
+		r.Cap = 2 * time.Second
+	}
+}
+
+// backoff returns the jittered delay before attempt n (0-based).
+func (r RetryPolicy) backoff(n int, rng *rand.Rand) time.Duration {
+	d := r.Base << uint(n)
+	if d <= 0 || d > r.Cap {
+		d = r.Cap
+	}
+	// Jitter uniformly over [d/2, d): desynchronizes a fleet of shippers
+	// hammering a recovering collector.
+	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+}
+
+// ShipperConfig configures a Shipper.
+type ShipperConfig struct {
+	// Addr is the collector endpoint: "udp://host:port" for fire-and-
+	// forget datagrams, or "http://host:port" (or https) for acknowledged
+	// POSTs to /ingest. HTTP is required for exactly-once aggregation —
+	// UDP has no acknowledgement, so lost event frames stay lost.
+	Addr string
+	// Run is the run id stamped on every frame (required, 1–255 bytes).
+	Run string
+	// Session distinguishes sender streams within a run; two processes
+	// shipping one run must use different Session ids.
+	Session uint64
+	// BatchEvents seals an event frame after this many events
+	// (default 64).
+	BatchEvents int
+	// FlushInterval seals partial event batches on a timer (default
+	// 500ms; 0 keeps the default, negative disables the timer).
+	FlushInterval time.Duration
+	// Queue bounds the frame queue between batching and sending.
+	Queue QueueConfig
+	// Senders is the number of concurrent sender goroutines (default 1;
+	// more senders pipeline retries but reorder arrival, which the
+	// collector's dedup absorbs).
+	Senders int
+	// Retry caps the per-frame retry loop.
+	Retry RetryPolicy
+	// HTTPClient overrides the HTTP client — the seam tests use to route
+	// shipping through faults.Transport and netem-shaped dials.
+	HTTPClient *http.Client
+}
+
+// ShipperStats is a snapshot of shipper activity. EventsDropped and
+// FramesDropped are the explicit loss account of the non-blocking hot
+// path: when the pipeline has no capacity, events are counted out, never
+// blocked on.
+type ShipperStats struct {
+	Events        int64
+	EventsDropped int64
+	FramesShipped int64
+	FramesDropped int64
+	SendErrors    int64
+	Retries       int64
+	Queue         QueueStats
+}
+
+// batchBytesCap seals a batch early so every frame fits comfortably in a
+// UDP datagram.
+const batchBytesCap = 56 << 10
+
+// numBatchBuffers is the event-batch buffer pool size; when all buffers
+// are in flight the hot path drops instead of blocking or allocating.
+const numBatchBuffers = 4
+
+// Shipper is the client half of the pipeline. Its OnEvent implements
+// telemetry.Observer without blocking and — once its batch buffer has
+// grown to steady state — without allocating: events append to a pooled
+// buffer; full batches hand off to a framer goroutine that encodes and
+// queues them; sender goroutines drain the queue with capped jittered
+// retry, spilling to disk while the collector is unreachable.
+//
+// Shard aggregates and run control frames ride the reliable lane: they are
+// never dropped (enqueue fails loudly instead) and Flush waits for their
+// acknowledgement.
+type Shipper struct {
+	cfg   ShipperConfig
+	trans transport
+	q     *queue
+
+	mu            sync.Mutex // guards cur, curEvents and the event counters
+	cur           []byte
+	curEvents     int
+	events        int64
+	eventsDropped int64
+
+	free chan []byte
+	full chan sealedBatch
+
+	enqMu   sync.Mutex // serializes seq assignment with queue admission
+	nextSeq uint64
+	scratch []byte
+
+	sealedPending atomic.Int64 // batches handed to the framer, not yet queued
+	pending       atomic.Int64 // frames queued, not yet shipped or dropped
+
+	framesDropped atomic.Int64
+	shipped       atomic.Int64
+	sendErrors    atomic.Int64
+	retries       atomic.Int64
+
+	fatalMu sync.Mutex
+	fatal   error
+
+	stopFlusher chan struct{}
+	stopFramer  chan struct{}
+	wg          sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type sealedBatch struct {
+	buf    []byte
+	events int
+}
+
+// NewShipper validates the config, connects the transport and starts the
+// pipeline goroutines.
+func NewShipper(cfg ShipperConfig) (*Shipper, error) {
+	if len(cfg.Run) == 0 || len(cfg.Run) > 255 {
+		return nil, fmt.Errorf("collect: run id length %d outside 1..255", len(cfg.Run))
+	}
+	if cfg.BatchEvents <= 0 {
+		cfg.BatchEvents = 64
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = 500 * time.Millisecond
+	}
+	if cfg.Senders <= 0 {
+		cfg.Senders = 1
+	}
+	cfg.Retry.applyDefaults()
+	trans, err := dialTransport(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Shipper{
+		cfg:         cfg,
+		trans:       trans,
+		q:           newQueue(cfg.Queue),
+		free:        make(chan []byte, numBatchBuffers),
+		full:        make(chan sealedBatch, numBatchBuffers),
+		stopFlusher: make(chan struct{}),
+		stopFramer:  make(chan struct{}),
+	}
+	for i := 0; i < numBatchBuffers; i++ {
+		s.free <- make([]byte, 0, 64<<10)
+	}
+	s.wg.Add(1)
+	go s.framer()
+	for i := 0; i < cfg.Senders; i++ {
+		rng := rand.New(rand.NewSource(cfg.Retry.Seed + int64(i)*0x9E3779B9))
+		s.wg.Add(1)
+		go s.sender(rng)
+	}
+	if cfg.FlushInterval > 0 {
+		s.wg.Add(1)
+		go s.flusher()
+	}
+	return s, nil
+}
+
+// OnEvent implements telemetry.Observer: append the event to the current
+// batch, sealing when full. It never blocks — with no buffer free the
+// event is dropped and counted.
+func (s *Shipper) OnEvent(e telemetry.Event) {
+	s.mu.Lock()
+	if s.cur == nil {
+		select {
+		case b := <-s.free:
+			s.cur = b[:0]
+		default:
+			s.eventsDropped++
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.cur = telemetry.AppendJSONL(s.cur, e)
+	s.curEvents++
+	s.events++
+	if s.curEvents >= s.cfg.BatchEvents || len(s.cur) >= batchBytesCap {
+		s.sealLocked()
+	}
+	s.mu.Unlock()
+}
+
+// sealLocked hands the current batch to the framer. Caller holds mu.
+func (s *Shipper) sealLocked() {
+	if s.curEvents == 0 {
+		return
+	}
+	s.sealedPending.Add(1)
+	select {
+	case s.full <- sealedBatch{buf: s.cur, events: s.curEvents}:
+	default:
+		// Framer backlogged; recycle the buffer and count the loss.
+		s.sealedPending.Add(-1)
+		s.eventsDropped += int64(s.curEvents)
+		s.free <- s.cur
+	}
+	s.cur = nil
+	s.curEvents = 0
+}
+
+// Seal closes the current partial batch so it ships without waiting for
+// BatchEvents to fill.
+func (s *Shipper) Seal() {
+	s.mu.Lock()
+	s.sealLocked()
+	s.mu.Unlock()
+}
+
+// framer encodes sealed event batches into frames and queues them.
+func (s *Shipper) framer() {
+	defer s.wg.Done()
+	for {
+		select {
+		case b := <-s.full:
+			if _, err := s.enqueueFrame(PayloadEvents, b.buf, false); err != nil {
+				s.setFatal(err)
+			}
+			s.free <- b.buf
+			s.sealedPending.Add(-1)
+		case <-s.stopFramer:
+			// Drain anything sealed before the stop.
+			for {
+				select {
+				case b := <-s.full:
+					if _, err := s.enqueueFrame(PayloadEvents, b.buf, false); err != nil {
+						s.setFatal(err)
+					}
+					s.free <- b.buf
+					s.sealedPending.Add(-1)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// flusher seals partial batches on a timer so low-rate event streams still
+// ship promptly.
+func (s *Shipper) flusher() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Seal()
+		case <-s.stopFlusher:
+			return
+		}
+	}
+}
+
+// enqueueFrame assigns the next sequence number and queues one frame.
+// Sequence numbers are consumed only by accepted frames: a dropped frame
+// never leaves a permanent gap for the collector's dedup window to chase.
+func (s *Shipper) enqueueFrame(kind PayloadKind, payload []byte, reliable bool) (bool, error) {
+	s.enqMu.Lock()
+	defer s.enqMu.Unlock()
+	s.scratch = AppendFrame(s.scratch[:0], Frame{
+		Run:     s.cfg.Run,
+		Session: s.cfg.Session,
+		Seq:     s.nextSeq,
+		Kind:    kind,
+		Payload: payload,
+	})
+	ok, err := s.q.Push(s.scratch, reliable)
+	if err != nil {
+		if reliable {
+			return false, fmt.Errorf("collect: reliable frame rejected: %w", err)
+		}
+		return false, err
+	}
+	if !ok {
+		s.framesDropped.Add(1)
+		return false, nil
+	}
+	s.nextSeq++
+	s.pending.Add(1)
+	return true, nil
+}
+
+// ShipRunStart announces a run on the reliable lane; payload is typically
+// a JSON campaign identity.
+func (s *Shipper) ShipRunStart(payload []byte) error { return s.reliable(PayloadRunStart, payload) }
+
+// ShipShard ships one completed shard's JSON accumulators on the reliable
+// lane.
+func (s *Shipper) ShipShard(payload []byte) error { return s.reliable(PayloadShard, payload) }
+
+// ShipRunEnd marks the run complete. Call Flush first so every shard frame
+// is acknowledged before the end marker can be.
+func (s *Shipper) ShipRunEnd() error { return s.reliable(PayloadRunEnd, nil) }
+
+func (s *Shipper) reliable(kind PayloadKind, payload []byte) error {
+	if err := s.Err(); err != nil {
+		return err
+	}
+	_, err := s.enqueueFrame(kind, payload, true)
+	return err
+}
+
+// Flush seals the current batch and blocks until every queued frame has
+// been shipped (acknowledged, for HTTP) or dropped, the context expires,
+// or a reliable frame fails permanently.
+func (s *Shipper) Flush(ctx context.Context) error {
+	s.Seal()
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if err := s.Err(); err != nil {
+			return err
+		}
+		if s.sealedPending.Load() == 0 && s.pending.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Close flushes with a generous deadline, stops the pipeline and releases
+// the transport. It returns the sticky error, if any. Close is idempotent;
+// repeat calls return the first call's result.
+func (s *Shipper) Close() error {
+	s.closeOnce.Do(func() {
+		if s.cfg.FlushInterval > 0 {
+			close(s.stopFlusher)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		flushErr := s.Flush(ctx)
+		cancel()
+		close(s.stopFramer)
+		s.q.Close()
+		s.wg.Wait()
+		s.trans.close()
+		s.closeErr = flushErr
+		if err := s.Err(); err != nil {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}
+
+// Err returns the sticky fatal error (a reliable frame that exhausted its
+// retries, or a spill failure).
+func (s *Shipper) Err() error {
+	s.fatalMu.Lock()
+	defer s.fatalMu.Unlock()
+	return s.fatal
+}
+
+func (s *Shipper) setFatal(err error) {
+	s.fatalMu.Lock()
+	if s.fatal == nil {
+		s.fatal = err
+	}
+	s.fatalMu.Unlock()
+}
+
+// Stats returns a snapshot of the shipper counters.
+func (s *Shipper) Stats() ShipperStats {
+	s.mu.Lock()
+	events, eventsDropped := s.events, s.eventsDropped
+	s.mu.Unlock()
+	return ShipperStats{
+		Events:        events,
+		EventsDropped: eventsDropped,
+		FramesShipped: s.shipped.Load(),
+		FramesDropped: s.framesDropped.Load(),
+		SendErrors:    s.sendErrors.Load(),
+		Retries:       s.retries.Load(),
+		Queue:         s.q.Stats(),
+	}
+}
+
+// sender drains the queue, shipping each frame with capped jittered retry.
+func (s *Shipper) sender(rng *rand.Rand) {
+	defer s.wg.Done()
+	for {
+		frame, ok := s.q.Pop()
+		if !ok {
+			return
+		}
+		s.shipFrame(frame, rng)
+		s.pending.Add(-1)
+	}
+}
+
+// shipFrame pushes one frame through the transport. Exhausted retries drop
+// the frame; for reliable kinds the drop is also a sticky fatal error.
+func (s *Shipper) shipFrame(frame []byte, rng *rand.Rand) {
+	var lastErr error
+	for attempt := 0; attempt < s.cfg.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			s.retries.Add(1)
+			time.Sleep(s.cfg.Retry.backoff(attempt-1, rng))
+		}
+		err := s.trans.ship(frame)
+		if err == nil {
+			s.shipped.Add(1)
+			return
+		}
+		s.sendErrors.Add(1)
+		lastErr = err
+		if errors.Is(err, errPermanent) {
+			break
+		}
+	}
+	s.framesDropped.Add(1)
+	// The kind byte is at a fixed offset; reliable frames failing is fatal.
+	if len(frame) > 3 && PayloadKind(frame[3]).Reliable() {
+		s.setFatal(fmt.Errorf("collect: reliable frame lost after %d attempts: %w", s.cfg.Retry.MaxAttempts, lastErr))
+	}
+}
+
+// errPermanent marks transport errors that retrying cannot fix (the
+// collector rejected the frame as invalid).
+var errPermanent = errors.New("collect: permanent send failure")
+
+// transport ships encoded frames to a collector.
+type transport interface {
+	ship(frame []byte) error
+	close() error
+}
+
+// dialTransport parses cfg.Addr into a transport.
+func dialTransport(cfg ShipperConfig) (transport, error) {
+	switch {
+	case strings.HasPrefix(cfg.Addr, "udp://"):
+		conn, err := net.Dial("udp", strings.TrimPrefix(cfg.Addr, "udp://"))
+		if err != nil {
+			return nil, fmt.Errorf("collect: dial %s: %w", cfg.Addr, err)
+		}
+		return &udpTransport{conn: conn}, nil
+	case strings.HasPrefix(cfg.Addr, "http://"), strings.HasPrefix(cfg.Addr, "https://"):
+		client := cfg.HTTPClient
+		if client == nil {
+			client = &http.Client{Timeout: 10 * time.Second}
+		}
+		return &httpTransport{url: strings.TrimSuffix(cfg.Addr, "/") + "/ingest", client: client}, nil
+	}
+	return nil, fmt.Errorf("collect: address %q must start with udp://, http:// or https://", cfg.Addr)
+}
+
+// udpTransport fires datagrams and forgets: no acknowledgement, so no
+// retry signal — loss shows up only in the collector's stream gaps.
+type udpTransport struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (t *udpTransport) ship(frame []byte) error {
+	if len(frame) > 64<<10 {
+		return fmt.Errorf("%w: frame %d bytes exceeds a datagram", errPermanent, len(frame))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := t.conn.Write(frame)
+	return err
+}
+
+func (t *udpTransport) close() error { return t.conn.Close() }
+
+// httpTransport POSTs frames to /ingest; 2xx acknowledges, 4xx is a
+// permanent rejection, anything else (including transport errors) is
+// retryable.
+type httpTransport struct {
+	url    string
+	client *http.Client
+}
+
+func (t *httpTransport) ship(frame []byte) error {
+	resp, err := t.client.Post(t.url, "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return fmt.Errorf("%w: collector rejected frame: %s", errPermanent, resp.Status)
+	default:
+		return fmt.Errorf("collect: ship: %s", resp.Status)
+	}
+}
+
+func (t *httpTransport) close() error {
+	t.client.CloseIdleConnections()
+	return nil
+}

@@ -45,6 +45,13 @@ func newShaperClock(tr *trace.Trace, now func() time.Time, sleep func(time.Durat
 // Take blocks until n bytes of link capacity are available and consumes
 // them. It returns the time it waited. Take of a non-positive count
 // returns immediately.
+//
+// Zero-rate (blackout) segments are first-class: while the trace delivers
+// nothing there is no finite completion estimate to sleep for, so Take
+// parks in bounded 20ms polls — no busy-wait and no division by the zero
+// rate — and wakes within one poll of capacity returning. A transfer
+// issued mid-blackout completes as soon as the following segment has
+// delivered its bytes, the way a stalled TCP stream resumes.
 func (s *Shaper) Take(n int) time.Duration {
 	if n <= 0 {
 		return 0

@@ -14,9 +14,10 @@ import (
 
 // fakeClock lets shaper tests run instantly: sleeping advances time.
 type fakeClock struct {
-	mu  sync.Mutex
-	t   time.Time
-	acc time.Duration
+	mu     sync.Mutex
+	t      time.Time
+	acc    time.Duration
+	sleeps int
 }
 
 func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(0, 0)} }
@@ -32,6 +33,7 @@ func (c *fakeClock) sleep(d time.Duration) {
 	defer c.mu.Unlock()
 	c.t = c.t.Add(d)
 	c.acc += d
+	c.sleeps++
 }
 
 func TestShaperDeliversTraceRate(t *testing.T) {
@@ -67,6 +69,44 @@ func TestShaperFollowsRateChange(t *testing.T) {
 	t2 := clock.now().Sub(time.Unix(0, 0))
 	if d := t2 - t1; d < 800*time.Millisecond || d > 1300*time.Millisecond {
 		t.Errorf("post-drop 100kB took %v, want ≈1s", d)
+	}
+}
+
+// TestShaperBlackoutSegment pins Take's behavior across a zero-rate
+// segment: a transfer issued as the link goes dark parks in bounded polls
+// (no busy-wait, no division by the zero rate) and completes one segment
+// later, as soon as restored capacity has delivered its bytes.
+func TestShaperBlackoutSegment(t *testing.T) {
+	clock := newFakeClock()
+	tr := trace.MustNew([]trace.Segment{
+		{Duration: time.Second, Rate: 8 * units.Mbps}, // 1 MB/s
+		{Duration: 10 * time.Second, Rate: 0},         // blackout
+		{Duration: time.Hour, Rate: 8 * units.Mbps},
+	})
+	s := newShaperClock(tr, clock.now, clock.sleep)
+
+	// Drain the first segment so the next request lands in the dark.
+	s.Take(1_000_000)
+	clock.mu.Lock()
+	clock.sleeps = 0
+	clock.mu.Unlock()
+
+	// 500 kB requested mid-blackout: 10s of darkness, then 0.5s of
+	// delivery at 1 MB/s once the link returns.
+	waited := s.Take(500_000)
+	if waited < 10*time.Second || waited > 11*time.Second+500*time.Millisecond {
+		t.Errorf("blackout Take waited %v, want ≈10.5s", waited)
+	}
+	clock.mu.Lock()
+	sleeps := clock.sleeps
+	clock.mu.Unlock()
+	// The dark stretch is covered by 20ms bounded polls (≈500 of them),
+	// not a busy spin of sub-millisecond naps and not one blind oversleep.
+	if sleeps < 50 || sleeps > 1200 {
+		t.Errorf("blackout Take slept %d times, want bounded polling (≈525)", sleeps)
+	}
+	if r := s.Rate(); r != 8*units.Mbps {
+		t.Errorf("post-blackout rate %v, want 8Mbps", r)
 	}
 }
 

@@ -1,0 +1,47 @@
+package telemetry
+
+import "testing"
+
+// TestKindNamesExhaustive walks every declared Kind and fails if one was
+// added to the taxonomy without a journal name, with a colliding name, or
+// without a ParseKind round-trip. This is the guard that keeps journals
+// self-describing: an event whose Kind stringifies to "unknown" can never
+// be written by a correct emitter.
+func TestKindNamesExhaustive(t *testing.T) {
+	seen := make(map[string]Kind, int(numKinds))
+	for k := SessionStart; k < numKinds; k++ {
+		name := k.String()
+		if name == "unknown" || name == "" {
+			t.Errorf("Kind %d has no entry in kindNames; add its journal name", uint8(k))
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("Kind %d and %d share the name %q", uint8(prev), uint8(k), name)
+		}
+		seen[name] = k
+		back, ok := ParseKind(name)
+		if !ok || back != k {
+			t.Errorf("ParseKind(%q) = %d, %v; want %d, true", name, uint8(back), ok, uint8(k))
+		}
+	}
+	if len(seen) != int(numKinds-SessionStart) {
+		t.Errorf("%d named kinds for %d declared", len(seen), numKinds-SessionStart)
+	}
+}
+
+// TestKindOutOfRange pins the behavior outside the taxonomy: the zero
+// Kind, the sentinel and arbitrary bytes all stringify to "unknown", and
+// no name parses to them.
+func TestKindOutOfRange(t *testing.T) {
+	for _, k := range []Kind{0, numKinds, numKinds + 1, 255} {
+		if s := k.String(); s != "unknown" {
+			t.Errorf("Kind(%d).String() = %q, want unknown", uint8(k), s)
+		}
+	}
+	if k, ok := ParseKind("unknown"); ok {
+		t.Errorf("ParseKind(unknown) resolved to %d", uint8(k))
+	}
+	if _, ok := ParseKind("not_an_event"); ok {
+		t.Error("ParseKind accepted an undeclared name")
+	}
+}

@@ -85,6 +85,11 @@ const (
 	// shard: Chunk is the shard index, Bytes the paired sessions completed
 	// so far, At the elapsed wall-clock time, Label the campaign name.
 	CampaignProgress
+
+	// numKinds is one past the last valid Kind. Keep it last: the
+	// exhaustive round-trip test walks [SessionStart, numKinds) and fails
+	// on any Kind added without a kindNames entry.
+	numKinds
 )
 
 var kindNames = [...]string{
@@ -111,6 +116,18 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return "unknown"
+}
+
+// ParseKind maps a journal snake_case name back to its Kind. It returns
+// false for names no Kind produces, including the "unknown" placeholder
+// String falls back to.
+func ParseKind(name string) (Kind, bool) {
+	for k := SessionStart; k < numKinds; k++ {
+		if kindNames[k] == name {
+			return k, true
+		}
+	}
+	return 0, false
 }
 
 // Event is one session event. It is a flat value struct — emitting one

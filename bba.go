@@ -55,6 +55,11 @@ const (
 // instances are per-session state machines.
 type Algorithm = abr.Algorithm
 
+// Factory builds a fresh single-session Algorithm instance. Batch runners
+// (the A/B harness, campaigns, the arena) take factories rather than
+// instances so every session gets its own state machine.
+type Factory = abr.Factory
+
 // Result is the complete outcome of one streaming session.
 type Result = player.Result
 
@@ -134,10 +139,31 @@ func NewControl() Algorithm { return abr.NewControl() }
 // the lowest rate.
 func NewRminAlways() Algorithm { return abr.RminAlways{} }
 
-// NewAlgorithm builds an algorithm from its experiment-group name:
-// "Control", "Rmin Always", "Rmax Always", "BBA-0", "BBA-1", "BBA-2" or
-// "BBA-Others".
-func NewAlgorithm(name string) (Algorithm, error) { return abr.NewByName(name) }
+// NewBOLA returns the BOLA rival (Spiteri et al., arXiv:1601.06748): the
+// Lyapunov buffer-based controller the arena pits against the BBA family.
+func NewBOLA() Algorithm { return abr.NewBOLA() }
+
+// NewSmoothThroughput returns the harmonic-mean capacity-rule rival.
+func NewSmoothThroughput() Algorithm { return abr.NewSmoothThroughput() }
+
+// NewHybrid returns the throughput/buffer hybrid rival (dash.js DYNAMIC
+// style): throughput rule below 10 s of buffer, BOLA above.
+func NewHybrid() Algorithm { return abr.NewHybrid() }
+
+// NewAlgorithm builds an algorithm from its registered name; see
+// AlgorithmNames for the registry. Unknown names return an error that
+// enumerates everything registered.
+func NewAlgorithm(name string) (Algorithm, error) { return abr.New(name) }
+
+// AlgorithmNames returns every registered algorithm name in registration
+// order — the valid inputs to NewAlgorithm and the -algo flags of the
+// commands.
+func AlgorithmNames() []string { return abr.Names() }
+
+// RegisterAlgorithm adds a named algorithm factory to the registry, making
+// it selectable by name everywhere (NewAlgorithm, experiment groups, arena
+// entrants, command flags). Duplicate names panic; register from init.
+func RegisterAlgorithm(name string, f Factory) { abr.Register(name, f) }
 
 // DefaultLadder returns the 235 kb/s – 5 Mb/s encoding ladder used
 // throughout the experiments.
@@ -183,8 +209,15 @@ func VariableTrace(base BitRate, quartileRatio float64, d time.Duration, seed in
 
 // SessionConfig describes one simulated streaming session.
 type SessionConfig struct {
-	// Algorithm picks the rate for every chunk.
+	// Algorithm picks the rate for every chunk. Exactly one of Algorithm
+	// and AlgorithmFactory is normally set; when both are set the factory
+	// takes precedence, because a factory guarantees a fresh state machine
+	// while an instance may carry state from an earlier run.
 	Algorithm Algorithm
+	// AlgorithmFactory, when non-nil, builds the session's algorithm,
+	// overriding Algorithm. Use it when reusing one SessionConfig across
+	// runs (or handing it to a batch runner) so each session starts fresh.
+	AlgorithmFactory Factory
 	// Video is the title to stream.
 	Video *Video
 	// Trace is the network capacity over the session.
@@ -213,8 +246,12 @@ func RunSession(cfg SessionConfig) (*Result, error) {
 // checked once per chunk, so long simulations (or batches of them) stop
 // promptly when the caller cancels or a deadline passes.
 func RunSessionContext(ctx context.Context, cfg SessionConfig) (*Result, error) {
+	alg := cfg.Algorithm
+	if cfg.AlgorithmFactory != nil {
+		alg = cfg.AlgorithmFactory()
+	}
 	return player.RunContext(ctx, player.Config{
-		Algorithm:  cfg.Algorithm,
+		Algorithm:  alg,
 		Stream:     abr.NewStream(cfg.Video, cfg.Rmin),
 		Trace:      cfg.Trace,
 		BufferMax:  cfg.BufferMax,

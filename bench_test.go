@@ -281,3 +281,7 @@ func BenchmarkBufferOccupancy(b *testing.B) {
 func BenchmarkOutageRobustness(b *testing.B) {
 	benchFigure(b, "OutageRobustness")
 }
+
+func BenchmarkArenaMatrix(b *testing.B) {
+	benchFigure(b, "ArenaMatrix")
+}

@@ -22,8 +22,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
+	"bba/internal/abr"
 	"bba/internal/abtest"
 	"bba/internal/campaign"
 	"bba/internal/faults"
@@ -40,6 +42,7 @@ func main() {
 		csvOut    = flag.Bool("csv", false, "emit the weekend experiment's per-window aggregates as CSV")
 		faultsOn  = flag.Bool("faults", false, "replay the weekend experiment under the standard fault schedule and emit its CSV (fault counters go to stderr)")
 		streamAgg = flag.Bool("stream-agg", false, "run the weekend experiment through the campaign accumulators (constant memory) and emit the per-group JSON report")
+		groups    = flag.String("groups", "", "comma-separated experiment arms for -csv/-faults/-stream-agg (default the paper's standard groups); registered: "+strings.Join(abr.Names(), ", "))
 	)
 	flag.Parse()
 
@@ -48,13 +51,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if err := run(ctx, os.Stdout, *scaleName, *figName, *list, *mdOut, *csvOut, *faultsOn, *streamAgg); err != nil {
+	if err := run(ctx, os.Stdout, *scaleName, *figName, *groups, *list, *mdOut, *csvOut, *faultsOn, *streamAgg); err != nil {
 		fmt.Fprintln(os.Stderr, "abtest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, out io.Writer, scaleName, figName string, list, mdOut, csvOut, faultsOn, streamAgg bool) error {
+func run(ctx context.Context, out io.Writer, scaleName, figName, groups string, list, mdOut, csvOut, faultsOn, streamAgg bool) error {
 	var scale figures.Scale
 	switch scaleName {
 	case "quick":
@@ -72,7 +75,7 @@ func run(ctx context.Context, out io.Writer, scaleName, figName string, list, md
 		return nil
 	}
 
-	err := dispatch(ctx, out, scale, figName, mdOut, csvOut, faultsOn, streamAgg)
+	err := dispatch(ctx, out, scale, figName, groups, mdOut, csvOut, faultsOn, streamAgg)
 	// A canceled context can reach here two ways: dispatch surfaces the
 	// cancellation itself, or — because the figure cache returns completed
 	// outcomes regardless of ctx — dispatch succeeds with output written.
@@ -88,11 +91,18 @@ func run(ctx context.Context, out io.Writer, scaleName, figName string, list, md
 	return err
 }
 
-func dispatch(ctx context.Context, out io.Writer, scale figures.Scale, figName string, mdOut, csvOut, faultsOn, streamAgg bool) error {
+func dispatch(ctx context.Context, out io.Writer, scale figures.Scale, figName, groups string, mdOut, csvOut, faultsOn, streamAgg bool) error {
 	defer reportExperimentStats(scale)
 
+	// -groups swaps the experiment arms on the run-producing paths; any
+	// registered algorithm can stand in for the paper's standard groups.
+	arms, err := parseGroups(groups)
+	if err != nil {
+		return err
+	}
+
 	if streamAgg {
-		return runStreamAgg(ctx, out, scale)
+		return runStreamAgg(ctx, out, scale, arms)
 	}
 
 	if faultsOn {
@@ -100,6 +110,7 @@ func dispatch(ctx context.Context, out io.Writer, scale figures.Scale, figName s
 		// standard fault weather; it is never cached, so its stats (and
 		// the fault counters) are printed directly.
 		cfg := figures.ExperimentConfig(scale)
+		cfg.Groups = arms
 		fc := faults.DefaultScheduleConfig()
 		cfg.Faults = &fc
 		cfg.FaultSeed = figures.ExperimentSeed
@@ -116,6 +127,17 @@ func dispatch(ctx context.Context, out io.Writer, scale figures.Scale, figName s
 	}
 
 	if csvOut {
+		if arms != nil {
+			// Custom arms bypass the shared cached weekend experiment.
+			cfg := figures.ExperimentConfig(scale)
+			cfg.Groups = arms
+			o, err := abtest.RunContext(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			printRunStats(o.Stats)
+			return o.WriteCSV(out)
+		}
 		o, err := figures.ExperimentOutcomeContext(ctx, scale)
 		if err != nil {
 			return err
@@ -152,8 +174,9 @@ func dispatch(ctx context.Context, out io.Writer, scale figures.Scale, figName s
 // layer's per-group constant-memory accumulators, and the per-group report
 // is emitted as JSON. This is the -stream-agg path the campaign runner is
 // built on, exposed at weekend scale.
-func runStreamAgg(ctx context.Context, out io.Writer, scale figures.Scale) error {
+func runStreamAgg(ctx context.Context, out io.Writer, scale figures.Scale, arms []abtest.Group) error {
 	cfg := figures.ExperimentConfig(scale)
+	cfg.Groups = arms
 	if len(cfg.Groups) == 0 {
 		cfg.Groups = abtest.StandardGroups()
 	}
@@ -191,6 +214,21 @@ func runStreamAgg(ctx context.Context, out io.Writer, scale figures.Scale) error
 		reports[gi] = a.Report()
 	}
 	return writeJSON(out, reports)
+}
+
+// parseGroups resolves a comma-separated -groups list against the
+// algorithm registry; empty means "keep the path's default arms" (nil).
+func parseGroups(groups string) ([]abtest.Group, error) {
+	if groups == "" {
+		return nil, nil
+	}
+	var names []string
+	for _, name := range strings.Split(groups, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	return abtest.Groups(names...)
 }
 
 func writeJSON(out io.Writer, v any) error {

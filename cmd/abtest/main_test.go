@@ -13,7 +13,7 @@ import (
 
 func TestList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, "quick", "", true, false, false, false, false); err != nil {
+	if err := run(context.Background(), &out, "quick", "", "", true, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Fig07RebufferRateBBA0", "Figure 18", "SharedLinkFairness"} {
@@ -25,7 +25,7 @@ func TestList(t *testing.T) {
 
 func TestSingleFigure(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, "quick", "Fig10VBRChunkSizes", false, false, false, false, false); err != nil {
+	if err := run(context.Background(), &out, "quick", "Fig10VBRChunkSizes", "", false, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "max-to-average ratio") {
@@ -35,10 +35,10 @@ func TestSingleFigure(t *testing.T) {
 
 func TestBadInputs(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, "enormous", "", false, false, false, false, false); err == nil {
+	if err := run(context.Background(), &out, "enormous", "", "", false, false, false, false, false); err == nil {
 		t.Error("unknown scale accepted")
 	}
-	if err := run(context.Background(), &out, "quick", "Fig99", false, false, false, false, false); err == nil {
+	if err := run(context.Background(), &out, "quick", "Fig99", "", false, false, false, false, false); err == nil {
 		t.Error("unknown figure accepted")
 	}
 }
@@ -48,7 +48,7 @@ func TestBadInputs(t *testing.T) {
 // session retention.
 func TestStreamAgg(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(context.Background(), &out, "quick", "", false, false, false, false, true); err != nil {
+	if err := run(context.Background(), &out, "quick", "", "", false, false, false, false, true); err != nil {
 		t.Fatal(err)
 	}
 	var reports []campaign.GroupReport
@@ -73,6 +73,28 @@ func TestStreamAgg(t *testing.T) {
 	}
 }
 
+// TestStreamAggCustomGroups pins the -groups flag: any registered
+// algorithms can stand in as the experiment arms, and an unknown name is
+// rejected with the registry's enumerating error.
+func TestStreamAggCustomGroups(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), &out, "quick", "", "BBA-2, BOLA", false, false, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	var reports []campaign.GroupReport
+	if err := json.Unmarshal(out.Bytes(), &reports); err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || reports[0].Name != "BBA-2" || reports[1].Name != "BOLA" {
+		t.Errorf("custom arms: %+v", reports)
+	}
+
+	err := run(context.Background(), &out, "quick", "", "BBA-2,nope", false, false, false, false, true)
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown group: %v", err)
+	}
+}
+
 // TestCanceledContext pins the SIGINT path: a canceled context must abort
 // with a non-zero error even when the experiment cache can serve the
 // outcome, and any output produced must carry the truncation marker — the
@@ -81,14 +103,14 @@ func TestCanceledContext(t *testing.T) {
 	// Populate the experiment cache first, so the canceled run below hits
 	// the worst case: output fully available without touching the context.
 	var warm bytes.Buffer
-	if err := run(context.Background(), &warm, "quick", "", false, false, true, false, false); err != nil {
+	if err := run(context.Background(), &warm, "quick", "", "", false, false, true, false, false); err != nil {
 		t.Fatal(err)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var out bytes.Buffer
-	err := run(ctx, &out, "quick", "", false, false, true, false, false)
+	err := run(ctx, &out, "quick", "", "", false, false, true, false, false)
 	if err == nil {
 		t.Fatal("canceled run returned nil (would exit zero)")
 	}
@@ -102,7 +124,7 @@ func TestCanceledContext(t *testing.T) {
 	// The uncached path — dispatch surfaces the cancellation itself (a
 	// different scale misses the warmed cache) — must carry the marker too.
 	var cold bytes.Buffer
-	err = run(ctx, &cold, "full", "", false, false, true, false, false)
+	err = run(ctx, &cold, "full", "", "", false, false, true, false, false)
 	if err == nil || !errors.Is(err, context.Canceled) {
 		t.Fatalf("uncached canceled run: err = %v, want context.Canceled", err)
 	}

@@ -25,7 +25,9 @@ import (
 
 	"bba/internal/abr"
 	"bba/internal/abtest"
+	"bba/internal/arena"
 	"bba/internal/campaign"
+	"bba/internal/faults"
 	"bba/internal/figures"
 	"bba/internal/media"
 	"bba/internal/metrics"
@@ -140,7 +142,37 @@ func benches() []bench {
 		{name: "NetemShaperTake", run: netemBench},
 		{name: "ABHarness", run: harnessBench, heavy: false},
 		{name: "CampaignAccumMerge", run: accumMergeBench},
+		{name: "ArenaTournament", run: arenaBench},
 		{name: "GenerateAllFigures", run: figuresBench, heavy: true},
+	}
+}
+
+// arenaBench measures a 3-way paired tournament under fault weather —
+// every draw streamed once per entrant plus the pairwise delta folds, the
+// unit of work an arena report scales with.
+func arenaBench(quick bool) func(b *testing.B) {
+	sessions := 256
+	if quick {
+		sessions = 48
+	}
+	return func(b *testing.B) {
+		fc := faults.DefaultScheduleConfig()
+		cfg := arena.Config{
+			Seed:       5,
+			FaultSeed:  5,
+			Faults:     &fc,
+			Sessions:   sessions,
+			ShardSize:  16,
+			SketchSize: 256,
+			Entrants:   []string{"BBA-2", "BOLA", "SmoothThroughput"},
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := arena.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

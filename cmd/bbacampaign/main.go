@@ -35,12 +35,15 @@ import (
 	"strings"
 	"time"
 
+	"bba/internal/abr"
+	"bba/internal/abtest"
 	"bba/internal/campaign"
 	"bba/internal/collect"
 	"bba/internal/faults"
 )
 
 type options struct {
+	algos           string
 	sessions        int
 	shardSize       int
 	days            int
@@ -66,6 +69,7 @@ type options struct {
 
 func main() {
 	var o options
+	flag.StringVar(&o.algos, "algos", "", "comma-separated experiment arms (default the paper's standard groups; part of the campaign identity); registered: "+strings.Join(abr.Names(), ", "))
 	flag.IntVar(&o.sessions, "sessions", 10000, "paired session draws (each streamed once per group)")
 	flag.IntVar(&o.shardSize, "shard-size", 1024, "paired sessions per shard (part of the campaign identity)")
 	flag.IntVar(&o.days, "days", 3, "simulated calendar days")
@@ -110,7 +114,22 @@ func run(ctx context.Context, out io.Writer, errw io.Writer, o options) error {
 		return runMerge(out, o)
 	}
 
+	var groups []abtest.Group
+	if o.algos != "" {
+		var names []string
+		for _, name := range strings.Split(o.algos, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		var err error
+		if groups, err = abtest.Groups(names...); err != nil {
+			return err
+		}
+	}
+
 	cfg := campaign.Config{
+		Groups:          groups,
 		Seed:            o.seed,
 		Sessions:        o.sessions,
 		ShardSize:       o.shardSize,

@@ -50,6 +50,31 @@ func TestEndToEndReport(t *testing.T) {
 	}
 }
 
+// TestCustomAlgos pins the -algos flag: any registered algorithms can form
+// the campaign arms, and an unknown name fails with the registry's
+// enumerating error before any session runs.
+func TestCustomAlgos(t *testing.T) {
+	o := testOpts(16)
+	o.algos = "BBA-2, BOLA ,SmoothThroughput"
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, o); err != nil {
+		t.Fatal(err)
+	}
+	var rep campaign.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 3 || rep.Groups[0].Name != "BBA-2" || rep.Groups[1].Name != "BOLA" {
+		t.Errorf("arms: %+v", rep.Groups)
+	}
+
+	o.algos = "BBA-2,nope"
+	err := run(context.Background(), &out, &errw, o)
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown algorithm: %v", err)
+	}
+}
+
 // TestStripesAndMerge runs each stripe as its own CLI invocation, merges
 // the checkpoints with -merge, and compares against the unsharded report.
 func TestStripesAndMerge(t *testing.T) {

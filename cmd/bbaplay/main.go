@@ -16,6 +16,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -33,7 +34,7 @@ import (
 func main() {
 	var (
 		url     = flag.String("url", "http://127.0.0.1:8404", "dashserver base URL")
-		algName = flag.String("alg", "BBA-2", "algorithm name")
+		algName = flag.String("alg", "BBA-2", "algorithm: "+strings.Join(abr.Names(), ", "))
 		watch   = flag.Duration("watch", 30*time.Second, "how much video to watch (real time!)")
 		shape   = flag.Int("shape", 0, "emulated downstream capacity in kb/s (0 = unshaped)")
 		rmin    = flag.Int("rmin", 0, "promoted minimum rate in kb/s")
@@ -51,7 +52,7 @@ func main() {
 }
 
 func run(out io.Writer, url, algName string, watch time.Duration, shapeKbps, rminKbps int, useMPD, whatIf, quiet bool, journalPath string) error {
-	alg, err := abr.NewByName(algName)
+	alg, err := abr.New(algName)
 	if err != nil {
 		return err
 	}
@@ -136,8 +137,8 @@ func printWhatIf(out io.Writer, original *player.Result, watch time.Duration, rm
 	fmt.Fprintf(out, "\nwhat-if on the observed network (virtual-time replay)\n")
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "algorithm\tavg rate\trebuffers\tfrozen\tswitches")
-	for _, name := range []string{"Control", "Rmin Always", "BBA-0", "BBA-1", "BBA-2", "BBA-Others"} {
-		alg, err := abr.NewByName(name)
+	for _, name := range abr.Names() {
+		alg, err := abr.New(name)
 		if err != nil {
 			return err
 		}

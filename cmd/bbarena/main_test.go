@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bba/internal/abr"
+	"bba/internal/arena"
+)
+
+func testOptions() options {
+	return options{
+		algos:     "BBA-2,BOLA,SmoothThroughput",
+		sessions:  24,
+		shardSize: 8,
+		days:      1,
+		seed:      7,
+		faultSeed: 7,
+		faultsOn:  true,
+		sketch:    64,
+	}
+}
+
+func TestRunTable(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, testOptions()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"3 entrants", "BBA-2 vs BOLA", "head-to-head"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	o := testOptions()
+	o.jsonOut = true
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, o); err != nil {
+		t.Fatal(err)
+	}
+	var r arena.Report
+	if err := json.Unmarshal(out.Bytes(), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != arena.ReportSchema || len(r.Matches) != 3 {
+		t.Errorf("schema %q, %d matches", r.Schema, len(r.Matches))
+	}
+}
+
+func TestRunList(t *testing.T) {
+	o := options{list: true}
+	var out, errw bytes.Buffer
+	if err := run(context.Background(), &out, &errw, o); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	names := abr.Names()
+	if len(lines) != len(names) {
+		t.Fatalf("-list printed %d lines for %d registered algorithms:\n%s", len(lines), len(names), out.String())
+	}
+	for i, name := range names {
+		if lines[i] != name {
+			t.Errorf("line %d = %q, want %q", i, lines[i], name)
+		}
+	}
+}
+
+func TestParseEntrants(t *testing.T) {
+	if got, err := parseEntrants(""); err != nil || len(got) != len(defaultField) {
+		t.Errorf("default field: %v, %v", got, err)
+	}
+	all, err := parseEntrants("all")
+	if err != nil || len(all) != len(abr.Names()) {
+		t.Errorf("all: %v, %v", all, err)
+	}
+	if _, err := parseEntrants("BBA-2,nope"); err == nil {
+		t.Error("unknown entrant accepted")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error does not name the bad entrant: %v", err)
+	}
+	got, err := parseEntrants(" BBA-2 , BOLA ,")
+	if err != nil || len(got) != 2 || got[0] != "BBA-2" || got[1] != "BOLA" {
+		t.Errorf("whitespace/trailing comma: %v, %v", got, err)
+	}
+}
+
+// TestDefaultFieldRegistered: every default entrant must stay registered.
+func TestDefaultFieldRegistered(t *testing.T) {
+	for _, name := range defaultField {
+		if _, err := abr.New(name); err != nil {
+			t.Errorf("default entrant %q: %v", name, err)
+		}
+	}
+}

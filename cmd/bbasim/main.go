@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		algName  = flag.String("alg", "BBA-2", "algorithm: Control, Rmin Always, Rmax Always, BBA-0, BBA-1, BBA-2, BBA-Others")
+		algName  = flag.String("alg", "BBA-2", "algorithm: "+strings.Join(abr.Names(), ", "))
 		capacity = flag.Int("capacity", 4000, "link capacity in kb/s (base rate for the variable scenario)")
 		scenario = flag.String("scenario", "constant", "network scenario: constant, step, variable, outage")
 		ratio    = flag.Float64("ratio", 5.6, "75th/25th percentile throughput ratio for the variable scenario")
@@ -47,7 +48,7 @@ func main() {
 }
 
 func run(out io.Writer, algName string, capacityKbps int, scenario string, ratio float64, watch time.Duration, chunks int, seed int64, rminKbps int, traceCSV, chunkCSV, ladderSpec string, verbose bool) error {
-	alg, err := abr.NewByName(algName)
+	alg, err := abr.New(algName)
 	if err != nil {
 		return err
 	}

@@ -28,7 +28,6 @@
 package abr
 
 import (
-	"fmt"
 	"time"
 
 	"bba/internal/media"
@@ -139,33 +138,6 @@ type ReservoirReporter interface {
 	// recent decision. ok is false before the first decision computes a
 	// chunk map.
 	LastReservoir() (reservoir, protection time.Duration, ok bool)
-}
-
-// Registry maps the experiment group names used throughout the paper to
-// factories. NewByName returns an error for unknown names.
-func NewByName(name string) (Algorithm, error) {
-	switch name {
-	case "Control":
-		return NewControl(), nil
-	case "Rmin Always":
-		return RminAlways{}, nil
-	case "Rmax Always":
-		return RmaxAlways{}, nil
-	case "BBA-0":
-		return NewBBA0(), nil
-	case "BBA-1":
-		return NewBBA1(), nil
-	case "BBA-2":
-		return NewBBA2(), nil
-	case "BBA-Others":
-		return NewBBAOthers(), nil
-	case "PID":
-		return NewBufferTarget(), nil
-	case "ELASTIC":
-		return NewElastic(), nil
-	default:
-		return nil, fmt.Errorf("abr: unknown algorithm %q", name)
-	}
 }
 
 // RminAlways streams at the lowest rate forever — the paper's Group 2,

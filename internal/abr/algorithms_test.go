@@ -16,23 +16,6 @@ func stateAt(buf time.Duration, prev, k int) State {
 	}
 }
 
-func TestNewByName(t *testing.T) {
-	names := []string{"Control", "Rmin Always", "Rmax Always", "BBA-0", "BBA-1", "BBA-2", "BBA-Others"}
-	for _, n := range names {
-		a, err := NewByName(n)
-		if err != nil {
-			t.Errorf("NewByName(%q): %v", n, err)
-			continue
-		}
-		if a.Name() != n {
-			t.Errorf("NewByName(%q).Name() = %q", n, a.Name())
-		}
-	}
-	if _, err := NewByName("BOLA"); err == nil {
-		t.Error("unknown algorithm accepted")
-	}
-}
-
 func TestDegenerateBaselines(t *testing.T) {
 	s := cbrStream(t)
 	if got := (RminAlways{}).Next(stateAt(100*time.Second, 5, 3), s); got != 0 {

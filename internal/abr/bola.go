@@ -1,0 +1,137 @@
+package abr
+
+import (
+	"math"
+	"time"
+)
+
+// BOLA is the buffer-level Lyapunov controller of Spiteri, Urgaonkar and
+// Sitaraman, "BOLA: Near-Optimal Bitrate Adaptation for Online Videos"
+// (arXiv:1601.06748) — the strongest published pure buffer-based rival to
+// the BBA family, and like BBA it ignores capacity estimates entirely in
+// steady state.
+//
+// Each decision maximizes the Lyapunov drift-plus-penalty score over the
+// session ladder:
+//
+//	score_m(Q) = (V·(v_m + γ) − Q) / S_m
+//
+// where Q is the buffer occupancy in seconds, S_m the nominal chunk size of
+// rung m, v_m = ln(S_m/S_0) the logarithmic utility (v_0 = 0), V the
+// control gain trading utility against buffer deviation and γ the
+// rebuffer-avoidance weight (the paper's γp product, folded into one
+// parameter). The pairwise boundary where rung m+1 overtakes rung m is
+//
+//	Q_{m,m+1} = V·(α_m + γ),   α_m = (S_{m+1}·v_m − S_m·v_{m+1}) / (S_{m+1} − S_m)
+//
+// so for log utilities the thresholds ascend with m and the selected rung
+// is a monotone step function of the buffer — BOLA is a chunk map in the
+// paper's Section 5 sense, derived from utility maximization instead of
+// drawn geometrically.
+//
+// V and γ come from the paper's design procedure: pick the buffer levels
+// the two extreme boundaries should sit at and solve the two linear
+// equations. Q_{0,1} = QLow places the last all-R_min level (BBA's
+// reservoir analogue); Q_{top−1,top} = QHigh places the level where R_max
+// becomes optimal (the ramp end):
+//
+//	V = (QHigh − QLow) / (α_top − α_0),   γ = QLow/V − α_0
+//
+// The derivation is recomputed once per session from the (possibly
+// R_min-promoted) ladder's nominal chunk sizes and the session's BufferMax.
+type BOLA struct {
+	// QLow is the buffer level of the R_min↔next boundary: below it BOLA
+	// always requests R_min (default 10 s).
+	QLow time.Duration
+	// QHigh is the buffer level at which R_max becomes optimal. Zero
+	// derives it as QHighFraction of the session's BufferMax.
+	QHigh time.Duration
+	// QHighFraction positions QHigh when QHigh is zero (default 0.9, the
+	// same fraction at which BBA-0's rate map reaches R_max).
+	QHighFraction float64
+
+	v, gamma float64
+	scores   []float64 // scratch: V·(v_m + γ) per rung
+	sizes    []float64
+	derived  bool
+}
+
+// NewBOLA returns the controller with the published design defaults.
+func NewBOLA() *BOLA {
+	return &BOLA{QLow: 10 * time.Second, QHighFraction: 0.9}
+}
+
+// Name implements Algorithm.
+func (b *BOLA) Name() string { return "BOLA" }
+
+// derive solves the V/γ system for the session ladder.
+func (b *BOLA) derive(st State, s Stream) {
+	l := s.Ladder()
+	m := len(l)
+	b.sizes = make([]float64, m)
+	utils := make([]float64, m)
+	for i := 0; i < m; i++ {
+		b.sizes[i] = float64(s.NominalChunkSize(i))
+		utils[i] = math.Log(b.sizes[i] / b.sizes[0])
+	}
+	qLow := b.QLow.Seconds()
+	qHigh := b.QHigh.Seconds()
+	if b.QHigh == 0 {
+		qHigh = b.QHighFraction * st.BufferMax.Seconds()
+	}
+	if qHigh <= qLow {
+		qHigh = qLow + 1
+	}
+	alpha := func(i int) float64 {
+		return (b.sizes[i+1]*utils[i] - b.sizes[i]*utils[i+1]) / (b.sizes[i+1] - b.sizes[i])
+	}
+	b.v = qHigh - qLow
+	var a0 float64
+	if m >= 2 {
+		a0 = alpha(0)
+		if aTop := alpha(m - 2); aTop > a0 {
+			b.v = (qHigh - qLow) / (aTop - a0)
+		}
+	}
+	b.gamma = qLow/b.v - a0
+	b.scores = make([]float64, m)
+	for i := 0; i < m; i++ {
+		b.scores[i] = b.v * (utils[i] + b.gamma)
+	}
+	b.derived = true
+}
+
+// Next implements Algorithm: argmax of the drift-plus-penalty score. Ties
+// resolve to the lower rate, the stable choice.
+func (b *BOLA) Next(st State, s Stream) int {
+	if !b.derived {
+		b.derive(st, s)
+	}
+	q := st.Buffer.Seconds()
+	best, bestScore := 0, math.Inf(-1)
+	for i := range b.scores {
+		if score := (b.scores[i] - q) / b.sizes[i]; score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// Thresholds returns the derived buffer boundaries Q_{m,m+1} between
+// adjacent rungs, in seconds — the closed form the expectation tests pin.
+// It derives on first use from the given state and stream.
+func (b *BOLA) Thresholds(st State, s Stream) []float64 {
+	if !b.derived {
+		b.derive(st, s)
+	}
+	m := len(b.sizes)
+	if m < 2 {
+		return nil
+	}
+	out := make([]float64, m-1)
+	for i := 0; i < m-1; i++ {
+		// score_i(Q) = score_{i+1}(Q) solved for Q.
+		out[i] = (b.sizes[i+1]*b.scores[i] - b.sizes[i]*b.scores[i+1]) / (b.sizes[i+1] - b.sizes[i])
+	}
+	return out
+}

@@ -102,6 +102,9 @@ func NewAggressiveControl() *Control {
 // Name implements Algorithm.
 func (c *Control) Name() string { return "Control" }
 
+// SeedCapacity implements CapacitySeeded: the stored history primes Ĉ.
+func (c *Control) SeedCapacity(r units.BitRate) { c.InitialEstimate = r }
+
 // Estimate returns the current capacity estimate Ĉ.
 func (c *Control) Estimate() units.BitRate { return c.est }
 

@@ -1,0 +1,60 @@
+package abr
+
+import (
+	"time"
+
+	"bba/internal/units"
+)
+
+var _ CapacitySeeded = (*Hybrid)(nil)
+
+// Hybrid switches signal by regime, the design dash.js ships as DYNAMIC:
+// while the buffer is below SwitchBuffer the throughput rule decides — a
+// thin buffer carries little information and the estimate is the only way
+// to ramp quickly — and once the buffer clears SwitchBuffer the buffer-based
+// BOLA controller takes over, where occupancy is the more reliable signal.
+// This is the same division of labour as BBA-2's startup/steady-state split,
+// reached from the capacity-estimation side, which makes it the natural
+// third rival for the arena: it brackets the design space between the pure
+// throughput rule and the pure buffer rules.
+//
+// The throughput estimator observes every chunk even while BOLA is in
+// charge, so a drop back below SwitchBuffer resumes with a warm window.
+type Hybrid struct {
+	// SwitchBuffer is the occupancy at and above which BOLA decides.
+	SwitchBuffer time.Duration
+
+	tput *SmoothThroughput
+	bola *BOLA
+}
+
+// NewHybrid returns the combined controller with its components at their
+// published defaults and a 10 s handover buffer.
+func NewHybrid() *Hybrid {
+	return &Hybrid{
+		SwitchBuffer: 10 * time.Second,
+		tput:         NewSmoothThroughput(),
+		bola:         NewBOLA(),
+	}
+}
+
+// Name implements Algorithm.
+func (h *Hybrid) Name() string { return "Hybrid" }
+
+// SeedCapacity implements CapacitySeeded: history primes the throughput leg.
+func (h *Hybrid) SeedCapacity(r units.BitRate) { h.tput.SeedCapacity(r) }
+
+// Next implements Algorithm.
+func (h *Hybrid) Next(st State, s Stream) int {
+	h.tput.Observe(st.LastThroughput)
+	if st.Buffer >= h.SwitchBuffer {
+		return h.bola.Next(st, s)
+	}
+	est := h.tput.Estimate()
+	if est == 0 {
+		return 0
+	}
+	// Below the handover buffer the throughput rule is already the
+	// conservative regime; its safety factor is the only cap needed.
+	return s.Ladder().HighestAtMost(est)
+}

@@ -49,6 +49,9 @@ func NewBufferTarget() *BufferTarget {
 // Name implements Algorithm.
 func (c *BufferTarget) Name() string { return "PID" }
 
+// SeedCapacity implements CapacitySeeded.
+func (c *BufferTarget) SeedCapacity(r units.BitRate) { c.InitialEstimate = r }
+
 // Next implements Algorithm.
 func (c *BufferTarget) Next(st State, s Stream) int {
 	l := s.Ladder()
@@ -114,6 +117,9 @@ func NewElastic() *Elastic {
 
 // Name implements Algorithm.
 func (c *Elastic) Name() string { return "ELASTIC" }
+
+// SeedCapacity implements CapacitySeeded.
+func (c *Elastic) SeedCapacity(r units.BitRate) { c.InitialEstimate = r }
 
 // Next implements Algorithm.
 func (c *Elastic) Next(st State, s Stream) int {

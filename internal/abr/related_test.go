@@ -111,9 +111,9 @@ func TestElasticPanic(t *testing.T) {
 
 func TestRelatedByName(t *testing.T) {
 	for _, name := range []string{"PID", "ELASTIC"} {
-		a, err := NewByName(name)
+		a, err := New(name)
 		if err != nil {
-			t.Fatalf("NewByName(%q): %v", name, err)
+			t.Fatalf("New(%q): %v", name, err)
 		}
 		if a.Name() != name {
 			t.Errorf("Name() = %q, want %q", a.Name(), name)

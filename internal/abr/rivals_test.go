@@ -1,0 +1,372 @@
+package abr
+
+// Closed-form expectation tests for the arena rivals: BOLA's derived
+// thresholds are pinned against the paper's V/γ design equations, the
+// throughput rule against the exact harmonic mean, and the hybrid against
+// its two component regimes. Constant-trace simulations then pin the
+// steady states those closed forms predict.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bba/internal/units"
+)
+
+// TestBOLAThresholdsClosedForm recomputes the V/γ design by hand on a CBR
+// title and pins the derived rung boundaries against the implementation:
+// the bottom boundary sits at QLow, the top at QHighFraction·BufferMax, and
+// the interior follows Q_{i,i+1} = V·(α_i + γ) with strictly ascending
+// levels (BOLA is a chunk map).
+func TestBOLAThresholdsClosedForm(t *testing.T) {
+	s := cbrStream(t)
+	st := stateAt(0, -1, 0)
+	b := NewBOLA()
+	got := b.Thresholds(st, s)
+	m := len(s.Ladder())
+	if len(got) != m-1 {
+		t.Fatalf("got %d thresholds for a %d-rung ladder", len(got), m)
+	}
+
+	// Independent recompute of the design equations.
+	size := make([]float64, m)
+	util := make([]float64, m)
+	for i := 0; i < m; i++ {
+		size[i] = float64(s.NominalChunkSize(i))
+		util[i] = math.Log(size[i] / size[0])
+	}
+	alpha := func(i int) float64 {
+		return (size[i+1]*util[i] - size[i]*util[i+1]) / (size[i+1] - size[i])
+	}
+	qLow, qHigh := 10.0, 0.9*240.0
+	v := (qHigh - qLow) / (alpha(m-2) - alpha(0))
+	gamma := qLow/v - alpha(0)
+	for i := 0; i < m-1; i++ {
+		want := v * (alpha(i) + gamma)
+		if math.Abs(got[i]-want) > 1e-6 {
+			t.Errorf("threshold[%d] = %.6f, want %.6f", i, got[i], want)
+		}
+	}
+
+	// The two anchors of the design.
+	if math.Abs(got[0]-qLow) > 1e-6 {
+		t.Errorf("bottom threshold = %.6f, want QLow = %v", got[0], qLow)
+	}
+	if math.Abs(got[m-2]-qHigh) > 1e-6 {
+		t.Errorf("top threshold = %.6f, want 0.9·BufferMax = %v", got[m-2], qHigh)
+	}
+	for i := 1; i < m-1; i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("thresholds not ascending: [%d]=%.3f, [%d]=%.3f", i-1, got[i-1], i, got[i])
+		}
+	}
+}
+
+// TestBOLADecisionIsStepFunction sweeps the buffer and checks the argmax
+// equals the rung the closed-form thresholds predict — monotone
+// nondecreasing, R_min below QLow, R_max above QHigh.
+func TestBOLADecisionIsStepFunction(t *testing.T) {
+	s := cbrStream(t)
+	b := NewBOLA()
+	thr := b.Thresholds(stateAt(0, -1, 0), s)
+	top := len(s.Ladder()) - 1
+	prevDecision := 0
+	for q := time.Duration(0); q <= 240*time.Second; q += 250 * time.Millisecond {
+		got := b.Next(stateAt(q, 3, 10), s)
+		want, ambiguous := 0, false
+		for i, boundary := range thr {
+			if math.Abs(q.Seconds()-boundary) < 1e-9 {
+				// Exactly on a boundary the two rungs' scores tie up to
+				// floating-point noise; either side is correct.
+				ambiguous = true
+			}
+			if q.Seconds() > boundary {
+				want = i + 1
+			}
+		}
+		if ambiguous {
+			continue
+		}
+		if got != want {
+			t.Fatalf("Q=%v: decision %d, closed form predicts %d", q, got, want)
+		}
+		if got < prevDecision {
+			t.Fatalf("Q=%v: decision fell from %d to %d on a rising buffer", q, prevDecision, got)
+		}
+		prevDecision = got
+	}
+	if got := b.Next(stateAt(0, -1, 0), s); got != 0 {
+		t.Errorf("empty buffer: decision %d, want R_min", got)
+	}
+	if got := b.Next(stateAt(240*time.Second, top, 50), s); got != top {
+		t.Errorf("full buffer: decision %d, want R_max (%d)", got, top)
+	}
+}
+
+// TestBOLADegenerateLadders: one rung always picks it; two rungs use the
+// fallback gain without dividing by zero.
+func TestBOLADegenerateLadders(t *testing.T) {
+	one := promotedStream(t, 5000*units.Kbps) // only the top rung survives
+	b := NewBOLA()
+	if got := b.Next(stateAt(50*time.Second, -1, 0), one); got != 0 {
+		t.Errorf("single-rung ladder: decision %d", got)
+	}
+	two := promotedStream(t, 4300*units.Kbps) // 4300, 5000
+	b2 := NewBOLA()
+	for q := time.Duration(0); q <= 240*time.Second; q += time.Second {
+		got := b2.Next(stateAt(q, 0, 1), two)
+		if got < 0 || got > 1 {
+			t.Fatalf("two-rung ladder: decision %d at Q=%v", got, q)
+		}
+	}
+}
+
+// promotedStream is a CBR stream with the footnote-3 R_min promotion
+// applied — the way short ladders arise in practice.
+func promotedStream(t *testing.T, rmin units.BitRate) Stream {
+	t.Helper()
+	full := cbrStream(t)
+	return NewStream(full.Video(), rmin)
+}
+
+// constantSession drives an algorithm through a session against a constant
+// capacity, using the same buffer dynamics as the invariant harness, and
+// returns the decision sequence.
+func constantSession(t *testing.T, alg Algorithm, s Stream, capacity units.BitRate, chunks int) []int {
+	t.Helper()
+	const bufferMax = 240 * time.Second
+	buffer := time.Duration(0)
+	prev := -1
+	var lastDl time.Duration
+	var lastTP units.BitRate
+	decisions := make([]int, 0, chunks)
+	for k := 0; k < chunks; k++ {
+		st := State{
+			Now:            time.Duration(k) * 4 * time.Second,
+			Buffer:         buffer,
+			BufferMax:      bufferMax,
+			PrevIndex:      prev,
+			NextChunk:      k,
+			LastDownload:   lastDl,
+			LastThroughput: lastTP,
+		}
+		d := alg.Next(st, s)
+		if d < 0 || d >= len(s.Ladder()) {
+			t.Fatalf("chunk %d: decision %d outside the ladder", k, d)
+		}
+		decisions = append(decisions, d)
+		size := s.ChunkSize(d, k%s.NumChunks())
+		lastDl = capacity.DurationFor(size)
+		lastTP = capacity
+		buffer += 4*time.Second - lastDl
+		if buffer < 0 {
+			buffer = 0
+		}
+		if buffer > bufferMax {
+			buffer = bufferMax
+		}
+		prev = d
+	}
+	return decisions
+}
+
+// TestBOLAConstantTraceExpectation pins the steady states the threshold
+// design predicts: with ample capacity the buffer pins at B_max above the
+// top threshold, so BOLA streams R_max; with capacity between two rungs the
+// buffer equilibrates at their boundary, so BOLA oscillates between exactly
+// those two rungs.
+func TestBOLAConstantTraceExpectation(t *testing.T) {
+	s := cbrStream(t)
+	top := len(s.Ladder()) - 1
+
+	ample := constantSession(t, NewBOLA(), s, 100*units.Mbps, 400)
+	for k, d := range ample[200:] {
+		if d != top {
+			t.Fatalf("ample capacity, chunk %d: decision %d, want steady R_max", 200+k, d)
+		}
+	}
+
+	// 2 Mb/s sits between the 1750 and 2350 kb/s rungs (indexes 5, 6).
+	mid := constantSession(t, NewBOLA(), s, 2*units.Mbps, 400)
+	seen := map[int]bool{}
+	for k, d := range mid[200:] {
+		if d != 5 && d != 6 {
+			t.Fatalf("2 Mb/s capacity, chunk %d: decision %d, want oscillation between rungs 5 and 6", 200+k, d)
+		}
+		seen[d] = true
+	}
+	if !seen[5] || !seen[6] {
+		t.Errorf("2 Mb/s capacity: steady decisions %v, want both boundary rungs", seen)
+	}
+}
+
+// TestSmoothThroughputClosedForm pins the selection rule exactly: the
+// harmonic mean of the window, discounted by the safety factor, looked up
+// on the ladder.
+func TestSmoothThroughputClosedForm(t *testing.T) {
+	s := cbrStream(t)
+	l := s.Ladder()
+
+	// Constant samples: harmonic mean is the sample, so the pick is
+	// HighestAtMost(0.9 × 3000) = HighestAtMost(2700) = 2350 (index 6).
+	c := NewSmoothThroughput()
+	var got int
+	for k := 0; k < 8; k++ {
+		st := stateAt(60*time.Second, got, k)
+		if k == 0 {
+			st = stateAt(0, -1, 0)
+		} else {
+			st.LastThroughput = 3000 * units.Kbps
+		}
+		got = c.Next(st, s)
+	}
+	if want := l.HighestAtMost(2700 * units.Kbps); got != want || l[got] != 2350*units.Kbps {
+		t.Errorf("constant 3 Mb/s: decision %d (%v), want %d (2350 kb/s)", got, l[got], want)
+	}
+
+	// Mixed window: samples 1 and 3 Mb/s have harmonic mean 1.5 Mb/s
+	// (the arithmetic mean would say 2), so the pick is
+	// HighestAtMost(0.9 × 1500) = HighestAtMost(1350) = 1050.
+	c2 := NewSmoothThroughput()
+	c2.Observe(1 * units.Mbps)
+	c2.Observe(3 * units.Mbps)
+	st := stateAt(60*time.Second, 4, 5)
+	if got := c2.Next(st, s); l[got] != 1050*units.Kbps {
+		t.Errorf("mixed window: decision %d (%v), want the 1050 kb/s rung", got, l[got])
+	}
+
+	// The window slides: after Window samples of 3 Mb/s the old 1 Mb/s
+	// sample must be gone and the pick recovers to 2350.
+	c3 := NewSmoothThroughput()
+	c3.Observe(1 * units.Mbps)
+	for i := 0; i < c3.Window; i++ {
+		c3.Observe(3 * units.Mbps)
+	}
+	if got := c3.Next(stateAt(60*time.Second, 4, 9), s); l[got] != 2350*units.Kbps {
+		t.Errorf("slid window: decision %d (%v), want the 2350 kb/s rung", got, l[got])
+	}
+}
+
+// TestSmoothThroughputSeedAndPanic: seeded history drives the first pick;
+// the panic floor overrides everything.
+func TestSmoothThroughputSeedAndPanic(t *testing.T) {
+	s := cbrStream(t)
+	l := s.Ladder()
+	c := NewSmoothThroughput()
+	c.SeedCapacity(3 * units.Mbps)
+	if got := c.Next(stateAt(0, -1, 0), s); l[got] != 2350*units.Kbps {
+		t.Errorf("seeded first pick = %d (%v), want the 2350 kb/s rung", got, l[got])
+	}
+	if got := c.Next(stateAt(5*time.Second, 6, 1), s); got != 0 {
+		t.Errorf("panic pick = %d, want R_min", got)
+	}
+	// No history, no samples: only R_min is safe.
+	if got := NewSmoothThroughput().Next(stateAt(0, -1, 0), s); got != 0 {
+		t.Errorf("uninformed first pick = %d, want R_min", got)
+	}
+	// Constant-trace steady state: exactly the closed-form rung, forever.
+	// The first few chunks ride the panic floor while the buffer builds
+	// past PanicBuffer at ~3.7 s per R_min chunk.
+	steady := constantSession(t, NewSmoothThroughput(), s, 3*units.Mbps, 100)
+	for k, d := range steady[4:] {
+		if l[d] != 2350*units.Kbps {
+			t.Fatalf("constant trace, chunk %d: decision %d, want the 2350 kb/s rung", 4+k, d)
+		}
+	}
+}
+
+// TestHybridRegimes pins the handover: below SwitchBuffer the hybrid
+// decides exactly like the throughput rule fed the same samples; at and
+// above it, exactly like BOLA.
+func TestHybridRegimes(t *testing.T) {
+	s := cbrStream(t)
+	h := NewHybrid()
+	tput := NewSmoothThroughput()
+	bola := NewBOLA()
+
+	// Low-buffer regime, with warm estimators on both sides.
+	low := stateAt(6*time.Second, 2, 4)
+	low.LastThroughput = 2 * units.Mbps
+	tput.Observe(low.LastThroughput)
+	if got, want := h.Next(low, s), s.Ladder().HighestAtMost(tput.Estimate()); got != want {
+		t.Errorf("low buffer: hybrid chose %d, throughput rule %d", got, want)
+	}
+
+	// High-buffer regime: BOLA decides; the throughput estimate is
+	// irrelevant however high it is.
+	high := stateAt(100*time.Second, 2, 5)
+	high.LastThroughput = 50 * units.Mbps
+	if got, want := h.Next(high, s), bola.Next(high, s); got != want {
+		t.Errorf("high buffer: hybrid chose %d, BOLA %d", got, want)
+	}
+
+	// Uninformed cold start below the handover: R_min.
+	if got := NewHybrid().Next(stateAt(0, -1, 0), s); got != 0 {
+		t.Errorf("cold start = %d, want R_min", got)
+	}
+
+	// Ample constant capacity: the hybrid must reach and hold R_max just
+	// like its BOLA leg (the throughput leg only runs the first seconds).
+	steady := constantSession(t, NewHybrid(), s, 100*units.Mbps, 400)
+	top := len(s.Ladder()) - 1
+	for k, d := range steady[200:] {
+		if d != top {
+			t.Fatalf("ample capacity, chunk %d: decision %d, want steady R_max", 200+k, d)
+		}
+	}
+}
+
+// The rivals share the invariant harness: ladder-validity on random
+// sessions (checked by driveSession itself) plus each design's own floor.
+func TestQuickInvariantsRivals(t *testing.T) {
+	t.Run("BOLA", func(t *testing.T) {
+		f := func(seed int64) bool {
+			alg := NewBOLA()
+			ok := true
+			driveSession(t, seed, alg, func(step int, st State, decision int) {
+				// Below the bottom anchor BOLA must stream R_min.
+				if st.Buffer < alg.QLow && decision != 0 {
+					ok = false
+				}
+			})
+			return ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("SmoothThroughput", func(t *testing.T) {
+		f := func(seed int64) bool {
+			alg := NewSmoothThroughput()
+			ok := true
+			driveSession(t, seed, alg, func(step int, st State, decision int) {
+				if st.PrevIndex >= 0 && st.Buffer < alg.PanicBuffer && decision != 0 {
+					ok = false
+				}
+			})
+			return ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("Hybrid", func(t *testing.T) {
+		f := func(seed int64) bool {
+			alg := NewHybrid()
+			ok := true
+			driveSession(t, seed, alg, func(step int, st State, decision int) {
+				// Ladder bounds come from the harness; the hybrid's own
+				// promise is R_min when uninformed below the handover.
+				if st.PrevIndex < 0 && st.Buffer < alg.SwitchBuffer && decision != 0 {
+					ok = false
+				}
+			})
+			return ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package abr
+
+import (
+	"time"
+
+	"bba/internal/units"
+)
+
+// SmoothThroughput is the canonical capacity-rule rival: pick the highest
+// ladder rate no greater than Safety times the harmonic mean of the last
+// Window per-chunk throughputs. The harmonic mean is the standard smoothed
+// estimator of the rate-selection literature (FESTIVE, and the throughput
+// rule inside dash.js): it is deliberately pessimistic under variability,
+// because slow samples dominate the mean, which is exactly the bias a
+// capacity rule wants when the cost of over-estimating is a rebuffer.
+//
+// Unlike Control it has no buffer-dependent adjustment function at all —
+// the buffer appears only as a panic floor — making it the cleanest
+// pure-throughput arm for the arena: any quality gap against the
+// buffer-based algorithms is attributable to the signal, not to tuning.
+type SmoothThroughput struct {
+	// Window is the harmonic-mean depth in samples.
+	Window int
+	// Safety discounts the estimate before the ladder lookup (0.9 keeps
+	// 10% headroom, the conventional choice).
+	Safety float64
+	// PanicBuffer floors the selection at R_min when nearly dry.
+	PanicBuffer time.Duration
+	// InitialEstimate seeds the estimator (stored history).
+	InitialEstimate units.BitRate
+
+	samples []units.BitRate
+}
+
+// NewSmoothThroughput returns the rule with the conventional shape: a
+// 5-sample harmonic window and a 0.9 safety factor.
+func NewSmoothThroughput() *SmoothThroughput {
+	return &SmoothThroughput{
+		Window:      5,
+		Safety:      0.9,
+		PanicBuffer: 10 * time.Second,
+	}
+}
+
+// Name implements Algorithm.
+func (c *SmoothThroughput) Name() string { return "SmoothThroughput" }
+
+// SeedCapacity implements CapacitySeeded.
+func (c *SmoothThroughput) SeedCapacity(r units.BitRate) { c.InitialEstimate = r }
+
+// Observe feeds one throughput sample into the window without making a
+// decision; the Hybrid uses it to keep the estimator warm while BOLA is in
+// charge.
+func (c *SmoothThroughput) Observe(sample units.BitRate) {
+	if sample <= 0 {
+		return
+	}
+	c.samples = append(c.samples, sample)
+	if len(c.samples) > c.Window {
+		c.samples = c.samples[1:]
+	}
+}
+
+// Estimate returns the discounted harmonic-mean estimate, falling back to
+// the seeded history before the first sample. Zero means no information.
+func (c *SmoothThroughput) Estimate() units.BitRate {
+	est := c.harmonic()
+	if est == 0 {
+		est = c.InitialEstimate
+	}
+	return est.Scale(c.Safety)
+}
+
+// Next implements Algorithm.
+func (c *SmoothThroughput) Next(st State, s Stream) int {
+	c.Observe(st.LastThroughput)
+	est := c.Estimate()
+	if est == 0 || (st.PrevIndex >= 0 && st.Buffer < c.PanicBuffer) {
+		return 0
+	}
+	return s.Ladder().HighestAtMost(est)
+}
+
+// harmonic returns the harmonic mean of the sample window, 0 when empty.
+func (c *SmoothThroughput) harmonic() units.BitRate {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	var invSum float64
+	for _, s := range c.samples {
+		invSum += 1 / float64(s)
+	}
+	return units.BitRate(float64(len(c.samples)) / invSum)
+}

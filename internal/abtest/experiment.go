@@ -29,20 +29,15 @@ type Group struct {
 
 // StandardGroups returns the arms used across the paper's three
 // experiments: the production Control, the R_min Always lower bound, and
-// the four buffer-based algorithms.
+// the four buffer-based algorithms. They come out of the registry via the
+// same FactoryGroup path every other arm uses; Control is CapacitySeeded,
+// so it (and only it, among these six) is primed with the user's history.
 func StandardGroups() []Group {
-	return []Group{
-		{Name: "Control", New: func(u User) abr.Algorithm {
-			c := abr.NewControl()
-			c.InitialEstimate = u.History
-			return c
-		}},
-		{Name: "Rmin Always", New: func(User) abr.Algorithm { return abr.RminAlways{} }},
-		{Name: "BBA-0", New: func(User) abr.Algorithm { return abr.NewBBA0() }},
-		{Name: "BBA-1", New: func(User) abr.Algorithm { return abr.NewBBA1() }},
-		{Name: "BBA-2", New: func(User) abr.Algorithm { return abr.NewBBA2() }},
-		{Name: "BBA-Others", New: func(User) abr.Algorithm { return abr.NewBBAOthers() }},
+	gs, err := Groups("Control", "Rmin Always", "BBA-0", "BBA-1", "BBA-2", "BBA-Others")
+	if err != nil {
+		panic(err) // the built-in names are always registered
 	}
+	return gs
 }
 
 // Config describes one experiment run.

@@ -1,0 +1,52 @@
+package abtest
+
+import (
+	"fmt"
+
+	"bba/internal/abr"
+)
+
+// FactoryGroup adapts a per-session factory into an experiment arm. It is
+// the one code path between the algorithm registry and every batch runner
+// (A/B harness, campaigns, the arena): the factory builds a fresh state
+// machine per session, and when the algorithm is CapacitySeeded the user's
+// stored throughput history primes it — the production seeding previously
+// hand-wired per group.
+func FactoryGroup(name string, f abr.Factory) Group {
+	return Group{Name: name, New: func(u User) abr.Algorithm {
+		a := f()
+		if cs, ok := a.(abr.CapacitySeeded); ok {
+			cs.SeedCapacity(u.History)
+		}
+		return a
+	}}
+}
+
+// GroupFor builds the arm for a registered algorithm name; unknown names
+// return the registry's enumerating error.
+func GroupFor(name string) (Group, error) {
+	f, ok := abr.Lookup(name)
+	if !ok {
+		_, err := abr.New(name) // canonical unknown-name error
+		return Group{}, err
+	}
+	return FactoryGroup(name, f), nil
+}
+
+// Groups builds arms for the named algorithms, in the given order. At least
+// one name is required: an experiment with no arms is a configuration
+// error, not an empty result.
+func Groups(names ...string) ([]Group, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("abtest: no algorithm names given")
+	}
+	gs := make([]Group, len(names))
+	for i, name := range names {
+		g, err := GroupFor(name)
+		if err != nil {
+			return nil, err
+		}
+		gs[i] = g
+	}
+	return gs, nil
+}

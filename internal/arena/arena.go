@@ -1,0 +1,269 @@
+package arena
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"bba/internal/abtest"
+	"bba/internal/campaign"
+	"bba/internal/faults"
+	"bba/internal/media"
+	"bba/internal/stats"
+	"bba/internal/telemetry"
+)
+
+// Config describes one tournament. The zero value plus Entrants is a
+// runnable clean arena.
+type Config struct {
+	// Name labels progress and telemetry (default "arena").
+	Name string
+	// Seed makes the tournament deterministic.
+	Seed int64
+	// Sessions is the number of paired draws; every draw is streamed once
+	// per entrant (default 1000).
+	Sessions int
+	// Entrants are registered algorithm names (abr.Names()), 2–23 of them;
+	// every unordered pair becomes a head-to-head match.
+	Entrants []string
+	// Population tunes the synthetic user population.
+	Population abtest.PopulationConfig
+	// CatalogSize is the number of titles (default 24).
+	CatalogSize int
+	// Ladder is the encoding ladder (default media.DefaultLadder).
+	Ladder media.Ladder
+	// Parallelism bounds worker goroutines (default GOMAXPROCS). It never
+	// affects report bytes.
+	Parallelism int
+	// Faults, when non-nil, runs every draw under per-session fault
+	// weather; all entrants of a draw share the identical schedule.
+	Faults *faults.ScheduleConfig
+	// FaultSeed seeds the fault schedules independently of Seed.
+	FaultSeed int64
+	// ShardSize and SketchSize pass through to the campaign identity
+	// (defaults 1024 and 512).
+	ShardSize  int
+	SketchSize int
+	// Days is the simulated calendar depth (default 3).
+	Days int
+	// Observer, when non-nil, receives the campaign's per-shard
+	// CampaignProgress events plus one ArenaMatch event per pairing when
+	// the tournament completes.
+	Observer telemetry.Observer
+	// Progress, when non-nil, receives the campaign's per-shard progress.
+	Progress func(campaign.Progress)
+}
+
+// Run executes the tournament. See RunContext.
+func Run(cfg Config) (*Report, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext runs the tournament with cancellation: every entrant streams
+// every drawn session, the campaign layer folds per-entrant marginals and
+// the MatchSet folds pairwise deltas, both in shard-index order, so the
+// report is byte-identical at any Parallelism.
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
+	if len(cfg.Entrants) < 2 {
+		return nil, fmt.Errorf("arena: %d entrants; a tournament needs at least 2", len(cfg.Entrants))
+	}
+	if len(cfg.Entrants) > maxEntrants {
+		return nil, fmt.Errorf("arena: %d entrants exceeds the maximum %d", len(cfg.Entrants), maxEntrants)
+	}
+	seen := map[string]bool{}
+	for _, e := range cfg.Entrants {
+		if seen[e] {
+			return nil, fmt.Errorf("arena: entrant %q listed twice", e)
+		}
+		seen[e] = true
+	}
+	groups, err := abtest.Groups(cfg.Entrants...)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Name == "" {
+		cfg.Name = "arena"
+	}
+	sketch := cfg.SketchSize
+	if sketch <= 0 {
+		sketch = 512
+	}
+
+	start := time.Now()
+	ccfg := campaign.Config{
+		Name:        cfg.Name,
+		Seed:        cfg.Seed,
+		Sessions:    cfg.Sessions,
+		ShardSize:   cfg.ShardSize,
+		Days:        cfg.Days,
+		Groups:      groups,
+		Population:  cfg.Population,
+		CatalogSize: cfg.CatalogSize,
+		Ladder:      cfg.Ladder,
+		Parallelism: cfg.Parallelism,
+		Faults:      cfg.Faults,
+		FaultSeed:   cfg.FaultSeed,
+		SketchSize:  sketch,
+		Observer:    cfg.Observer,
+		Progress:    cfg.Progress,
+		NewExtra: func() campaign.Extra {
+			return NewMatchSet(cfg.Entrants, sketch)
+		},
+	}
+	out, err := campaign.RunContext(ctx, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	matches := out.Extra.(*MatchSet)
+	r := buildReport(cfg.Entrants, out.Report, matches)
+
+	if cfg.Observer != nil {
+		elapsed := time.Since(start)
+		index := map[string]int{}
+		for i, e := range cfg.Entrants {
+			index[e] = i
+		}
+		for pi, m := range r.Matches {
+			cfg.Observer.OnEvent(telemetry.Event{
+				Kind:          telemetry.ArenaMatch,
+				At:            elapsed,
+				Chunk:         pi,
+				RateIndex:     index[m.A],
+				PrevRateIndex: index[m.B],
+				Bytes:         m.Sessions,
+				Label:         m.A + " vs " + m.B,
+			})
+		}
+	}
+	return r, nil
+}
+
+// ReportSchema identifies the arena report file format.
+const ReportSchema = "bba-arena-report/v1"
+
+// Delta summarizes one paired-delta distribution with a 95% CI on its mean
+// — the head-to-head evidence a pairing reports. A CI excluding zero is a
+// significant difference at that level.
+type Delta struct {
+	campaign.MetricSummary
+	CI95Lo float64 `json:"ci95_lo"`
+	CI95Hi float64 `json:"ci95_hi"`
+}
+
+// Significant reports whether the delta's CI excludes zero.
+func (d Delta) Significant() bool {
+	return (d.CI95Lo > 0 && d.CI95Hi > 0) || (d.CI95Lo < 0 && d.CI95Hi < 0)
+}
+
+// MatchReport is one pairing's final head-to-head result; deltas are A−B.
+type MatchReport struct {
+	A        string `json:"a"`
+	B        string `json:"b"`
+	Sessions int64  `json:"sessions"`
+	WinsA    int64  `json:"wins_a"`
+	WinsB    int64  `json:"wins_b"`
+	Ties     int64  `json:"ties"`
+	// WinRateA is WinsA over decided sessions (ties excluded); 0.5 when
+	// nothing was decided.
+	WinRateA           float64 `json:"win_rate_a"`
+	DQoEPerPlayhour    Delta   `json:"d_qoe_per_playhour"`
+	DRebufferRate      Delta   `json:"d_rebuffer_rate"`
+	DAvgRateKbps       Delta   `json:"d_avg_rate_kbps"`
+	DSwitchesPerPlayhr Delta   `json:"d_switches_per_playhour"`
+	DStartupRateKbps   Delta   `json:"d_startup_rate_kbps"`
+}
+
+// Report is the tournament's final aggregate: the per-entrant marginals
+// (ordinary campaign GroupReports) plus every pairing's head-to-head
+// deltas. Its JSON bytes are independent of worker count.
+type Report struct {
+	Schema   string           `json:"schema"`
+	Entrants []string         `json:"entrants"`
+	Campaign *campaign.Report `json:"campaign"`
+	Matches  []MatchReport    `json:"matches"`
+}
+
+func buildReport(entrants []string, cr *campaign.Report, m *MatchSet) *Report {
+	r := &Report{
+		Schema:   ReportSchema,
+		Entrants: entrants,
+		Campaign: cr,
+	}
+	for _, p := range m.Pairs() {
+		mr := MatchReport{
+			A:        p.A,
+			B:        p.B,
+			Sessions: p.Sessions,
+			WinsA:    p.WinsA,
+			WinsB:    p.WinsB,
+			Ties:     p.Ties,
+			WinRateA: 0.5,
+
+			DQoEPerPlayhour:    delta(p.DQoERate),
+			DRebufferRate:      delta(p.DRebufRate),
+			DAvgRateKbps:       delta(p.DAvgRate),
+			DSwitchesPerPlayhr: delta(p.DSwitchRate),
+			DStartupRateKbps:   delta(p.DStartupRate),
+		}
+		if decided := p.WinsA + p.WinsB; decided > 0 {
+			mr.WinRateA = float64(p.WinsA) / float64(decided)
+		}
+		r.Matches = append(r.Matches, mr)
+	}
+	return r
+}
+
+func delta(d stats.Dist) Delta {
+	out := Delta{MetricSummary: campaign.SummarizeDist(d)}
+	out.CI95Lo, out.CI95Hi = d.Moments.MeanCI95()
+	return out
+}
+
+// WriteJSON writes the report as indented JSON with a fixed field order —
+// the byte form the determinism test compares.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable writes the human-readable tournament summary: per-entrant
+// marginals, then each pairing's head-to-head deltas with CIs. A trailing
+// "*" marks a delta whose 95% CI excludes zero.
+func (r *Report) WriteTable(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "arena: %d entrants, %d paired draws\n\n", len(r.Entrants), r.Campaign.Sessions)
+
+	tw := tabwriter.NewWriter(bw, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "entrant\tsessions\trebuf/hr\tavg kb/s\tswitch/hr\tqoe/hr")
+	for _, g := range r.Campaign.Groups {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.0f\t%.1f\t%.1f\n",
+			g.Name, g.Sessions, g.RebufferRatePooled, g.AvgRateKbps.Mean,
+			g.SwitchesPerPlayhour.Mean, g.QoEPerPlayhour.Mean)
+	}
+	tw.Flush()
+
+	fmt.Fprintf(bw, "\nhead-to-head (A−B deltas, mean [95%% CI], * = CI excludes 0)\n")
+	tw = tabwriter.NewWriter(bw, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "match\twins A−B (ties)\tΔqoe/hr\tΔrebuf/hr\tΔkb/s\tΔswitch/hr")
+	for _, m := range r.Matches {
+		fmt.Fprintf(tw, "%s vs %s\t%d−%d (%d)\t%s\t%s\t%s\t%s\n",
+			m.A, m.B, m.WinsA, m.WinsB, m.Ties,
+			fmtDelta(m.DQoEPerPlayhour, "%.2f"),
+			fmtDelta(m.DRebufferRate, "%.3f"),
+			fmtDelta(m.DAvgRateKbps, "%.0f"),
+			fmtDelta(m.DSwitchesPerPlayhr, "%.1f"))
+	}
+	tw.Flush()
+	return bw.Flush()
+}
+
+func fmtDelta(d Delta, format string) string {
+	s := fmt.Sprintf(format+" ["+format+", "+format+"]", d.Mean, d.CI95Lo, d.CI95Hi)
+	if d.Significant() {
+		s += "*"
+	}
+	return s
+}

@@ -1,0 +1,230 @@
+package arena
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"bba/internal/campaign"
+	"bba/internal/faults"
+	"bba/internal/metrics"
+	"bba/internal/telemetry"
+)
+
+func testConfig(sessions int) Config {
+	fc := faults.DefaultScheduleConfig()
+	return Config{
+		Seed:        41,
+		FaultSeed:   7,
+		Faults:      &fc,
+		Sessions:    sessions,
+		ShardSize:   8,
+		CatalogSize: 4,
+		SketchSize:  64,
+		Entrants:    []string{"BBA-2", "BOLA", "SmoothThroughput"},
+	}
+}
+
+func reportBytes(t *testing.T, r *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestArenaDeterminism pins the tentpole contract: the same seed produces a
+// byte-identical N-way report — marginals AND pairwise matches — at any
+// worker count, under fault weather. CI runs this under -race.
+func TestArenaDeterminism(t *testing.T) {
+	cfg := testConfig(28) // 4 shards, last one partial
+
+	cfg.Parallelism = 1
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, ref)
+
+	cfg.Parallelism = 8
+	wide, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reportBytes(t, wide), want) {
+		t.Error("8-worker arena report differs from single-worker report")
+	}
+}
+
+// TestArenaReportShape checks the tournament wiring end to end: 3 entrants
+// produce 3 pairings in canonical order, every pairing covers every draw,
+// win counts are consistent, and the campaign marginals carry the entrants
+// in order.
+func TestArenaReportShape(t *testing.T) {
+	cfg := testConfig(12)
+	cfg.Parallelism = 2
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != ReportSchema {
+		t.Errorf("schema %q", r.Schema)
+	}
+	if len(r.Matches) != 3 {
+		t.Fatalf("3 entrants produced %d pairings, want 3", len(r.Matches))
+	}
+	wantPairs := [][2]string{
+		{"BBA-2", "BOLA"},
+		{"BBA-2", "SmoothThroughput"},
+		{"BOLA", "SmoothThroughput"},
+	}
+	for i, m := range r.Matches {
+		if m.A != wantPairs[i][0] || m.B != wantPairs[i][1] {
+			t.Errorf("pairing %d = %s vs %s, want %s vs %s", i, m.A, m.B, wantPairs[i][0], wantPairs[i][1])
+		}
+		if m.Sessions != 12 {
+			t.Errorf("pairing %s vs %s covers %d draws, want 12", m.A, m.B, m.Sessions)
+		}
+		if m.WinsA+m.WinsB+m.Ties != m.Sessions {
+			t.Errorf("pairing %s vs %s: wins %d + %d + ties %d != %d", m.A, m.B, m.WinsA, m.WinsB, m.Ties, m.Sessions)
+		}
+		if m.WinRateA < 0 || m.WinRateA > 1 {
+			t.Errorf("win rate %f", m.WinRateA)
+		}
+		if m.DAvgRateKbps.N != m.Sessions {
+			t.Errorf("rate delta covers %d of %d sessions", m.DAvgRateKbps.N, m.Sessions)
+		}
+		if m.DQoEPerPlayhour.CI95Lo > m.DQoEPerPlayhour.Mean || m.DQoEPerPlayhour.CI95Hi < m.DQoEPerPlayhour.Mean {
+			t.Errorf("CI does not bracket the mean")
+		}
+	}
+	if got := len(r.Campaign.Groups); got != 3 {
+		t.Fatalf("campaign carries %d groups", got)
+	}
+	for i, g := range r.Campaign.Groups {
+		if g.Name != cfg.Entrants[i] {
+			t.Errorf("group %d = %q, want %q", i, g.Name, cfg.Entrants[i])
+		}
+	}
+
+	var table bytes.Buffer
+	if err := r.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BBA-2 vs BOLA", "head-to-head", "entrant"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, table.String())
+		}
+	}
+}
+
+// TestArenaTelemetry: one arena_match event per pairing after the
+// campaign's per-shard progress events.
+func TestArenaTelemetry(t *testing.T) {
+	cfg := testConfig(8)
+	ring := telemetry.NewRing(64)
+	cfg.Observer = ring
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var matches []telemetry.Event
+	for _, e := range ring.Events() {
+		if e.Kind == telemetry.ArenaMatch {
+			matches = append(matches, e)
+		}
+	}
+	if len(matches) != 3 {
+		t.Fatalf("%d arena_match events, want 3", len(matches))
+	}
+	if matches[0].Label != "BBA-2 vs BOLA" || matches[0].Bytes != 8 {
+		t.Errorf("first match event = %+v", matches[0])
+	}
+}
+
+func TestArenaConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Sessions: 4, Entrants: []string{"BBA-2"}}); err == nil {
+		t.Error("single entrant accepted")
+	}
+	if _, err := Run(Config{Sessions: 4, Entrants: []string{"BBA-2", "BBA-2"}}); err == nil {
+		t.Error("duplicate entrant accepted")
+	}
+	if _, err := Run(Config{Sessions: 4, Entrants: []string{"BBA-2", "no-such-algorithm"}}); err == nil {
+		t.Error("unknown entrant accepted")
+	}
+	many := make([]string, maxEntrants+1)
+	for i := range many {
+		many[i] = "x"
+	}
+	if _, err := Run(Config{Sessions: 4, Entrants: many}); err == nil {
+		t.Error("oversized field accepted")
+	}
+}
+
+// TestMatchSetAccounting drives the accumulator directly with hand-built
+// sessions and checks wins, ties and deltas.
+func TestMatchSetAccounting(t *testing.T) {
+	m := NewMatchSet([]string{"A", "B"}, 16)
+	mk := func(qoe, rate float64, rebuf int) metrics.Session {
+		return metrics.Session{PlayHours: 1, QoE: qoe, AvgRateKbps: rate, Rebuffers: rebuf}
+	}
+	sets := [][]metrics.Session{
+		{mk(10, 2000, 0), mk(5, 1500, 2)}, // A wins
+		{mk(3, 1000, 1), mk(7, 1800, 0)},  // B wins
+		{mk(4, 1200, 1), mk(4, 1300, 1)},  // tie on QoE
+	}
+	for g, ms := range sets {
+		if err := m.AddSessionSet(int64(g), ms); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := m.Pairs()[0]
+	if p.Sessions != 3 || p.WinsA != 1 || p.WinsB != 1 || p.Ties != 1 {
+		t.Errorf("accounting: %+v", p)
+	}
+	if got := p.DAvgRate.Moments.Mean; math.Abs(got-(500.0-800.0-100.0)/3) > 1e-9 {
+		t.Errorf("mean rate delta = %v", got)
+	}
+	if got := p.DRebufRate.Moments.Mean; math.Abs(got-(-2.0+1.0+0.0)/3) > 1e-9 {
+		t.Errorf("mean rebuffer delta = %v", got)
+	}
+
+	// Merge must preserve exact totals and reject foreign shapes.
+	m2 := NewMatchSet([]string{"A", "B"}, 16)
+	if err := m2.AddSessionSet(100, []metrics.Session{mk(1, 500, 0), mk(2, 600, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Merge(m2); err != nil {
+		t.Fatal(err)
+	}
+	p = m.Pairs()[0]
+	if p.Sessions != 4 || p.WinsB != 2 {
+		t.Errorf("after merge: %+v", p)
+	}
+	if err := m.Merge(NewMatchSet([]string{"A", "B", "C"}, 16)); err == nil {
+		t.Error("mismatched pair count accepted")
+	}
+	var notMatches campaign.Extra = fakeExtra{}
+	if err := m.Merge(notMatches); err == nil {
+		t.Error("foreign Extra type accepted")
+	}
+}
+
+type fakeExtra struct{}
+
+func (fakeExtra) AddSessionSet(int64, []metrics.Session) error { return nil }
+func (fakeExtra) Merge(campaign.Extra) error                   { return nil }
+
+// TestArenaExtraGuards: the campaign refuses extras on striped or resumed
+// runs — the modes extras cannot survive.
+func TestArenaExtraGuards(t *testing.T) {
+	ccfg := campaign.Config{
+		Sessions: 8,
+		Stripes:  2,
+		NewExtra: func() campaign.Extra { return NewMatchSet([]string{"A", "B"}, 16) },
+	}
+	if _, err := campaign.Run(ccfg); err == nil {
+		t.Error("striped run with NewExtra accepted")
+	}
+}

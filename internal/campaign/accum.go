@@ -180,6 +180,11 @@ type MetricSummary struct {
 	NonFinite int64   `json:"non_finite,omitempty"`
 }
 
+// SummarizeDist reports a Dist in the campaign's summary form. Exported for
+// extension accumulators (the arena's pairwise deltas) whose reports should
+// read like the campaign's own.
+func SummarizeDist(d stats.Dist) MetricSummary { return summarizeDist(d) }
+
 func summarizeDist(d stats.Dist) MetricSummary {
 	s := MetricSummary{
 		N:         d.Moments.N,

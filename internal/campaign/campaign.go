@@ -96,6 +96,15 @@ type Config struct {
 	// CheckpointEvery is the shard interval between checkpoint writes
 	// (default 8).
 	CheckpointEvery int
+	// NewExtra, when non-nil, attaches an extension accumulator to the run:
+	// every shard gets a fresh Extra, each of the shard's paired draws is
+	// fed to it via AddSessionSet (after the per-group accumulators), and
+	// the collector folds completed shards' extras in ascending shard-index
+	// order into Outcome.Extra — the same fold discipline that makes the
+	// report byte-identical at any worker count. The arena's pairwise
+	// match accumulators hook here. Extras are not checkpointed, so
+	// NewExtra requires a single-stripe, non-resumed run.
+	NewExtra func() Extra
 	// OnShard, when non-nil, is called from the collector goroutine with
 	// each completed shard's accumulators before they fold into the run
 	// state; returning an error cancels the run. The collect shipper hooks
@@ -244,6 +253,10 @@ type Outcome struct {
 	// Checkpoint is the run's final state — always present, resumable and
 	// mergeable even when the run was cancelled.
 	Checkpoint *Checkpoint
+	// Extra is the extension accumulator folded over every completed shard
+	// in shard-index order; nil unless Config.NewExtra was set. On a
+	// cancelled run it covers only the folded prefix.
+	Extra Extra
 	// Stats describes the run's execution.
 	Stats RunStats
 }
@@ -286,12 +299,16 @@ func splitmix(z uint64) uint64 {
 // (seed, shard, offset) and streams the paired session once per group,
 // folding the metrics straight into fresh per-group accumulators. The
 // result depends only on (identity, shard).
-func runShard(ctx context.Context, cfg *Config, catalog *media.Catalog, shard int) ([]*GroupAccum, error) {
+func runShard(ctx context.Context, cfg *Config, catalog *media.Catalog, shard int) ([]*GroupAccum, Extra, error) {
 	accums := NewGroupAccums(cfg.identity().Groups, cfg.SketchSize)
+	var extra Extra
+	if cfg.NewExtra != nil {
+		extra = cfg.NewExtra()
+	}
 	n := cfg.identity().shardSessions(shard)
 	for off := 0; off < n; off++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		global := int64(shard)*int64(cfg.ShardSize) + int64(off)
 		window := int(global % int64(metrics.WindowsPerDay))
@@ -304,15 +321,20 @@ func runShard(ctx context.Context, cfg *Config, catalog *media.Catalog, shard in
 		}
 		ms, err := abtest.PlayUser(ctx, u, u.Pick(catalog), cfg.Groups, cfg.Faults, fseed, nil)
 		if err != nil {
-			return nil, fmt.Errorf("campaign: shard %d session %d: %w", shard, off, err)
+			return nil, nil, fmt.Errorf("campaign: shard %d session %d: %w", shard, off, err)
 		}
 		for gi := range cfg.Groups {
 			if err := accums[gi].AddSession(sessionKey(global, gi), ms[gi]); err != nil {
-				return nil, fmt.Errorf("campaign: shard %d session %d: %w", shard, off, err)
+				return nil, nil, fmt.Errorf("campaign: shard %d session %d: %w", shard, off, err)
+			}
+		}
+		if extra != nil {
+			if err := extra.AddSessionSet(global, ms); err != nil {
+				return nil, nil, fmt.Errorf("campaign: shard %d session %d extra: %w", shard, off, err)
 			}
 		}
 	}
-	return accums, nil
+	return accums, extra, nil
 }
 
 // Run executes the campaign (or its stripe). See RunContext.
@@ -327,6 +349,9 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 	cfg.applyDefaults()
 	if cfg.Stripe < 0 || cfg.Stripe >= cfg.Stripes {
 		return nil, fmt.Errorf("campaign: stripe %d of %d", cfg.Stripe, cfg.Stripes)
+	}
+	if cfg.NewExtra != nil && (cfg.Stripes != 1 || cfg.Resume != nil) {
+		return nil, fmt.Errorf("campaign: NewExtra requires a single-stripe, non-resumed run (extras are not checkpointed)")
 	}
 	id := cfg.identity()
 	catalog, err := media.NewCatalog(cfg.CatalogSize, cfg.Ladder, cfg.Seed)
@@ -370,6 +395,7 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 	type shardResult struct {
 		shard  int
 		accums []*GroupAccum
+		extra  Extra
 		err    error
 	}
 	// The merge window: the producer takes a token per shard and the
@@ -404,9 +430,9 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 		go func() {
 			defer wg.Done()
 			for s := range shards {
-				accums, err := runShard(ctx, &cfg, catalog, s)
+				accums, extra, err := runShard(ctx, &cfg, catalog, s)
 				select {
-				case results <- shardResult{shard: s, accums: accums, err: err}:
+				case results <- shardResult{shard: s, accums: accums, extra: extra, err: err}:
 				case <-ctx.Done():
 					return
 				}
@@ -426,6 +452,15 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 	resumedSessions := stripeSessions
 	for _, s := range todo {
 		resumedSessions -= int64(id.shardSessions(s))
+	}
+	// Extension fold: parked extras wait until every lower shard has folded,
+	// mirroring the checkpoint's prefix discipline so Outcome.Extra is as
+	// order-independent as the report. todo is ascending (single stripe).
+	var extraFold Extra
+	extraParked := map[int]Extra{}
+	extraNext := 0
+	if cfg.NewExtra != nil {
+		extraFold = cfg.NewExtra()
 	}
 	sinceSave := 0
 	var firstErr error
@@ -454,6 +489,21 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 			continue
 		}
 		<-tokens
+		if cfg.NewExtra != nil {
+			extraParked[r.shard] = r.extra
+			for extraNext < len(todo) {
+				e, ok := extraParked[todo[extraNext]]
+				if !ok {
+					break
+				}
+				delete(extraParked, todo[extraNext])
+				if err := extraFold.Merge(e); err != nil && firstErr == nil {
+					firstErr = err
+					cancel()
+				}
+				extraNext++
+			}
+		}
 		if p := state.pending(); p > out.Stats.PeakPending {
 			out.Stats.PeakPending = p
 		}
@@ -495,6 +545,7 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 		}
 	}
 
+	out.Extra = extraFold
 	out.Stats.Elapsed = time.Since(start)
 	if cfg.CheckpointPath != "" && (sinceSave > 0 || out.Stats.ShardsRun == 0) {
 		if err := state.Save(cfg.CheckpointPath); err != nil && firstErr == nil {

@@ -1,0 +1,24 @@
+package campaign
+
+import "bba/internal/metrics"
+
+// Extra is a campaign extension accumulator: per-shard state fed every
+// paired draw, folded across shards under the campaign's determinism rule.
+// The per-group GroupAccums see each arm's sessions independently; an Extra
+// sees each paired draw whole — all arms of one (user, trace, fault-weather)
+// draw together — which is what cross-arm statistics (the arena's pairwise
+// deltas, win counts, head-to-head CIs) need.
+//
+// Contract: AddSessionSet is called once per paired draw, in offset order
+// within a shard, with ms holding one metrics.Session per configured group
+// in group order; global is the draw's campaign-wide index (unique, so it
+// can key sketches). Merge folds another shard's accumulator of the same
+// concrete type into the receiver; the campaign calls it in ascending
+// shard-index order, so — like GroupAccum — any floating-point
+// non-associativity is pinned and results are byte-identical at any worker
+// count. Implementations need no locking: a shard's Extra is touched by one
+// worker, and Merge runs on the collector goroutine.
+type Extra interface {
+	AddSessionSet(global int64, ms []metrics.Session) error
+	Merge(o Extra) error
+}

@@ -97,6 +97,7 @@ func All() []Entry {
 		{"QoERanking", "extension (QoE, [7][11])", fixed(QoERanking)},
 		{"OutageRobustness", "extension (§7.1 outages)", fixed(OutageRobustness)},
 		{"BufferOccupancy", "extension (buffer dynamics)", fixed(BufferOccupancy)},
+		{"ArenaMatrix", "extension (N-way arena)", ArenaMatrix},
 	}
 }
 

@@ -99,6 +99,19 @@ func (w Welford) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (w Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 
+// MeanCI95 returns the normal-approximation 95% confidence interval for the
+// mean (mean ± 1.96·s/√n). Below two samples the interval collapses to the
+// mean. For the session counts campaigns aggregate (thousands per arm) the
+// normal approximation is the appropriate tool; small-sample runs should
+// bootstrap instead.
+func (w Welford) MeanCI95() (lo, hi float64) {
+	if w.N < 2 {
+		return w.Mean, w.Mean
+	}
+	half := 1.96 * w.StdDev() / math.Sqrt(float64(w.N))
+	return w.Mean - half, w.Mean + half
+}
+
 // SketchEntry is one retained sample of a QuantileSketch: the sample value
 // and the hash of its identity key, which decides retention.
 type SketchEntry struct {

@@ -85,6 +85,11 @@ const (
 	// shard: Chunk is the shard index, Bytes the paired sessions completed
 	// so far, At the elapsed wall-clock time, Label the campaign name.
 	CampaignProgress
+	// ArenaMatch is emitted by the arena once per head-to-head pairing when
+	// the tournament completes: Label is "A vs B", RateIndex/PrevRateIndex
+	// the two entrants' indices, Chunk the pair index, Bytes the paired
+	// sessions compared, At the elapsed wall-clock time.
+	ArenaMatch
 
 	// numKinds is one past the last valid Kind. Keep it last: the
 	// exhaustive round-trip test walks [SessionStart, numKinds) and fails
@@ -108,6 +113,7 @@ var kindNames = [...]string{
 	Failover:         "failover",
 	Degrade:          "degrade",
 	CampaignProgress: "campaign_progress",
+	ArenaMatch:       "arena_match",
 }
 
 // String returns the snake_case name used in the JSONL journal.

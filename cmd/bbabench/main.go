@@ -20,6 +20,8 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strings"
 	"testing"
 	"time"
 
@@ -45,6 +47,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// SessionsPerSec is reported by the campaign-throughput benchmarks:
+	// player sessions per second on one worker (sessions/s/core).
+	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
 }
 
 // Report is the BENCH_sessions.json schema.
@@ -141,9 +146,79 @@ func benches() []bench {
 		{name: "TraceDownloadTimeCursor", run: traceBench(true)},
 		{name: "NetemShaperTake", run: netemBench},
 		{name: "ABHarness", run: harnessBench, heavy: false},
+		{name: "ScalarSessions", run: campaignBench(false)},
+		{name: "BatchSessions", run: campaignBench(true)},
 		{name: "CampaignAccumMerge", run: accumMergeBench},
 		{name: "ArenaTournament", run: arenaBench},
 		{name: "GenerateAllFigures", run: figuresBench, heavy: true},
+	}
+}
+
+// benchCampaign is the campaign-throughput fixture: the standard six-arm
+// paired campaign on a single worker, so ns/op and the derived sessions/s
+// are per-core numbers.
+func benchCampaign(sessions int, batch bool) campaign.Config {
+	return campaign.Config{
+		Seed:        17,
+		Sessions:    sessions,
+		ShardSize:   64,
+		CatalogSize: 8,
+		SketchSize:  256,
+		Parallelism: 1,
+		Batch:       batch,
+	}
+}
+
+// campaignBench measures end-to-end campaign execution — draw, simulate,
+// fold — through the scalar path or the batch kernel. The batch variant
+// first verifies at reduced scale that the two paths produce byte-identical
+// reports, so a CI smoke run of this benchmark doubles as a divergence
+// check. Both variants report sessions/s (player sessions per second per
+// core) alongside ns/op.
+func campaignBench(batch bool) func(quick bool) func(b *testing.B) {
+	return func(quick bool) func(b *testing.B) {
+		sessions := 512
+		if quick {
+			sessions = 96
+		}
+		return func(b *testing.B) {
+			if batch {
+				scalar, err := campaign.Run(benchCampaign(48, false))
+				if err != nil {
+					b.Fatal(err)
+				}
+				batched, err := campaign.Run(benchCampaign(48, true))
+				if err != nil {
+					b.Fatal(err)
+				}
+				want, err := json.Marshal(scalar.Report)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got, err := json.Marshal(batched.Report)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if string(got) != string(want) {
+					b.Fatal("batch campaign report diverges from scalar report")
+				}
+			}
+			cfg := benchCampaign(sessions, batch)
+			var players int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := campaign.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				players = out.Stats.PlayerSessions
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(players)*float64(b.N)/secs, "sessions/s")
+			}
+		}
 	}
 }
 
@@ -313,12 +388,43 @@ func figuresBench(bool) func(b *testing.B) {
 
 func main() {
 	var (
-		quick     = flag.Bool("quick", false, "shrink workloads and skip the heavy benchmarks (CI smoke)")
-		out       = flag.String("out", "BENCH_sessions.json", "output path, '-' for stdout")
-		noStamp   = flag.Bool("no-timestamp", false, "omit the generation timestamp (reproducible output)")
-		ingestOut = flag.String("ingest-out", "", "run only the fleet-collection ingest suite and write its datapoint (BENCH_ingest.json schema) to this path")
+		quick      = flag.Bool("quick", false, "shrink workloads and skip the heavy benchmarks (CI smoke)")
+		out        = flag.String("out", "BENCH_sessions.json", "output path, '-' for stdout")
+		noStamp    = flag.Bool("no-timestamp", false, "omit the generation timestamp (reproducible output)")
+		ingestOut  = flag.String("ingest-out", "", "run only the fleet-collection ingest suite and write its datapoint (BENCH_ingest.json schema) to this path")
+		only       = flag.String("only", "", "run only benchmarks whose name contains this substring")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbabench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bbabench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bbabench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "bbabench: memprofile:", err)
+			}
+		}()
+	}
 
 	if *ingestOut != "" {
 		if err := runIngest(*quick, !*noStamp, *ingestOut); err != nil {
@@ -339,6 +445,9 @@ func main() {
 		report.Generated = time.Now().UTC().Format(time.RFC3339)
 	}
 	for _, bn := range benches() {
+		if *only != "" && !strings.Contains(bn.name, *only) {
+			continue
+		}
 		if *quick && bn.heavy {
 			fmt.Fprintf(os.Stderr, "skip  %s (heavy)\n", bn.name)
 			continue
@@ -351,9 +460,16 @@ func main() {
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
 		}
+		if v, ok := r.Extra["sessions/s"]; ok {
+			res.SessionsPerSec = v
+		}
 		report.Results = append(report.Results, res)
-		fmt.Fprintf(os.Stderr, "bench %-28s %12.0f ns/op %10d B/op %6d allocs/op\n",
+		fmt.Fprintf(os.Stderr, "bench %-28s %12.0f ns/op %10d B/op %6d allocs/op",
 			bn.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		if res.SessionsPerSec > 0 {
+			fmt.Fprintf(os.Stderr, " %10.0f sessions/s", res.SessionsPerSec)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 
 	if err := write(report, *out); err != nil {

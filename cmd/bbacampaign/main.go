@@ -32,6 +32,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,6 +52,10 @@ type options struct {
 	seed            int64
 	faultSeed       int64
 	faultsOn        bool
+	batch           bool
+	batchWidth      int
+	cpuProfile      string
+	memProfile      string
 	workers         int
 	sketch          int
 	stripes         int
@@ -76,6 +82,10 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 2014, "campaign seed")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 2014, "fault-weather seed (with -faults)")
 	flag.BoolVar(&o.faultsOn, "faults", false, "run every session under the standard fault schedule")
+	flag.BoolVar(&o.batch, "batch", false, "execute sessions through the batch kernel (byte-identical report, higher throughput)")
+	flag.IntVar(&o.batchWidth, "batch-width", 0, "paired draws in flight per worker with -batch (default 8)")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write an allocation profile to this file at exit")
 	flag.IntVar(&o.workers, "workers", 0, "worker goroutines (default GOMAXPROCS)")
 	flag.IntVar(&o.sketch, "sketch", 512, "quantile-sketch size per metric (part of the campaign identity)")
 	flag.IntVar(&o.stripes, "shards", 1, "total process stripes the campaign is split across")
@@ -114,6 +124,32 @@ func run(ctx context.Context, out io.Writer, errw io.Writer, o options) error {
 		return runMerge(out, o)
 	}
 
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if o.memProfile != "" {
+		defer func() {
+			f, err := os.Create(o.memProfile)
+			if err != nil {
+				fmt.Fprintln(errw, "bbacampaign: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(errw, "bbacampaign: memprofile:", err)
+			}
+		}()
+	}
+
 	var groups []abtest.Group
 	if o.algos != "" {
 		var names []string
@@ -134,6 +170,8 @@ func run(ctx context.Context, out io.Writer, errw io.Writer, o options) error {
 		Sessions:        o.sessions,
 		ShardSize:       o.shardSize,
 		Days:            o.days,
+		Batch:           o.batch,
+		BatchWidth:      o.batchWidth,
 		Parallelism:     o.workers,
 		SketchSize:      o.sketch,
 		Stripe:          o.stripe,

@@ -50,6 +50,9 @@ func (b *BBA2) Name() string { return "BBA-2" }
 // InStartup reports whether the algorithm is still in its startup phase.
 func (b *BBA2) InStartup() bool { return b.inStartup }
 
+// UsePlans implements PlanConsumer, forwarding to the steady-state BBA1.
+func (b *BBA2) UsePlans(src PlanSource) { b.steady.UsePlans(src) }
+
 // LastReservoir implements ReservoirReporter, forwarding the steady-state
 // machinery's chunk-map reservoir.
 func (b *BBA2) LastReservoir() (time.Duration, time.Duration, bool) {
@@ -85,7 +88,7 @@ func (b *BBA2) Next(st State, s Stream) int {
 	b.steady.observe(st, !b.inStartup)
 
 	m := b.steady.Map(s, st.NextChunk, st.BufferMax)
-	mapSuggestion := Algorithm1Chunk(m, s, b.prev, st.NextChunk, st.Buffer)
+	mapSuggestion := b.steady.algorithm1(m, s, b.prev, st.NextChunk, st.Buffer)
 
 	if b.inStartup {
 		if st.Buffer < b.prevBuffer || mapSuggestion > b.prev {

@@ -48,6 +48,10 @@ func NewBBAOthers() *BBAOthers {
 // Name implements Algorithm.
 func (b *BBAOthers) Name() string { return "BBA-Others" }
 
+// UsePlans implements PlanConsumer, forwarding to the BBA2 core (and so
+// to the BBA1 reservoir machinery this algorithm's ratchet reads).
+func (b *BBAOthers) UsePlans(src PlanSource) { b.core.UsePlans(src) }
+
 // Protection returns the current outage protection: the excess of the
 // ratcheted reservoir over what the instantaneous Figure 12 calculation
 // requires.
@@ -103,7 +107,7 @@ func (b *BBAOthers) Next(st State, s Stream) int {
 	// and replaying its decision logic.
 	m := b.core.steady.mapWithReservoir(s, effective, st.BufferMax)
 	prev := b.core.prev
-	mapSuggestion := Algorithm1Chunk(m, s, prev, st.NextChunk, st.Buffer)
+	mapSuggestion := b.core.steady.algorithm1(m, s, prev, st.NextChunk, st.Buffer)
 
 	if b.startupActive {
 		if st.Buffer < b.core.prevBuffer || mapSuggestion > prev {
@@ -153,8 +157,14 @@ func (b *BBAOthers) upSwitchSurvivesLookahead(m ChunkMap, s Stream, candidate in
 	cap := m.MaxChunk(st.Buffer)
 	below := s.Ladder().NextDown(candidate)
 	var sum int64
-	for i := 0; i < window; i++ {
-		sum += upcoming(s, below, st.NextChunk+i)
+	if tp := b.core.steady.sharedPlan(s); tp != nil {
+		// Prefix sums make the window total two loads; integer addition
+		// is associative, so the value is identical to the loop's.
+		sum = tp.UpcomingSum(below, st.NextChunk, window)
+	} else {
+		for i := 0; i < window; i++ {
+			sum += upcoming(s, below, st.NextChunk+i)
+		}
 	}
 	return cap > sum/int64(window)
 }

@@ -87,6 +87,67 @@ func Algorithm1Chunk(m ChunkMap, s Stream, prev, k int, b time.Duration) int {
 	}
 }
 
+// algorithm1Col is Algorithm1Chunk over a TitlePlan's contiguous size
+// column for the decision chunk: the same comparisons in the same order —
+// bit-identical choices — against one cache-resident run instead of
+// clamped per-rate lookups.
+func algorithm1Col(m ChunkMap, col []int64, prev int, b time.Duration) int {
+	top := len(col) - 1
+	switch {
+	case b <= m.Reservoir:
+		return 0
+	case b >= m.Reservoir+m.Cushion:
+		return top
+	}
+	cap := m.MaxChunk(b)
+	if prev < 0 {
+		best := 0
+		for i, sz := range col {
+			if sz <= cap {
+				best = i
+			}
+		}
+		return best
+	}
+	if prev > top {
+		prev = top
+	}
+	up, down := prev+1, prev-1
+	if up > top {
+		up = top
+	}
+	if down < 0 {
+		down = 0
+	}
+	switch {
+	case prev != top && cap >= col[up]:
+		best := 0
+		for i, sz := range col {
+			if sz < cap {
+				best = i
+			}
+		}
+		if best <= prev {
+			best = up
+		}
+		return best
+	case prev != 0 && cap <= col[down]:
+		next := top
+		for i, sz := range col {
+			if sz > cap {
+				next = i
+				break
+			}
+		}
+		if next >= prev {
+			next = down
+		}
+		return next
+	default:
+		return prev
+	}
+}
+
 // highestChunkAtMost returns the highest session index whose upcoming chunk
 // size is ≤ the map value at b, or 0 if none.
 func highestChunkAtMost(m ChunkMap, s Stream, k int, b time.Duration) int {

@@ -1,0 +1,189 @@
+package abr
+
+import (
+	"time"
+
+	"bba/internal/media"
+	"bba/internal/units"
+)
+
+// TitlePlan is the shareable form of the Figure 12 reservoir precompute:
+// the clamped dynamic reservoir for every possible decision chunk of one
+// (title, R_min, window) combination. A per-session reservoirPlan still
+// pays an O(window) deficit scan per decision; the TitlePlan hoists those
+// scans into construction, so a decision becomes one slice load. Each
+// res[k] is produced by the very scan the session path would run — same
+// operands, same order — so results are bit-identical, which the
+// equivalence tests pin.
+//
+// A TitlePlan is immutable after construction and safe to share across
+// any number of sessions and goroutines. Campaigns build one per title a
+// shard draws (via PlanCache) and amortize it over every session of the
+// shard — the reservoir work that profiles as the hottest block of
+// scalar campaign execution disappears from the per-session cost.
+// Beyond the reservoir table the plan also hoists the other per-decision
+// title scans: the chunk-map endpoints Chunk_min/Chunk_max (unit
+// conversions recomputed by every map construction) and per-rate prefix
+// sums of chunk sizes, which turn the §7.2 lookahead-smoothing window sum
+// from O(window) loads into two. All of it is exact integer or replayed
+// arithmetic, so decisions stay bit-identical.
+type TitlePlan struct {
+	video  *media.Video  // identity of the title the plan was built for
+	rmin   units.BitRate // session R_min the deficits assume
+	window time.Duration // lookahead window X of the Figure 12 scan
+	res    []time.Duration
+	// chunkMin/chunkMax are the session ladder's map endpoints
+	// l.Min().BytesIn(V) and l.Max().BytesIn(V).
+	chunkMin, chunkMax int64
+	// prefix[i][k] is the sum of the session-ladder rate-i chunk sizes
+	// over chunks [0, k) — window sums in O(1), exactly (integer adds).
+	prefix [][]int64
+	// cols holds the same sizes column-major: cols[k*nr+i] is chunk k's
+	// size at session rate i, so one decision's ladder scans touch one
+	// contiguous run instead of striding across per-rate rows.
+	cols []int64
+	nr   int
+}
+
+// NewTitlePlan precomputes the reservoir table for s with lookahead
+// window (0 means DefaultReservoirWindow).
+func NewTitlePlan(s Stream, window time.Duration) *TitlePlan {
+	if window <= 0 {
+		window = DefaultReservoirWindow
+	}
+	p := newReservoirPlan(s)
+	tp := &TitlePlan{
+		video:  s.Video(),
+		rmin:   s.Ladder().Min(),
+		window: window,
+		res:    make([]time.Duration, s.NumChunks()),
+	}
+	for k := range tp.res {
+		tp.res[k] = p.reservoir(k, window)
+	}
+	l := s.Ladder()
+	tp.chunkMin = l.Min().BytesIn(s.ChunkDuration())
+	tp.chunkMax = l.Max().BytesIn(s.ChunkDuration())
+	tp.prefix = make([][]int64, len(l))
+	tp.nr = len(l)
+	tp.cols = make([]int64, len(l)*s.NumChunks())
+	for i := range l {
+		row := make([]int64, s.NumChunks()+1)
+		for k := 0; k < s.NumChunks(); k++ {
+			sz := s.ChunkSize(i, k)
+			row[k+1] = row[k] + sz
+			tp.cols[k*tp.nr+i] = sz
+		}
+		tp.prefix[i] = row
+	}
+	return tp
+}
+
+// column returns the contiguous size column for a decision at chunk k,
+// with the same end-of-title clamping upcoming applies.
+func (tp *TitlePlan) column(k int) []int64 {
+	n := len(tp.res)
+	if k >= n {
+		k = n - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	return tp.cols[k*tp.nr : (k+1)*tp.nr]
+}
+
+// UpcomingSum returns the sum of upcoming(s, i, k+j) for j in [0, window)
+// — the §7.2 lookahead window total, with the same end-of-title clamping
+// the per-chunk loop applies — in O(1) via the prefix sums.
+func (tp *TitlePlan) UpcomingSum(i, k, window int) int64 {
+	row := tp.prefix[i]
+	n := len(row) - 1
+	lo, hi := k, k+window
+	var sum int64
+	if lo < 0 { // chunks clamped up to 0 contribute size[0] each
+		stop := hi
+		if stop > 0 {
+			stop = 0
+		}
+		sum += int64(stop-lo) * (row[1] - row[0])
+		lo = 0
+	}
+	if hi > n { // chunks clamped down to n-1 contribute size[n-1] each
+		start := lo
+		if start < n {
+			start = n
+		}
+		sum += int64(hi-start) * (row[n] - row[n-1])
+		hi = n
+	}
+	if hi > lo {
+		sum += row[hi] - row[lo]
+	}
+	return sum
+}
+
+// matches reports whether the plan was built for this exact stream view
+// and window: same title, same (possibly promoted) R_min, same lookahead.
+func (tp *TitlePlan) matches(s Stream, window time.Duration) bool {
+	if window <= 0 {
+		window = DefaultReservoirWindow
+	}
+	return tp != nil && tp.video == s.Video() &&
+		tp.rmin == s.Ladder().Min() && tp.window == window
+}
+
+// Reservoir returns the dynamic reservoir for a decision at chunk k. Out
+// of range k gets the empty-scan value, like the session path.
+func (tp *TitlePlan) Reservoir(k int) time.Duration {
+	if k < 0 || k >= len(tp.res) {
+		return clampReservoir(0)
+	}
+	return tp.res[k]
+}
+
+// PlanSource supplies shared TitlePlans. The algorithm asks for the plan
+// it needs (its own window, the session's stream view), so sources stay
+// ignorant of algorithm parameters.
+type PlanSource interface {
+	TitlePlan(s Stream, window time.Duration) *TitlePlan
+}
+
+// PlanConsumer is implemented by algorithms whose per-session reservoir
+// precompute can be replaced by shared per-title plans. Callers running
+// many sessions over a small catalog (campaigns, arenas, the batch
+// kernel) attach one source to every freshly built algorithm; decisions
+// are bit-identical either way.
+type PlanConsumer interface {
+	UsePlans(PlanSource)
+}
+
+type planKey struct {
+	video  *media.Video
+	rmin   units.BitRate
+	window time.Duration
+}
+
+// PlanCache builds TitlePlans on demand and retains them keyed by
+// (title, R_min, window). It is not safe for concurrent use; each
+// campaign worker owns one. The plans it hands out are immutable, so
+// plans may be shared freely once retrieved.
+type PlanCache struct {
+	m map[planKey]*TitlePlan
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache { return &PlanCache{m: make(map[planKey]*TitlePlan)} }
+
+// TitlePlan implements PlanSource.
+func (c *PlanCache) TitlePlan(s Stream, window time.Duration) *TitlePlan {
+	if window <= 0 {
+		window = DefaultReservoirWindow
+	}
+	k := planKey{video: s.Video(), rmin: s.Ladder().Min(), window: window}
+	tp := c.m[k]
+	if tp == nil {
+		tp = NewTitlePlan(s, window)
+		c.m[k] = tp
+	}
+	return tp
+}

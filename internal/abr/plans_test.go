@@ -1,0 +1,115 @@
+package abr
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bba/internal/media"
+)
+
+func planStream(t *testing.T, seed int64, chunks int) Stream {
+	t.Helper()
+	v, err := media.NewVBR(media.VBRConfig{Ladder: media.DefaultLadder(), NumChunks: chunks}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStream(v, 0)
+}
+
+// TestTitlePlanMatchesSessionScan pins the shared-plan contract: every
+// table entry equals the per-session deficit scan exactly — not
+// approximately — for the default window and a non-default one.
+func TestTitlePlanMatchesSessionScan(t *testing.T) {
+	s := planStream(t, 7, 700)
+	for _, window := range []time.Duration{0, DefaultReservoirWindow, 200 * time.Second} {
+		tp := NewTitlePlan(s, window)
+		p := newReservoirPlan(s)
+		for k := 0; k < s.NumChunks(); k++ {
+			if got, want := tp.Reservoir(k), p.reservoir(k, window); got != want {
+				t.Fatalf("window %v chunk %d: plan %v, scan %v", window, k, got, want)
+			}
+		}
+		// Out-of-range decisions get the empty-scan value.
+		if got, want := tp.Reservoir(s.NumChunks()), clampReservoir(0); got != want {
+			t.Errorf("out-of-range reservoir %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPlanConsumerDecisionsIdentical runs BBA-1, BBA-2 and BBA-Others
+// with and without a shared PlanCache through identical decision
+// sequences and requires identical rate choices.
+func TestPlanConsumerDecisionsIdentical(t *testing.T) {
+	s := planStream(t, 11, 600)
+	promoted := NewStream(s.Video(), s.Ladder()[2])
+	cache := NewPlanCache()
+	builders := map[string]func() Algorithm{
+		"BBA-1":      func() Algorithm { return NewBBA1() },
+		"BBA-2":      func() Algorithm { return NewBBA2() },
+		"BBA-Others": func() Algorithm { return NewBBAOthers() },
+	}
+	for name, build := range builders {
+		for _, stream := range []Stream{s, promoted} {
+			plain := build()
+			shared := build()
+			shared.(PlanConsumer).UsePlans(cache)
+
+			rng := rand.New(rand.NewSource(42))
+			buf := time.Duration(0)
+			prevPlain, prevShared := -1, -1
+			for k := 0; k < stream.NumChunks(); k++ {
+				st := State{
+					Now:       time.Duration(k) * stream.ChunkDuration(),
+					Buffer:    buf,
+					BufferMax: 240 * time.Second,
+					NextChunk: k,
+				}
+				st.PrevIndex = prevPlain
+				a := plain.Next(st, stream)
+				st.PrevIndex = prevShared
+				b := shared.Next(st, stream)
+				if a != b {
+					t.Fatalf("%s chunk %d: plain chose %d, shared chose %d", name, k, a, b)
+				}
+				prevPlain, prevShared = a, b
+				// A plausible, reproducible buffer walk.
+				buf += time.Duration(rng.Int63n(int64(6 * time.Second)))
+				if buf > 220*time.Second {
+					buf = 40 * time.Second
+				}
+			}
+
+			ra, pa, oka := plain.(ReservoirReporter).LastReservoir()
+			rb, pb, okb := shared.(ReservoirReporter).LastReservoir()
+			if ra != rb || pa != pb || oka != okb {
+				t.Errorf("%s: reservoir report (%v,%v,%v) vs (%v,%v,%v)", name, ra, pa, oka, rb, pb, okb)
+			}
+		}
+	}
+}
+
+// TestPlanCacheReuses checks the cache keys: same (title, R_min, window)
+// returns the same plan; a promoted R_min or different window does not.
+func TestPlanCacheReuses(t *testing.T) {
+	s := planStream(t, 3, 300)
+	cache := NewPlanCache()
+	a := cache.TitlePlan(s, 0)
+	if b := cache.TitlePlan(s, DefaultReservoirWindow); a != b {
+		t.Error("window 0 and default window missed the cache")
+	}
+	if b := cache.TitlePlan(s, 0); a != b {
+		t.Error("repeat lookup built a new plan")
+	}
+	promoted := NewStream(s.Video(), s.Ladder()[1])
+	if b := cache.TitlePlan(promoted, 0); a == b {
+		t.Error("promoted R_min shares the base plan")
+	}
+	if b := cache.TitlePlan(s, 100*time.Second); a == b {
+		t.Error("different window shares the plan")
+	}
+	other := planStream(t, 4, 300)
+	if b := cache.TitlePlan(other, 0); a == b {
+		t.Error("different title shares the plan")
+	}
+}

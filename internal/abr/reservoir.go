@@ -47,10 +47,20 @@ func DynamicReservoir(s Stream, k int, window time.Duration) time.Duration {
 		running += downloadSecs - vSecs
 		if running > worst {
 			worst = running
+			if worst >= maxReservoirSecs {
+				// The max is monotone over the scan and the clamp
+				// saturates here, so the rest cannot change the result.
+				break
+			}
 		}
 	}
 	return clampReservoir(worst)
 }
+
+// maxReservoirSecs is MaxReservoir in the seconds domain the deficit scans
+// run in. Rounding is monotone, so worst ≥ this value guarantees
+// clampReservoir saturates at MaxReservoir and a scan may stop early.
+const maxReservoirSecs = float64(MaxReservoir) / float64(time.Second)
 
 func clampReservoir(worstSecs float64) time.Duration {
 	r := units.SecondsToDuration(worstSecs)
@@ -117,6 +127,9 @@ func (p *reservoirPlan) reservoir(k int, window time.Duration) time.Duration {
 		running += p.deficit[idx]
 		if running > worst {
 			worst = running
+			if worst >= maxReservoirSecs {
+				break // clamp saturated; see DynamicReservoir
+			}
 		}
 	}
 	return clampReservoir(worst)

@@ -373,34 +373,16 @@ func runPairedSession(ctx context.Context, cfg Config, catalog *media.Catalog, d
 // nil for groups that need none). The campaign layer drives this same
 // paired core shard by shard.
 func PlayUser(ctx context.Context, u User, video *media.Video, groups []Group, fcfg *faults.ScheduleConfig, fseed int64, observer func(gi int) telemetry.Observer) ([]metrics.Session, error) {
-	stream := abr.NewStream(video, u.Rmin)
-
 	// Under fault weather every group runs the identical schedule against
 	// the identical reshaped trace — the paired design extends to faults.
-	tr := u.Trace
-	var inj *faults.SessionInjector
-	if fcfg != nil {
-		sched := faults.GenerateSeeded(*fcfg, fseed)
-		var err error
-		tr, err = sched.ApplyToTrace(u.Trace)
-		if err != nil {
-			return nil, fmt.Errorf("fault trace: %w", err)
-		}
-		inj = faults.NewSessionInjector(sched, fseed)
+	env, err := NewSessionEnv(u, video, fcfg, fseed)
+	if err != nil {
+		return nil, err
 	}
 
 	ms := make([]metrics.Session, len(groups))
 	for gi, g := range groups {
-		pc := player.Config{
-			Algorithm:  g.New(u),
-			Stream:     stream,
-			Trace:      tr,
-			WatchLimit: u.WatchTime,
-		}
-		if inj != nil {
-			pc.Injector = inj
-			pc.Retry = player.RetryPolicy{Seed: fseed}
-		}
+		pc := env.PlayerConfig(g)
 		if observer != nil {
 			pc.Observer = observer(gi)
 		}

@@ -1,0 +1,252 @@
+// Package batch is the campaign execution kernel: it advances many
+// streaming sessions concurrently through flat, reusable lane state
+// instead of running one player session at a time to completion.
+//
+// The kernel owns no simulation arithmetic. Every lane is a
+// player.Session — the same step engine the scalar path drives — so a
+// batch-executed campaign is byte-identical to a scalar one; the kernel
+// only changes *when* each session's next chunk is simulated and what
+// gets amortized across sessions:
+//
+//   - Lane state (buffer occupancy, trace cursor, rate/stall/switch/play
+//     counters) lives value-embedded in a flat lane array plus parallel
+//     bookkeeping slices, allocated once per Runner and reused for every
+//     session the Runner ever executes — steady state allocates nothing
+//     for lane state.
+//   - Per-title reservoir plans (abr.TitlePlan) are built once per
+//     (title, R_min) a shard draws and shared read-only by every lane
+//     playing that title, via the Runner's abr.PlanCache.
+//   - Sessions run with player.Config.SkipChunkRecords: campaigns never
+//     read Result.Chunks, and dropping the per-chunk log removes the
+//     scalar path's dominant allocation.
+//   - The cancellation check happens once per kernel round (one chunk
+//     per active lane) instead of once per chunk.
+//
+// A Runner is not safe for concurrent use; each campaign worker owns one
+// and keeps it across shards, so plan and lane reuse spans a worker's
+// whole share of the campaign.
+package batch
+
+import (
+	"context"
+	"fmt"
+
+	"bba/internal/abr"
+	"bba/internal/abtest"
+	"bba/internal/faults"
+	"bba/internal/media"
+	"bba/internal/metrics"
+	"bba/internal/player"
+)
+
+// Draw identifies one paired session for the kernel: the already-drawn
+// user, the title it picked, and the draw's fault seed.
+type Draw struct {
+	User  abtest.User
+	Video *media.Video
+	Fseed int64 // ignored when the Runner has no fault config
+}
+
+// Config parameterizes a Runner.
+type Config struct {
+	// Groups are the experiment arms, exactly as in the scalar harness:
+	// each draw is streamed once per group under identical inputs.
+	Groups []abtest.Group
+	// Faults, when non-nil, applies per-draw fault weather exactly as
+	// abtest.PlayUser does.
+	Faults *faults.ScheduleConfig
+	// Width is the number of paired draws in flight (default 8). The
+	// lane count is Width × len(Groups). More width amortizes stalls on
+	// long sessions; memory grows with the traces of in-flight draws.
+	Width int
+	// OnRetire, when non-nil, is called once per retired player session,
+	// from RunShard's goroutine. Campaign progress counts sessions the
+	// kernel has actually finished through this hook.
+	OnRetire func()
+}
+
+// DefaultWidth is the paired-draw concurrency used when Config.Width is
+// unset.
+const DefaultWidth = 8
+
+// Runner executes shards of paired sessions through reusable lanes.
+type Runner struct {
+	cfg   Config
+	plans *abr.PlanCache
+
+	// Lane state: sessions is the flat lane array (player state embedded
+	// by value); laneSlot and laneGroup are its parallel bookkeeping
+	// slices. active holds the lane ids currently advancing, idle the
+	// rest.
+	sessions  []player.Session
+	laneSlot  []int
+	laneGroup []int
+	active    []int
+	idle      []int
+
+	// Draw slots: one per in-flight paired draw. A slot keeps the shared
+	// env alive and collects the per-group metrics until the draw folds.
+	slots     []drawSlot
+	freeSlots []int
+}
+
+type drawSlot struct {
+	off int
+	env abtest.SessionEnv
+	// remaining counts the draw's lanes still running; the draw is
+	// complete when it reaches zero.
+	remaining int
+	ms        []metrics.Session
+}
+
+// NewRunner builds a Runner for cfg.
+func NewRunner(cfg Config) *Runner {
+	if cfg.Width <= 0 {
+		cfg.Width = DefaultWidth
+	}
+	groups := len(cfg.Groups)
+	lanes := cfg.Width * groups
+	r := &Runner{
+		cfg:       cfg,
+		plans:     abr.NewPlanCache(),
+		sessions:  make([]player.Session, lanes),
+		laneSlot:  make([]int, lanes),
+		laneGroup: make([]int, lanes),
+		active:    make([]int, 0, lanes),
+		idle:      make([]int, 0, lanes),
+		slots:     make([]drawSlot, cfg.Width),
+		freeSlots: make([]int, 0, cfg.Width),
+	}
+	for lane := lanes - 1; lane >= 0; lane-- {
+		r.idle = append(r.idle, lane)
+	}
+	for s := cfg.Width - 1; s >= 0; s-- {
+		r.slots[s].ms = make([]metrics.Session, groups)
+		r.freeSlots = append(r.freeSlots, s)
+	}
+	return r
+}
+
+// RunShard executes n paired draws. draw(off) supplies the draw for each
+// offset in [0, n); it is called in ascending offset order, at most Width
+// draws ahead of the fold. fold(off, ms) receives one metrics.Session per
+// group, in group order, and is called exactly once per offset in
+// ascending offset order — the same fold discipline as the scalar shard
+// loop, which is what keeps campaign reports byte-identical. fold must
+// not retain ms; the backing array is reused.
+//
+// An error from draw, fold, or any session aborts the shard. The context
+// is checked once per kernel round.
+func (r *Runner) RunShard(ctx context.Context, n int, draw func(off int) (Draw, error), fold func(off int, ms []metrics.Session) error) error {
+	if len(r.active) != 0 {
+		return fmt.Errorf("batch: Runner reused while a shard is in flight")
+	}
+	// parked maps a completed draw's offset to its slot until the fold
+	// catches up; slots stay claimed while parked, so in-flight plus
+	// parked draws never exceed Width.
+	parked := make(map[int]int, r.cfg.Width)
+	nextOff, foldNext := 0, 0
+
+	flush := func() error {
+		for {
+			s, ok := parked[foldNext]
+			if !ok {
+				return nil
+			}
+			delete(parked, foldNext)
+			if err := fold(foldNext, r.slots[s].ms); err != nil {
+				return err
+			}
+			r.freeSlots = append(r.freeSlots, s)
+			foldNext++
+		}
+	}
+	fail := func(err error) error {
+		// Abandon every in-flight lane so the Runner is reusable.
+		r.active = r.active[:0]
+		r.idle = r.idle[:0]
+		for lane := len(r.sessions) - 1; lane >= 0; lane-- {
+			r.idle = append(r.idle, lane)
+		}
+		r.freeSlots = r.freeSlots[:0]
+		for s := len(r.slots) - 1; s >= 0; s-- {
+			r.freeSlots = append(r.freeSlots, s)
+		}
+		return err
+	}
+
+	for foldNext < n {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		// Refill: start draws while slots (and therefore lanes) are free.
+		for len(r.freeSlots) > 0 && nextOff < n {
+			d, err := draw(nextOff)
+			if err != nil {
+				return fail(err)
+			}
+			env, err := abtest.NewSessionEnv(d.User, d.Video, r.cfg.Faults, d.Fseed)
+			if err != nil {
+				return fail(fmt.Errorf("batch: draw %d: %w", nextOff, err))
+			}
+			s := r.freeSlots[len(r.freeSlots)-1]
+			r.freeSlots = r.freeSlots[:len(r.freeSlots)-1]
+			slot := &r.slots[s]
+			slot.off = nextOff
+			slot.env = env
+			slot.remaining = len(r.cfg.Groups)
+			for gi, g := range r.cfg.Groups {
+				lane := r.idle[len(r.idle)-1]
+				r.idle = r.idle[:len(r.idle)-1]
+				pc := slot.env.PlayerConfig(g)
+				pc.SkipChunkRecords = true
+				if pl, ok := pc.Algorithm.(abr.PlanConsumer); ok {
+					pl.UsePlans(r.plans)
+				}
+				if err := r.sessions[lane].Start(pc); err != nil {
+					return fail(fmt.Errorf("batch: draw %d group %s: %w", nextOff, g.Name, err))
+				}
+				r.laneSlot[lane] = s
+				r.laneGroup[lane] = gi
+				r.active = append(r.active, lane)
+			}
+			nextOff++
+		}
+
+		// One kernel round: advance every active lane by one chunk,
+		// retiring lanes as their sessions finish.
+		for i := 0; i < len(r.active); {
+			lane := r.active[i]
+			done, err := r.sessions[lane].Step()
+			if err != nil {
+				s := &r.slots[r.laneSlot[lane]]
+				g := r.cfg.Groups[r.laneGroup[lane]]
+				return fail(fmt.Errorf("batch: draw %d group %s: %w", s.off, g.Name, err))
+			}
+			if !done {
+				i++
+				continue
+			}
+			si := r.laneSlot[lane]
+			slot := &r.slots[si]
+			gi := r.laneGroup[lane]
+			u := slot.env.User
+			slot.ms[gi] = metrics.FromResult(r.sessions[lane].Result(), u.Window, u.Day)
+			if r.cfg.OnRetire != nil {
+				r.cfg.OnRetire()
+			}
+			// Swap-remove keeps the active set dense.
+			r.active[i] = r.active[len(r.active)-1]
+			r.active = r.active[:len(r.active)-1]
+			r.idle = append(r.idle, lane)
+			slot.remaining--
+			if slot.remaining == 0 {
+				parked[slot.off] = si
+				if err := flush(); err != nil {
+					return fail(err)
+				}
+			}
+		}
+	}
+	return nil
+}

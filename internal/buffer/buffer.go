@@ -52,6 +52,18 @@ func New(max time.Duration) *Buffer {
 	return &Buffer{max: max, resume: DefaultResume}
 }
 
+// Reset returns the buffer to the empty just-constructed state with
+// capacity max and the default resume threshold — New(max) semantics
+// without the allocation. It lets a batch kernel keep buffers in flat
+// per-lane storage and reuse them across sessions. Like New, it panics on
+// a non-positive capacity.
+func (b *Buffer) Reset(max time.Duration) {
+	if max <= 0 {
+		panic(fmt.Sprintf("buffer: non-positive capacity %v", max))
+	}
+	*b = Buffer{max: max, resume: DefaultResume}
+}
+
 // SetResume overrides the resume threshold; zero restarts playback on the
 // first chunk after a stall.
 func (b *Buffer) SetResume(d time.Duration) {

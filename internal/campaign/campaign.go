@@ -36,9 +36,11 @@ import (
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bba/internal/abtest"
+	"bba/internal/batch"
 	"bba/internal/faults"
 	"bba/internal/media"
 	"bba/internal/metrics"
@@ -72,6 +74,17 @@ type Config struct {
 	Ladder media.Ladder
 	// Parallelism bounds worker goroutines (default GOMAXPROCS).
 	Parallelism int
+	// Batch routes session execution through the internal/batch kernel:
+	// each worker owns a batch.Runner that advances many paired draws
+	// concurrently through reusable lanes with shared per-title reservoir
+	// plans and no per-chunk logging. Draw keying, fold order and
+	// accumulator arithmetic are unchanged, so reports are byte-identical
+	// to scalar execution. Batch is not part of the campaign identity.
+	Batch bool
+	// BatchWidth is the kernel's paired-draws-in-flight per worker
+	// (default batch.DefaultWidth). Display/throughput only — never part
+	// of the identity.
+	BatchWidth int
 	// Faults, when non-nil, runs every session under per-session fault
 	// weather exactly as the A/B harness does.
 	Faults *faults.ScheduleConfig
@@ -295,11 +308,44 @@ func splitmix(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// shardDraw draws the user for one (shard, offset) — the campaign's
+// determinism key, identical for scalar and batch execution.
+func shardDraw(cfg *Config, catalog *media.Catalog, shard, off int) (abtest.User, *media.Video, int64) {
+	global := int64(shard)*int64(cfg.ShardSize) + int64(off)
+	window := int(global % int64(metrics.WindowsPerDay))
+	day := int(global / int64(metrics.WindowsPerDay) % int64(cfg.Days))
+	rng := shardRNG(cfg.Seed, shard, off)
+	u := abtest.DrawUser(cfg.Population, window, day, rng)
+	var fseed int64
+	if cfg.Faults != nil {
+		fseed = shardFaultSeed(cfg.FaultSeed, shard, off)
+	}
+	return u, u.Pick(catalog), fseed
+}
+
+// shardFold folds one paired draw's metrics into the shard's accumulators,
+// in group order — the arithmetic both execution paths share.
+func shardFold(cfg *Config, accums []*GroupAccum, extra Extra, shard, off int, ms []metrics.Session) error {
+	global := int64(shard)*int64(cfg.ShardSize) + int64(off)
+	for gi := range cfg.Groups {
+		if err := accums[gi].AddSession(sessionKey(global, gi), ms[gi]); err != nil {
+			return fmt.Errorf("campaign: shard %d session %d: %w", shard, off, err)
+		}
+	}
+	if extra != nil {
+		if err := extra.AddSessionSet(global, ms); err != nil {
+			return fmt.Errorf("campaign: shard %d session %d extra: %w", shard, off, err)
+		}
+	}
+	return nil
+}
+
 // runShard executes one shard: for each offset it draws the user keyed by
 // (seed, shard, offset) and streams the paired session once per group,
 // folding the metrics straight into fresh per-group accumulators. The
-// result depends only on (identity, shard).
-func runShard(ctx context.Context, cfg *Config, catalog *media.Catalog, shard int) ([]*GroupAccum, Extra, error) {
+// result depends only on (identity, shard). retired counts player sessions
+// as they finish, for live progress.
+func runShard(ctx context.Context, cfg *Config, catalog *media.Catalog, shard int, retired *atomic.Int64) ([]*GroupAccum, Extra, error) {
 	accums := NewGroupAccums(cfg.identity().Groups, cfg.SketchSize)
 	var extra Extra
 	if cfg.NewExtra != nil {
@@ -310,29 +356,44 @@ func runShard(ctx context.Context, cfg *Config, catalog *media.Catalog, shard in
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		global := int64(shard)*int64(cfg.ShardSize) + int64(off)
-		window := int(global % int64(metrics.WindowsPerDay))
-		day := int(global / int64(metrics.WindowsPerDay) % int64(cfg.Days))
-		rng := shardRNG(cfg.Seed, shard, off)
-		u := abtest.DrawUser(cfg.Population, window, day, rng)
-		var fseed int64
-		if cfg.Faults != nil {
-			fseed = shardFaultSeed(cfg.FaultSeed, shard, off)
-		}
-		ms, err := abtest.PlayUser(ctx, u, u.Pick(catalog), cfg.Groups, cfg.Faults, fseed, nil)
+		u, video, fseed := shardDraw(cfg, catalog, shard, off)
+		ms, err := abtest.PlayUser(ctx, u, video, cfg.Groups, cfg.Faults, fseed, nil)
 		if err != nil {
 			return nil, nil, fmt.Errorf("campaign: shard %d session %d: %w", shard, off, err)
 		}
-		for gi := range cfg.Groups {
-			if err := accums[gi].AddSession(sessionKey(global, gi), ms[gi]); err != nil {
-				return nil, nil, fmt.Errorf("campaign: shard %d session %d: %w", shard, off, err)
-			}
+		retired.Add(int64(len(cfg.Groups)))
+		if err := shardFold(cfg, accums, extra, shard, off, ms); err != nil {
+			return nil, nil, err
 		}
-		if extra != nil {
-			if err := extra.AddSessionSet(global, ms); err != nil {
-				return nil, nil, fmt.Errorf("campaign: shard %d session %d extra: %w", shard, off, err)
-			}
+	}
+	return accums, extra, nil
+}
+
+// runShardBatch executes one shard through a worker-owned batch Runner.
+// The kernel calls draw in ascending offset order with the exact keying
+// runShard uses, and folds completed draws back in ascending offset order,
+// so the accumulators receive the same values in the same order and the
+// shard result is bit-identical to scalar execution.
+func runShardBatch(ctx context.Context, cfg *Config, catalog *media.Catalog, shard int, r *batch.Runner) ([]*GroupAccum, Extra, error) {
+	accums := NewGroupAccums(cfg.identity().Groups, cfg.SketchSize)
+	var extra Extra
+	if cfg.NewExtra != nil {
+		extra = cfg.NewExtra()
+	}
+	n := cfg.identity().shardSessions(shard)
+	err := r.RunShard(ctx, n,
+		func(off int) (batch.Draw, error) {
+			u, video, fseed := shardDraw(cfg, catalog, shard, off)
+			return batch.Draw{User: u, Video: video, Fseed: fseed}, nil
+		},
+		func(off int, ms []metrics.Session) error {
+			return shardFold(cfg, accums, extra, shard, off, ms)
+		})
+	if err != nil {
+		if isContextErr(err) {
+			return nil, nil, err
 		}
+		return nil, nil, fmt.Errorf("campaign: shard %d: %w", shard, err)
 	}
 	return accums, extra, nil
 }
@@ -398,11 +459,15 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 		extra  Extra
 		err    error
 	}
-	// The merge window: the producer takes a token per shard and the
-	// collector releases it when the shard is recorded. In single-stripe
-	// runs recording folds the in-order prefix, so completed-but-unfolded
-	// shards stay within the window; striped runs legitimately retain every
-	// completed shard for the cross-process merge.
+	// The merge window: the producer takes a token per shard, and when the
+	// run's prefix can fold (it starts at the first shard this run will
+	// execute) the collector releases a shard's token only once that shard
+	// has folded into the prefix. That makes the memory ceiling a hard
+	// guarantee: dispatched-but-unfolded shards — executing or parked —
+	// never exceed the window, however the scheduler interleaves workers.
+	// A stripe whose prefix cannot fold (its base shard belongs to another
+	// stripe) legitimately retains every completed shard for the
+	// cross-process merge, so it releases per recorded shard instead.
 	window := 2 * cfg.Parallelism
 	tokens := make(chan struct{}, window)
 	shards := make(chan int)
@@ -424,13 +489,38 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 		}
 	}()
 
+	// retired counts player sessions the execution path has actually
+	// finished — the scalar path bumps it per paired draw, the batch kernel
+	// per retired lane — so progress throughput and ETA reflect real
+	// session completions even while shards are in flight.
+	var retired atomic.Int64
+
 	var wg sync.WaitGroup
 	for n := 0; n < cfg.Parallelism; n++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each batch worker owns one Runner for its whole share of the
+			// campaign: lane arenas and the per-title plan cache are reused
+			// across every shard the worker executes.
+			var runner *batch.Runner
+			if cfg.Batch {
+				runner = batch.NewRunner(batch.Config{
+					Groups:   cfg.Groups,
+					Faults:   cfg.Faults,
+					Width:    cfg.BatchWidth,
+					OnRetire: func() { retired.Add(1) },
+				})
+			}
 			for s := range shards {
-				accums, extra, err := runShard(ctx, &cfg, catalog, s)
+				var accums []*GroupAccum
+				var extra Extra
+				var err error
+				if cfg.Batch {
+					accums, extra, err = runShardBatch(ctx, &cfg, catalog, s, runner)
+				} else {
+					accums, extra, err = runShard(ctx, &cfg, catalog, s, &retired)
+				}
 				select {
 				case results <- shardResult{shard: s, accums: accums, extra: extra, err: err}:
 				case <-ctx.Done():
@@ -462,6 +552,8 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 	if cfg.NewExtra != nil {
 		extraFold = cfg.NewExtra()
 	}
+	releaseOnFold := len(todo) > 0 && todo[0] == state.PrefixShards
+	todoFolded := 0
 	sinceSave := 0
 	var firstErr error
 	for r := range results {
@@ -481,6 +573,18 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 				continue
 			}
 		}
+		// Tally this shard before record takes ownership of the accums:
+		// when the shard seeds the prefix, later fold cascades merge
+		// parked shards into the very slice r.accums points at, and a
+		// tally after the fact would read those shards twice.
+		for gi, a := range r.accums {
+			out.Stats.Faults += a.Faults
+			out.Stats.Retries += a.Retries
+			out.Stats.Degradations += a.Degradations
+			out.Stats.Failovers += a.Failovers
+			// live is for display only; errors here cannot corrupt state.
+			_ = live[gi].Merge(a)
+		}
 		if err := state.record(r.shard, r.accums); err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -488,7 +592,16 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 			cancel()
 			continue
 		}
-		<-tokens
+		if releaseOnFold {
+			// record folded any newly contiguous shards (possibly a
+			// cascade through parked ones); release their tokens.
+			for todoFolded < len(todo) && todo[todoFolded] < state.PrefixShards {
+				<-tokens
+				todoFolded++
+			}
+		} else {
+			<-tokens
+		}
 		if cfg.NewExtra != nil {
 			extraParked[r.shard] = r.extra
 			for extraNext < len(todo) {
@@ -511,14 +624,6 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 		ran := int64(id.shardSessions(r.shard))
 		out.Stats.SessionsRun += ran
 		out.Stats.PlayerSessions += ran * int64(len(id.Groups))
-		for gi, a := range r.accums {
-			out.Stats.Faults += a.Faults
-			out.Stats.Retries += a.Retries
-			out.Stats.Degradations += a.Degradations
-			out.Stats.Failovers += a.Failovers
-			// live is for display only; errors here cannot corrupt state.
-			_ = live[gi].Merge(a)
-		}
 
 		elapsed := time.Since(start)
 		if cfg.Observer != nil {
@@ -533,7 +638,7 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 			})
 		}
 		if cfg.Progress != nil {
-			cfg.Progress(progressSnapshot(out.Stats, elapsed, resumedShards, resumedSessions, stripeShards, stripeSessions, live))
+			cfg.Progress(progressSnapshot(out.Stats, elapsed, resumedShards, resumedSessions, stripeShards, stripeSessions, retired.Load(), len(id.Groups), live))
 		}
 		sinceSave++
 		if cfg.CheckpointPath != "" && sinceSave >= cfg.CheckpointEvery {
@@ -568,7 +673,7 @@ func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func progressSnapshot(rs RunStats, elapsed time.Duration, resumedShards int, resumedSessions int64, stripeShards int, stripeSessions int64, live []*GroupAccum) Progress {
+func progressSnapshot(rs RunStats, elapsed time.Duration, resumedShards int, resumedSessions int64, stripeShards int, stripeSessions int64, retired int64, groups int, live []*GroupAccum) Progress {
 	p := Progress{
 		ShardsDone:    resumedShards + rs.ShardsRun,
 		ShardsTotal:   stripeShards,
@@ -576,11 +681,15 @@ func progressSnapshot(rs RunStats, elapsed time.Duration, resumedShards int, res
 		SessionsTotal: stripeSessions,
 		Elapsed:       elapsed,
 	}
+	// Throughput and ETA come from sessions the execution path has retired
+	// (scalar: per paired draw; batch: per kernel-retired lane), not from
+	// shard completions — with wide shards in flight, retired sessions are
+	// the honest measure of pace.
 	if elapsed > 0 {
-		p.SessionsPerSec = float64(rs.PlayerSessions) / elapsed.Seconds()
+		p.SessionsPerSec = float64(retired) / elapsed.Seconds()
 	}
-	if rs.SessionsRun > 0 && p.SessionsDone < p.SessionsTotal {
-		perSession := elapsed.Seconds() / float64(rs.SessionsRun)
+	if retired > 0 && groups > 0 && p.SessionsDone < p.SessionsTotal {
+		perSession := elapsed.Seconds() / (float64(retired) / float64(groups))
 		p.ETA = time.Duration(perSession * float64(p.SessionsTotal-p.SessionsDone) * float64(time.Second))
 	}
 	var control float64

@@ -97,6 +97,43 @@ func TestShardingDeterminism(t *testing.T) {
 	}
 }
 
+// TestBatchReportByteIdentical pins the batch kernel's campaign contract:
+// Config.Batch must produce byte-identical reports to scalar execution at
+// any worker count — here 1 and 8 workers, under fault weather, with a
+// non-default kernel width so the lane scheduler is genuinely exercised.
+func TestBatchReportByteIdentical(t *testing.T) {
+	cfg := testConfig(52) // 7 shards, last one partial
+	cfg.Parallelism = 1
+	ref, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportBytes(t, ref.Report)
+
+	for _, par := range []int{1, 8} {
+		bcfg := cfg
+		bcfg.Batch = true
+		bcfg.BatchWidth = 3
+		bcfg.Parallelism = par
+		var last Progress
+		bcfg.Progress = func(p Progress) { last = p }
+		out, err := Run(bcfg)
+		if err != nil {
+			t.Fatalf("batch run (%d workers): %v", par, err)
+		}
+		if !bytes.Equal(reportBytes(t, out.Report), want) {
+			t.Errorf("batch report at %d workers differs from scalar report", par)
+		}
+		// Progress throughput counts kernel-retired sessions.
+		if last.SessionsPerSec <= 0 {
+			t.Errorf("batch run (%d workers): SessionsPerSec %v, want > 0", par, last.SessionsPerSec)
+		}
+		if last.SessionsDone != int64(cfg.Sessions) {
+			t.Errorf("batch run (%d workers): SessionsDone %d, want %d", par, last.SessionsDone, cfg.Sessions)
+		}
+	}
+}
+
 // TestResumeNoDoubleCounting kills a campaign mid-run, resumes from its
 // checkpoint, and requires the final report to be byte-identical to an
 // uninterrupted run — shards are atomic, so nothing is lost or counted

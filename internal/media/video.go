@@ -33,13 +33,19 @@ func (v *Video) Duration() time.Duration {
 // It panics on out-of-range arguments: indices always originate inside the
 // library, so a violation is a programming error, not an input error.
 func (v *Video) ChunkSize(rate, k int) int64 {
+	if rate < 0 || rate >= len(v.sizes) || k < 0 || k >= len(v.sizes[rate]) {
+		v.chunkRangePanic(rate, k)
+	}
+	return v.sizes[rate][k]
+}
+
+// chunkRangePanic keeps the panic formatting out of ChunkSize so the hot
+// lookup stays inlinable.
+func (v *Video) chunkRangePanic(rate, k int) {
 	if rate < 0 || rate >= len(v.sizes) {
 		panic(fmt.Sprintf("media: rate index %d out of range [0,%d)", rate, len(v.sizes)))
 	}
-	if k < 0 || k >= len(v.sizes[rate]) {
-		panic(fmt.Sprintf("media: chunk index %d out of range [0,%d)", k, len(v.sizes[rate])))
-	}
-	return v.sizes[rate][k]
+	panic(fmt.Sprintf("media: chunk index %d out of range [0,%d)", k, len(v.sizes[rate])))
 }
 
 // NominalChunkSize returns the average chunk size V·R implied by the

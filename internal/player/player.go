@@ -24,8 +24,6 @@ import (
 	"time"
 
 	"bba/internal/abr"
-	"bba/internal/buffer"
-	"bba/internal/faults"
 	"bba/internal/telemetry"
 	"bba/internal/trace"
 	"bba/internal/units"
@@ -70,6 +68,13 @@ type Config struct {
 	// Retry tunes the retry/degradation policy; the zero value means
 	// defaults (budget 3, backoff 200 ms doubling to a 5 s cap).
 	Retry RetryPolicy
+	// SkipChunkRecords drops the per-chunk Result.Chunks log, recording
+	// only a compact per-chunk rate index instead. Every Result metric
+	// method still returns bit-identical values; only Chunks itself (and
+	// WriteChunkCSV, which reads it) comes back empty. Campaign-scale
+	// runs that never read the per-chunk log use this to avoid the
+	// dominant allocation of the session hot path.
+	SkipChunkRecords bool
 }
 
 // FaultInjector decides per-attempt chunk failures and per-request latency
@@ -176,6 +181,49 @@ type Result struct {
 	Seeks []SeekRecord
 	// End is the session clock when the session finished.
 	End time.Duration
+
+	// Compact recording, used when Config.SkipChunkRecords is set: one
+	// session-ladder index per downloaded chunk plus the ladder's kb/s
+	// values. Together with the two Start-time boundary counters below,
+	// this reproduces every rate-derived metric bit-identically without
+	// per-chunk records: chunk start times are monotone non-decreasing,
+	// so "chunks starting before the cutoff" is a prefix count.
+	rateIdx    []uint8
+	ladderKbps []float64
+	// startupChunks counts chunks whose Start is < 1 minute, steadySkip
+	// those with Start < 2 minutes.
+	startupChunks int
+	steadySkip    int
+}
+
+// reset clears r for reuse, retaining record storage so a long-lived
+// Session re-running sessions allocates nothing here in steady state.
+func (r *Result) reset(alg string) {
+	chunks := r.Chunks[:0]
+	rates := r.rateIdx[:0]
+	kbps := r.ladderKbps[:0]
+	seeks := r.Seeks[:0]
+	*r = Result{Algorithm: alg, Chunks: chunks, rateIdx: rates, ladderKbps: kbps, Seeks: seeks}
+}
+
+// ChunkCount returns the number of downloaded chunks, whether or not
+// per-chunk records were kept.
+func (r *Result) ChunkCount() int {
+	if len(r.Chunks) > 0 {
+		return len(r.Chunks)
+	}
+	return len(r.rateIdx)
+}
+
+// ChunkRateKbps returns chunk i's nominal video rate in kb/s, in download
+// order, in either recording mode. Metric consumers (QoE scoring, the
+// average-rate methods) use this instead of reading Chunks directly so
+// they work on compact results too.
+func (r *Result) ChunkRateKbps(i int) float64 {
+	if len(r.Chunks) > 0 {
+		return r.Chunks[i].Rate.Kilobits()
+	}
+	return r.ladderKbps[r.rateIdx[i]]
 }
 
 // ErrNoProgress is returned when the first chunk can never download (the
@@ -192,345 +240,30 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	return run(ctx, cfg)
 }
 
+// run drives a Session step by step — the one-shot form of the reusable
+// engine. The Session owns its Result, so hand ownership to the caller by
+// detaching it before returning.
 func run(ctx context.Context, cfg Config) (*Result, error) {
-	if cfg.Algorithm == nil {
-		return nil, errors.New("player: nil algorithm")
+	var ss Session
+	if err := ss.Start(cfg); err != nil {
+		return nil, err
 	}
-	if cfg.Trace == nil {
-		return nil, errors.New("player: nil trace")
-	}
-	bufMax := cfg.BufferMax
-	if bufMax <= 0 {
-		bufMax = buffer.DefaultMax
-	}
-	s := cfg.Stream
-	v := s.ChunkDuration()
-	ladder := s.Ladder()
-
-	buf := buffer.New(bufMax)
-	if cfg.ResumeThreshold != 0 {
-		buf.SetResume(cfg.ResumeThreshold)
-	}
-	// The session clock only moves forward, so one trace cursor serves the
-	// whole session: each download resumes the segment walk where the last
-	// one finished instead of re-searching the trace.
-	link := cfg.Trace.Cursor()
-	res := &Result{
-		Algorithm: cfg.Algorithm.Name(),
-		Chunks:    make([]ChunkRecord, 0, chunkCapacity(s, v, cfg.WatchLimit)),
-	}
-	var (
-		now       time.Duration
-		prevIdx   = -1
-		lastTP    units.BitRate
-		lastDl    time.Duration
-		lastBytes int64
-	)
-
-	// Telemetry state. Everything here is only touched when obs != nil,
-	// keeping the nil path identical to the uninstrumented engine.
-	obs := cfg.Observer
-	var (
-		stallBase     time.Duration // buf.StallTime() when the open rebuffer began
-		lastReservoir = time.Duration(-1)
-		reporter      abr.ReservoirReporter
-	)
-	if obs != nil {
-		reporter, _ = cfg.Algorithm.(abr.ReservoirReporter)
-		obs.OnEvent(telemetry.Event{
-			Kind: telemetry.SessionStart, Chunk: -1, RateIndex: -1,
-			PrevRateIndex: -1, Label: res.Algorithm,
-		})
-	}
-
-	// Fault state. Only built when an injector is configured, so the
-	// nil-injector hot path stays byte-for-byte the uninstrumented engine.
-	inj := cfg.Injector
-	var (
-		rp           RetryPolicy
-		faultAdvance func(d time.Duration, chunk int)
-	)
-	if inj != nil {
-		rp = cfg.Retry.withDefaults()
-		// Advance the session clock through a failed attempt or backoff:
-		// the buffer keeps draining, and a drain-to-empty is a real
-		// rebuffer with the same telemetry as one during a download.
-		faultAdvance = func(d time.Duration, chunk int) {
-			if d <= 0 {
-				return
-			}
-			preLevel, preStall, preRebuf := buf.Level(), buf.StallTime(), buf.Rebuffers()
-			buf.Advance(d)
-			now += d
-			if obs != nil && buf.Rebuffers() > preRebuf {
-				stallBase = preStall
-				obs.OnEvent(telemetry.Event{
-					Kind: telemetry.RebufferStart, At: now - d + preLevel,
-					Chunk: chunk, RateIndex: -1, PrevRateIndex: -1,
-				})
-			}
-		}
-	}
-
-	seeks := cfg.Seeks
-	justSought := false
-	for k := 0; k < s.NumChunks(); k++ {
+	for {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		// Execute a pending seek once enough video has been delivered.
-		if len(seeks) > 0 && buf.Played() >= seeks[0].AfterPlayed {
-			target := seeks[0].ToChunk
-			seeks = seeks[1:]
-			if target >= 0 && target < s.NumChunks() {
-				buf.Flush()
-				if sa, ok := cfg.Algorithm.(abr.SeekAware); ok {
-					sa.Seeked()
-				}
-				res.Seeks = append(res.Seeks, SeekRecord{At: now, ToChunk: target})
-				k = target
-				justSought = true
-				if obs != nil {
-					obs.OnEvent(telemetry.Event{
-						Kind: telemetry.Seek, At: now, Chunk: target,
-						RateIndex: -1, PrevRateIndex: -1, Played: buf.Played(),
-					})
-				}
-			}
-		}
-		// Stop requesting once the buffer already holds everything the
-		// viewer will watch — unless a seek is still pending, which will
-		// discard that buffer.
-		if len(seeks) == 0 && cfg.WatchLimit > 0 && buf.Played()+buf.Level() >= cfg.WatchLimit {
-			break
-		}
-
-		// ON-OFF: wait for space before the next request.
-		if !buf.HasSpaceFor(v) {
-			wait := buf.TimeUntilSpaceFor(v)
-			buf.Advance(wait)
-			now += wait
-		}
-
-		st := abr.State{
-			Now:            now,
-			Buffer:         buf.Level(),
-			BufferMax:      bufMax,
-			PrevIndex:      prevIdx,
-			NextChunk:      k,
-			LastThroughput: lastTP,
-			LastDownload:   lastDl,
-			LastChunkBytes: lastBytes,
-		}
-		idx := ladder.Clamp(cfg.Algorithm.Next(st, s))
-		bytes := s.ChunkSize(idx, k)
-		if obs != nil {
-			obs.OnEvent(telemetry.Event{
-				Kind: telemetry.BufferSample, At: now, Chunk: k,
-				RateIndex: -1, PrevRateIndex: -1,
-				Buffer: buf.Level(), Played: buf.Played(),
-			})
-			if reporter != nil {
-				if r, p, ok := reporter.LastReservoir(); ok && r != lastReservoir {
-					lastReservoir = r
-					obs.OnEvent(telemetry.Event{
-						Kind: telemetry.ReservoirUpdate, At: now, Chunk: k,
-						RateIndex: -1, PrevRateIndex: -1,
-						Reservoir: r, Protection: p, Buffer: buf.Level(),
-					})
-				}
-			}
-			if prevIdx >= 0 && idx != prevIdx {
-				obs.OnEvent(telemetry.Event{
-					Kind: telemetry.RateSwitch, At: now, Chunk: k,
-					RateIndex: idx, PrevRateIndex: prevIdx,
-					Rate: ladder[idx], Buffer: buf.Level(),
-				})
-			}
-			obs.OnEvent(telemetry.Event{
-				Kind: telemetry.ChunkRequest, At: now, Chunk: k,
-				RateIndex: idx, PrevRateIndex: -1,
-				Rate: ladder[idx], Bytes: bytes, Buffer: buf.Level(),
-			})
-		}
-
-		if inj != nil {
-			// Resilience loop: each attempt pays any active latency spike,
-			// may fail to an injected fault (costing its virtual delay plus
-			// a deterministic backoff), and after Budget failures at the
-			// chosen rate the session degrades to the lowest rung with a
-			// shrunken request rather than aborting. The loop always
-			// terminates: every failed attempt advances the clock by at
-			// least the backoff, so a finite episode is always outlived.
-			attempt, budgetUsed := 0, 0
-			degraded := false
-			for {
-				faultAdvance(inj.RequestLatency(now), k)
-				label, cost, failed := inj.ChunkFault(now, k, attempt)
-				if !failed {
-					break
-				}
-				res.Faults++
-				if obs != nil {
-					obs.OnEvent(telemetry.Event{
-						Kind: telemetry.FaultInject, At: now, Chunk: k,
-						RateIndex: idx, PrevRateIndex: -1,
-						Duration: cost, Label: label,
-					})
-				}
-				attempt++
-				budgetUsed++
-				backoff := faults.Backoff(rp.BackoffBase, rp.BackoffCap, uint64(rp.Seed), k, attempt)
-				faultAdvance(cost+backoff, k)
-				res.Retries++
-				if obs != nil {
-					obs.OnEvent(telemetry.Event{
-						Kind: telemetry.ChunkRetry, At: now, Chunk: k,
-						RateIndex: idx, PrevRateIndex: -1, Duration: backoff,
-					})
-				}
-				if budgetUsed >= rp.Budget && !degraded && idx > 0 {
-					degraded = true
-					budgetUsed = 0
-					res.Degradations++
-					prevReq := idx
-					idx = 0
-					bytes = s.ChunkSize(0, k)
-					if obs != nil {
-						obs.OnEvent(telemetry.Event{
-							Kind: telemetry.Degrade, At: now, Chunk: k,
-							RateIndex: 0, PrevRateIndex: prevReq,
-							Rate: ladder[0], Bytes: bytes, Buffer: buf.Level(),
-						})
-						obs.OnEvent(telemetry.Event{
-							Kind: telemetry.ChunkRequest, At: now, Chunk: k,
-							RateIndex: 0, PrevRateIndex: -1,
-							Rate: ladder[0], Bytes: bytes, Buffer: buf.Level(),
-						})
-					}
-				}
-			}
-		}
-
-		dl, ok := link.DownloadTime(now, bytes)
-		if !ok {
-			// Permanent outage: playback drains whatever is buffered
-			// and freezes forever.
-			if k == 0 {
-				return nil, ErrNoProgress
-			}
-			res.Incomplete = true
-			res.Rebuffers++
-			if obs != nil {
-				obs.OnEvent(telemetry.Event{
-					Kind: telemetry.RebufferStart, At: now + buf.Level(),
-					Chunk: k, RateIndex: -1, PrevRateIndex: -1,
-					Label: "outage",
-				})
-			}
-			break
-		}
-
-		var preLevel, preStall time.Duration
-		var preRebuf int
-		if obs != nil {
-			preLevel, preStall, preRebuf = buf.Level(), buf.StallTime(), buf.Rebuffers()
-		}
-		buf.Advance(dl)
-		now += dl
-		if obs != nil && buf.Rebuffers() > preRebuf {
-			// The stall began the instant the buffer drained mid-download.
-			stallBase = preStall
-			obs.OnEvent(telemetry.Event{
-				Kind: telemetry.RebufferStart, At: now - dl + preLevel,
-				Chunk: k, RateIndex: -1, PrevRateIndex: -1,
-			})
-		}
-		if k == 0 {
-			res.JoinDelay = now
-		}
-		if justSought {
-			res.Seeks[len(res.Seeks)-1].JoinDelay = dl
-			justSought = false
-		}
-		stalled := buf.Started() && !buf.Playing()
-		// Overflow is impossible here because of the ON-OFF wait; an
-		// error would indicate an engine bug, so surface it loudly.
-		if err := buf.AddChunk(v); err != nil {
+		done, err := ss.Step()
+		if err != nil {
 			return nil, err
 		}
-
-		if prevIdx >= 0 && idx != prevIdx {
-			res.Switches++
-		}
-		lastTP = units.Throughput(bytes, dl)
-		lastDl = dl
-		lastBytes = bytes
-		res.Chunks = append(res.Chunks, ChunkRecord{
-			Index:       k,
-			RateIndex:   idx,
-			Rate:        ladder[idx],
-			Bytes:       bytes,
-			Start:       now - dl,
-			Download:    dl,
-			Throughput:  lastTP,
-			BufferAfter: buf.Level(),
-		})
-		prevIdx = idx
-		if obs != nil {
-			if stalled && buf.Playing() {
-				obs.OnEvent(telemetry.Event{
-					Kind: telemetry.RebufferEnd, At: now, Chunk: k,
-					RateIndex: -1, PrevRateIndex: -1,
-					Duration: buf.StallTime() - stallBase, Buffer: buf.Level(),
-				})
-			}
-			obs.OnEvent(telemetry.Event{
-				Kind: telemetry.ChunkComplete, At: now, Chunk: k,
-				RateIndex: idx, PrevRateIndex: -1,
-				Rate: ladder[idx], Bytes: bytes, Duration: dl,
-				Throughput: lastTP, Buffer: buf.Level(), Played: buf.Played(),
-			})
+		if done {
+			res := ss.res
+			ss.res = nil
+			return res, nil
 		}
 	}
-
-	// Play out the tail of the buffer (up to the watch limit). For an
-	// incomplete session this is the video the viewer still sees before
-	// the permanent freeze. With no further downloads coming, a pending
-	// stall ends now rather than waiting for the resume threshold.
-	if obs != nil && !res.Incomplete && buf.Started() && !buf.Playing() {
-		obs.OnEvent(telemetry.Event{
-			Kind: telemetry.RebufferEnd, At: now, Chunk: -1,
-			RateIndex: -1, PrevRateIndex: -1,
-			Duration: buf.StallTime() - stallBase, Buffer: buf.Level(),
-		})
-	}
-	buf.Resume()
-	remaining := buf.Level()
-	if cfg.WatchLimit > 0 {
-		if left := cfg.WatchLimit - buf.Played(); left < remaining {
-			remaining = left
-		}
-	}
-	if remaining > 0 {
-		buf.Advance(remaining)
-		now += remaining
-	}
-
-	res.Played = buf.Played()
-	res.Rebuffers += buf.Rebuffers()
-	res.StallTime += buf.StallTime()
-	res.End = now
-	if obs != nil {
-		obs.OnEvent(telemetry.Event{
-			Kind: telemetry.SessionEnd, At: res.End, Chunk: len(res.Chunks),
-			RateIndex: -1, PrevRateIndex: -1,
-			Duration: res.StallTime, Played: res.Played, Label: res.Algorithm,
-		})
-	}
-	return res, nil
 }
 
 // chunkCapacity sizes the Result.Chunks preallocation: the title length,
@@ -550,7 +283,9 @@ func chunkCapacity(s abr.Stream, v time.Duration, watchLimit time.Duration) int 
 
 // WriteChunkCSV emits the per-chunk log as CSV
 // ("start_s,index,rate_kbps,bytes,download_s,throughput_kbps,buffer_s"),
-// the raw series behind the time-series figures.
+// the raw series behind the time-series figures. It needs full per-chunk
+// records: a Config.SkipChunkRecords session has none and emits only the
+// header.
 func (r *Result) WriteChunkCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := fmt.Fprintln(bw, "start_s,index,rate_kbps,bytes,download_s,throughput_kbps,buffer_s"); err != nil {
@@ -591,27 +326,48 @@ func (r *Result) SwitchesPerPlayhour() float64 {
 // AvgRateKbps is the delivered average video rate: each chunk contributes
 // its nominal rate weighted by its fixed playback duration.
 func (r *Result) AvgRateKbps() float64 {
-	if len(r.Chunks) == 0 {
+	n := r.ChunkCount()
+	if n == 0 {
 		return 0
 	}
 	var sum float64
-	for _, c := range r.Chunks {
-		sum += c.Rate.Kilobits()
+	for i := 0; i < n; i++ {
+		sum += r.ChunkRateKbps(i)
 	}
-	return sum / float64(len(r.Chunks))
+	return sum / float64(n)
 }
 
 // SteadyAvgRateKbps is the average video rate excluding the session's first
 // two minutes — the paper's Figure 18 approximation of steady state. It
 // returns 0 when the session never reaches steady state.
 func (r *Result) SteadyAvgRateKbps() float64 {
-	return r.avgRateAfter(2 * time.Minute)
+	if len(r.Chunks) == 0 && len(r.rateIdx) > 0 {
+		// Compact mode: chunk starts are monotone, so "Start >= 2 min"
+		// is exactly the suffix beyond the boundary counter.
+		return r.avgRateRange(r.steadySkip, len(r.rateIdx))
+	}
+	var sum float64
+	n := 0
+	for _, c := range r.Chunks {
+		if c.Start < 2*time.Minute {
+			continue
+		}
+		sum += c.Rate.Kilobits()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // StartupAvgRateKbps is the average rate over the first minute, the metric
 // behind "the BBA-1 algorithm achieves 700kb/s less than the Control" in
 // the first 60 seconds.
 func (r *Result) StartupAvgRateKbps() float64 {
+	if len(r.Chunks) == 0 && len(r.rateIdx) > 0 {
+		return r.avgRateRange(0, r.startupChunks)
+	}
 	var sum float64
 	n := 0
 	for _, c := range r.Chunks {
@@ -627,18 +383,16 @@ func (r *Result) StartupAvgRateKbps() float64 {
 	return sum / float64(n)
 }
 
-func (r *Result) avgRateAfter(cutoff time.Duration) float64 {
-	var sum float64
-	n := 0
-	for _, c := range r.Chunks {
-		if c.Start < cutoff {
-			continue
-		}
-		sum += c.Rate.Kilobits()
-		n++
-	}
-	if n == 0 {
+// avgRateRange averages the compact rate records over [from, to). The sum
+// runs in the same chunk order with the same per-chunk values as the
+// record-walking loops, so the result is bit-identical to full mode.
+func (r *Result) avgRateRange(from, to int) float64 {
+	if to <= from {
 		return 0
 	}
-	return sum / float64(n)
+	var sum float64
+	for i := from; i < to; i++ {
+		sum += r.ladderKbps[r.rateIdx[i]]
+	}
+	return sum / float64(to-from)
 }

@@ -1,0 +1,183 @@
+package player
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/faults"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+// skipScenario is one (algorithm, weather, viewing) draw run through both
+// recording modes.
+type skipScenario struct {
+	name   string
+	seed   int64
+	alg    string
+	watch  time.Duration
+	seeks  []Seek
+	faulty bool
+}
+
+func runSkipScenario(t *testing.T, sc skipScenario, skip bool) *Result {
+	t.Helper()
+	s := vbrStream(t, sc.seed, 900)
+	tr := trace.Markov(trace.MarkovConfig{
+		Base:      2500 * units.Kbps,
+		Sigma:     trace.SigmaForQuartileRatio(4),
+		MeanDwell: 15 * time.Second,
+		Duration:  2 * time.Hour,
+	}, rand.New(rand.NewSource(sc.seed^0x5eed)))
+	alg, err := abr.New(sc.alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Algorithm:        alg,
+		Stream:           s,
+		Trace:            tr,
+		WatchLimit:       sc.watch,
+		Seeks:            sc.seeks,
+		SkipChunkRecords: skip,
+	}
+	if sc.faulty {
+		sched := faults.GenerateSeeded(faults.DefaultScheduleConfig(), sc.seed)
+		ftr, err := sched.ApplyToTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Trace = ftr
+		cfg.Injector = faults.NewSessionInjector(sched, sc.seed)
+		cfg.Retry = RetryPolicy{Seed: sc.seed}
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSkipChunkRecordsBitIdentical pins the SkipChunkRecords contract:
+// every metric a campaign consumes must be bit-identical to the fully
+// recorded session, across algorithms, fault weather, watch limits and
+// seeks.
+func TestSkipChunkRecordsBitIdentical(t *testing.T) {
+	scenarios := []skipScenario{
+		{name: "control", seed: 1, alg: "Control"},
+		{name: "bba1-watchlimit", seed: 2, alg: "BBA-1", watch: 25 * time.Minute},
+		{name: "bba2-faults", seed: 3, alg: "BBA-2", watch: 40 * time.Minute, faulty: true},
+		{name: "bbaothers", seed: 4, alg: "BBA-Others", watch: time.Hour},
+		{name: "bola-seeks", seed: 5, alg: "BOLA", seeks: []Seek{{AfterPlayed: 5 * time.Minute, ToChunk: 600}}},
+		{name: "hybrid-faults", seed: 6, alg: "Hybrid", faulty: true},
+		{name: "smooth-short", seed: 7, alg: "SmoothThroughput", watch: 45 * time.Second},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			full := runSkipScenario(t, sc, false)
+			compact := runSkipScenario(t, sc, true)
+
+			if len(compact.Chunks) != 0 {
+				t.Errorf("compact result kept %d chunk records", len(compact.Chunks))
+			}
+			if got, want := compact.ChunkCount(), len(full.Chunks); got != want {
+				t.Errorf("ChunkCount = %d, want %d", got, want)
+			}
+			for i := range full.Chunks {
+				if g, w := compact.ChunkRateKbps(i), full.ChunkRateKbps(i); g != w {
+					t.Fatalf("ChunkRateKbps(%d) = %v, want %v", i, g, w)
+				}
+			}
+
+			type pair struct {
+				name      string
+				got, want float64
+			}
+			for _, p := range []pair{
+				{"AvgRateKbps", compact.AvgRateKbps(), full.AvgRateKbps()},
+				{"SteadyAvgRateKbps", compact.SteadyAvgRateKbps(), full.SteadyAvgRateKbps()},
+				{"StartupAvgRateKbps", compact.StartupAvgRateKbps(), full.StartupAvgRateKbps()},
+				{"RebuffersPerPlayhour", compact.RebuffersPerPlayhour(), full.RebuffersPerPlayhour()},
+				{"SwitchesPerPlayhour", compact.SwitchesPerPlayhour(), full.SwitchesPerPlayhour()},
+			} {
+				// Bitwise comparison: the compact path must replay the
+				// identical float operations, not merely be close.
+				if math.Float64bits(p.got) != math.Float64bits(p.want) {
+					t.Errorf("%s = %v, want bit-identical %v", p.name, p.got, p.want)
+				}
+			}
+
+			type scalarFields struct {
+				Algorithm                               string
+				JoinDelay, Played, StallTime, End       time.Duration
+				Rebuffers, Switches                     int
+				Faults, Retries, Degradations, Failover int
+				Incomplete                              bool
+			}
+			scrub := func(r *Result) scalarFields {
+				return scalarFields{
+					Algorithm: r.Algorithm, JoinDelay: r.JoinDelay,
+					Played: r.Played, StallTime: r.StallTime, End: r.End,
+					Rebuffers: r.Rebuffers, Switches: r.Switches,
+					Faults: r.Faults, Retries: r.Retries,
+					Degradations: r.Degradations, Failover: r.Failovers,
+					Incomplete: r.Incomplete,
+				}
+			}
+			if scrub(compact) != scrub(full) {
+				t.Errorf("scalar Result fields diverged:\ncompact: %+v\nfull:    %+v", scrub(compact), scrub(full))
+			}
+			if len(compact.Seeks) != len(full.Seeks) {
+				t.Fatalf("seek records: %d vs %d", len(compact.Seeks), len(full.Seeks))
+			}
+			for i := range full.Seeks {
+				if compact.Seeks[i] != full.Seeks[i] {
+					t.Errorf("Seeks[%d] = %+v, want %+v", i, compact.Seeks[i], full.Seeks[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSessionReuseAllocates pins the arena contract of the reusable
+// Session: once warm, re-running sessions with SkipChunkRecords must not
+// allocate at all (the configured algorithm aside — RminAlways is
+// stateless and allocation-free).
+func TestSessionReuseAllocates(t *testing.T) {
+	s := vbrStream(t, 11, 450)
+	tr := trace.Markov(trace.MarkovConfig{
+		Base:     3 * units.Mbps,
+		Sigma:    trace.SigmaForQuartileRatio(3),
+		Duration: time.Hour,
+	}, rand.New(rand.NewSource(99)))
+	cfg := Config{
+		Algorithm:        abr.RminAlways{},
+		Stream:           s,
+		Trace:            tr,
+		WatchLimit:       20 * time.Minute,
+		SkipChunkRecords: true,
+	}
+	var ss Session
+	runOnce := func() {
+		if err := ss.Start(cfg); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			done, err := ss.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if done {
+				break
+			}
+		}
+	}
+	runOnce() // warm the arenas
+	avg := testing.AllocsPerRun(50, runOnce)
+	if avg != 0 {
+		t.Errorf("warm Session re-run allocates %.1f times per session, want 0", avg)
+	}
+}

@@ -60,8 +60,10 @@ func Score(res *player.Result, w Weights) Breakdown {
 	}
 	var b Breakdown
 	var prevQ float64
-	for i, c := range res.Chunks {
-		q := w.Quality(c.Rate.Kilobits())
+	// Walk rates through the accessor so compact (SkipChunkRecords)
+	// results score identically to fully-recorded ones.
+	for i, n := 0, res.ChunkCount(); i < n; i++ {
+		q := w.Quality(res.ChunkRateKbps(i))
 		b.QualityTotal += q
 		if i > 0 {
 			b.SwitchTotal += math.Abs(q - prevQ)

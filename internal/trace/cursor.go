@@ -26,6 +26,12 @@ type Cursor struct {
 // Cursor returns a new sequential reader positioned at the start of t.
 func (t *Trace) Cursor() *Cursor { return &Cursor{t: t} }
 
+// Bind points the cursor at the start of t, reusing the cursor's storage.
+// It is the allocation-free form of Trace.Cursor for callers — the batch
+// session kernel — that keep cursors in flat per-lane arrays and rebind
+// them to a new session's trace instead of allocating one per session.
+func (c *Cursor) Bind(t *Trace) { c.t, c.idx = t, 0 }
+
 // seek positions idx at the segment containing at. Forward motion walks
 // segment by segment (amortized O(1) for monotone queries); a backward
 // jump — a seek before the current segment — rebinds with binary search.

@@ -42,6 +42,8 @@ type Segment struct {
 type Trace struct {
 	segments []Segment
 	starts   []time.Duration // start time of each segment
+	ends     []time.Duration // end time of each segment (starts[i]+Duration)
+	rateF    []float64       // float64(Rate), hoisted for the download integrals
 	total    time.Duration
 }
 
@@ -57,6 +59,8 @@ func New(segments []Segment) (*Trace, error) {
 	t := &Trace{
 		segments: make([]Segment, len(segments)),
 		starts:   make([]time.Duration, len(segments)),
+		ends:     make([]time.Duration, len(segments)),
+		rateF:    make([]float64, len(segments)),
 	}
 	copy(t.segments, segments)
 	for i, s := range t.segments {
@@ -68,6 +72,8 @@ func New(segments []Segment) (*Trace, error) {
 		}
 		t.starts[i] = t.total
 		t.total += s.Duration
+		t.ends[i] = t.total
+		t.rateF[i] = float64(s.Rate)
 	}
 	return t, nil
 }
@@ -172,17 +178,17 @@ func (t *Trace) DownloadTime(start time.Duration, n int64) (time.Duration, bool)
 func (t *Trace) downloadTimeFrom(i int, start time.Duration, n int64) (time.Duration, int, bool) {
 	remaining := float64(n * 8) // bits
 	cursor := start
+	last := len(t.segments) - 1
 	for {
-		rate := float64(t.segments[i].Rate)
-		last := i == len(t.segments)-1
-		if last {
+		rate := t.rateF[i]
+		if i == last {
 			if rate <= 0 {
 				return 0, i, false
 			}
 			cursor += units.SecondsToDuration(remaining / rate)
 			return cursor - start, i, true
 		}
-		segEnd := t.starts[i] + t.segments[i].Duration
+		segEnd := t.ends[i]
 		span := (segEnd - cursor).Seconds()
 		capacity := rate * span
 		if capacity >= remaining && rate > 0 {
@@ -290,7 +296,9 @@ func Markov(cfg MarkovConfig, rng *rand.Rand) *Trace {
 	if ceiling <= 0 {
 		ceiling = 100 * units.Mbps
 	}
-	var segs []Segment
+	// Dwell times average MeanDwell, so presizing near the expected count
+	// keeps the generator to one allocation for typical traces.
+	segs := make([]Segment, 0, cfg.Duration/cfg.MeanDwell+cfg.Duration/cfg.MeanDwell/4+1)
 	var elapsed time.Duration
 	for elapsed < cfg.Duration {
 		factor := math.Exp(cfg.Sigma * rng.NormFloat64())

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bba/internal/coord"
+)
+
+// coordBench measures fleet-mode campaign throughput: a coordinator plus
+// in-process workers over real HTTP, every shard leased, executed and
+// folded through the exactly-once checkpoint. The reported sessions/s is
+// fleet-wide player-session throughput, so the delta against
+// ScalarSessions is the control-plane overhead per session — the lease
+// round-trips, JSON accumulator shipping and fold serialization.
+func coordBench(quick bool) func(b *testing.B) {
+	sessions, workers := 512, 2
+	if quick {
+		sessions = 96
+	}
+	return func(b *testing.B) {
+		spec := coord.Spec{
+			Seed:        17,
+			Sessions:    sessions,
+			ShardSize:   64,
+			CatalogSize: 8,
+			SketchSize:  256,
+		}
+		names := []string{"bench-a", "bench-b", "bench-c", "bench-d"}
+		var players atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			players.Store(0)
+			c, err := coord.New(coord.Config{Spec: spec, LeaseShards: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := httptest.NewServer(c.Handler())
+			errc := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				go func(w int) {
+					stats, err := coord.RunWorker(context.Background(), coord.WorkerConfig{
+						URL:         srv.URL,
+						Name:        names[w],
+						Parallelism: 1,
+						Poll:        time.Millisecond,
+					})
+					players.Add(stats.PlayerSessions)
+					errc <- err
+				}(w)
+			}
+			for w := 0; w < workers; w++ {
+				if err := <-errc; err != nil {
+					b.Fatal(err)
+				}
+			}
+			srv.Close()
+			select {
+			case <-c.Done():
+			default:
+				b.Fatal("campaign incomplete")
+			}
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(players.Load())*float64(b.N)/secs, "sessions/s")
+		}
+	}
+}

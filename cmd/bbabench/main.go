@@ -148,6 +148,7 @@ func benches() []bench {
 		{name: "ABHarness", run: harnessBench, heavy: false},
 		{name: "ScalarSessions", run: campaignBench(false)},
 		{name: "BatchSessions", run: campaignBench(true)},
+		{name: "CoordThroughput", run: coordBench},
 		{name: "CampaignAccumMerge", run: accumMergeBench},
 		{name: "ArenaTournament", run: arenaBench},
 		{name: "GenerateAllFigures", run: figuresBench, heavy: true},

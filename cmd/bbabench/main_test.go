@@ -92,6 +92,13 @@ func TestIngestWorkloadRuns(t *testing.T) {
 	}
 }
 
+// TestCoordWorkloadRuns smoke-tests the fleet-throughput benchmark body —
+// coordinator, HTTP workers, exactly-once fold — so a broken fixture fails
+// here rather than in CI's timed run.
+func TestCoordWorkloadRuns(t *testing.T) {
+	coordBench(true)(&testing.B{N: 1})
+}
+
 // TestSessionWorkloadRuns smoke-tests the headline benchmark body with a
 // single session — a broken workload fails here rather than in CI's timed
 // run.

@@ -3,16 +3,19 @@
 // sharding and kill-resume checkpointing.
 //
 // A campaign is split into fixed shards (shard-size paired sessions each).
-// One process can run the whole campaign, or the shard space can be striped
+// One process can run the whole campaign, the shard space can be striped
 // across processes with -shards/-shard-of and the per-process checkpoints
-// combined afterwards with -merge; either way the final report is
-// byte-identical to a single-threaded run.
+// combined afterwards with -merge, or — with -worker -coord — the process
+// joins a bbacoord coordinator that leases it shard ranges dynamically;
+// every mode produces a final report byte-identical to a single-threaded
+// run.
 //
 // Examples:
 //
 //	bbacampaign -sessions 170000 -faults -checkpoint cp.json -report report.json
 //	bbacampaign -sessions 170000 -shards 4 -shard-of 2 -checkpoint cp2.json
 //	bbacampaign -merge cp0.json,cp1.json,cp2.json,cp3.json -report report.json
+//	bbacampaign -worker -coord http://host:8407 -batch
 //
 // SIGINT saves a final checkpoint, emits a truncated report (marked
 // "truncated": true) and exits non-zero; re-running with the same flags and
@@ -41,6 +44,7 @@ import (
 	"bba/internal/abtest"
 	"bba/internal/campaign"
 	"bba/internal/collect"
+	"bba/internal/coord"
 	"bba/internal/faults"
 )
 
@@ -62,15 +66,20 @@ type options struct {
 	stripe          int
 	checkpoint      string
 	checkpointEvery int
-	resume          bool
 	merge           string
 	report          string
 	ship            string
 	runID           string
+	worker          bool
+	coordURL        string
+	workerName      string
 	progressEvery   time.Duration
 	// progressHook is a test seam: called with every progress snapshot in
 	// addition to the stderr printer.
 	progressHook func(campaign.Progress)
+	// beforeShard is a test seam for worker mode: called before each leased
+	// shard executes; an error abandons the worker mid-lease.
+	beforeShard func(shard int) error
 }
 
 func main() {
@@ -95,7 +104,10 @@ func main() {
 	flag.StringVar(&o.merge, "merge", "", "comma-separated stripe checkpoints to merge into a final report (runs nothing)")
 	flag.StringVar(&o.report, "report", "", "final report path (default stdout)")
 	flag.StringVar(&o.ship, "ship", "", "ship telemetry and shard results to this collector URL (e.g. http://host:8406); the remotely aggregated report is verified byte-for-byte against the local fold")
-	flag.StringVar(&o.runID, "run-id", "", "run identifier at the collector (default campaign-<seed>)")
+	flag.StringVar(&o.runID, "run-id", "", "run identifier at the collector (default campaign-<seed>; required with -worker -ship)")
+	flag.BoolVar(&o.worker, "worker", false, "run as a fleet worker: lease shard ranges from a coordinator instead of running a local campaign")
+	flag.StringVar(&o.coordURL, "coord", "", "coordinator URL for -worker (e.g. http://host:8407)")
+	flag.StringVar(&o.workerName, "worker-name", "", "stable worker name for -worker (default host-pid)")
 	flag.DurationVar(&o.progressEvery, "progress-every", 2*time.Second, "progress line interval on stderr (0 disables)")
 	flag.Parse()
 
@@ -108,12 +120,47 @@ func main() {
 	}
 }
 
+// validateFlags rejects invalid flag combinations up front with a single
+// error enumerating every violation, instead of failing mid-run.
+func validateFlags(o options) error {
+	var bad []string
+	if o.worker {
+		if o.coordURL == "" {
+			bad = append(bad, "-worker requires -coord (the coordinator URL)")
+		}
+		if o.merge != "" {
+			bad = append(bad, "-worker cannot combine with -merge (the coordinator owns the fold; merging is for hand-striped runs)")
+		}
+		if o.checkpoint != "" {
+			bad = append(bad, "-worker cannot combine with -checkpoint (resume state lives in the coordinator; pass -checkpoint to bbacoord)")
+		}
+		if o.stripes != 1 || o.stripe != 0 {
+			bad = append(bad, "-worker cannot combine with -shards/-shard-of (the coordinator owns the shard space)")
+		}
+		if o.report != "" {
+			bad = append(bad, "-worker writes no report; fetch it from the coordinator's /report")
+		}
+		if o.ship != "" && o.runID == "" {
+			bad = append(bad, "-worker -ship requires an explicit -run-id (the campaign comes from the coordinator, so no campaign-<seed> default exists)")
+		}
+	} else if o.coordURL != "" {
+		bad = append(bad, "-coord requires -worker")
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("invalid flags:\n  - %s", strings.Join(bad, "\n  - "))
+	}
+	return nil
+}
+
 func run(ctx context.Context, out io.Writer, errw io.Writer, o options) error {
+	if err := validateFlags(o); err != nil {
+		return err
+	}
 	if o.ship != "" {
 		if o.merge != "" {
 			return errors.New("-ship and -merge are mutually exclusive: merging is local-only; ship each stripe instead")
 		}
-		if o.stripes != 1 {
+		if !o.worker && o.stripes != 1 {
 			return errors.New("-ship covers the whole campaign from one process; drop -shards or merge stripe checkpoints locally")
 		}
 		if !strings.HasPrefix(o.ship, "http://") && !strings.HasPrefix(o.ship, "https://") {
@@ -148,6 +195,10 @@ func run(ctx context.Context, out io.Writer, errw io.Writer, o options) error {
 				fmt.Fprintln(errw, "bbacampaign: memprofile:", err)
 			}
 		}()
+	}
+
+	if o.worker {
+		return runWorker(ctx, errw, o)
 	}
 
 	var groups []abtest.Group
@@ -363,6 +414,100 @@ func writeReportBytes(out io.Writer, path string, b []byte) error {
 	return os.WriteFile(path, b, 0o644)
 }
 
+// runWorker joins a coordinator and executes leased shard ranges until the
+// campaign completes. The report is the coordinator's product; this
+// process only prints its own execution stats. With -ship, every locally
+// completed shard's accumulators are mirrored to a bbacollect collector
+// over the frame lane in addition to the coordinator delivery.
+func runWorker(ctx context.Context, errw io.Writer, o options) error {
+	wcfg := coord.WorkerConfig{
+		URL:         o.coordURL,
+		Name:        o.workerName,
+		Parallelism: o.workers,
+		Batch:       o.batch,
+		BatchWidth:  o.batchWidth,
+		BeforeShard: o.beforeShard,
+	}
+	if o.progressEvery > 0 {
+		wcfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(errw, "worker: "+format+"\n", args...)
+		}
+	}
+
+	var shipper *collect.Shipper
+	if o.ship != "" {
+		spill, err := os.MkdirTemp("", "bbaship-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(spill)
+		shipper, err = collect.NewShipper(collect.ShipperConfig{
+			Addr:    o.ship,
+			Run:     o.runID,
+			Session: uint64(os.Getpid()),
+			Queue:   collect.QueueConfig{SpillDir: spill},
+			Retry:   collect.RetryPolicy{Seed: int64(os.Getpid())},
+		})
+		if err != nil {
+			return err
+		}
+		defer shipper.Close()
+		wcfg.OnJoin = func(j coord.JoinResponse) error {
+			idJSON, err := json.Marshal(j.Identity)
+			if err != nil {
+				return err
+			}
+			if err := shipper.ShipRunStart(idJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(errw, "mirroring run %q to %s (session %d)\n", o.runID, o.ship, os.Getpid())
+			return nil
+		}
+		wcfg.OnShard = func(shard int, accums []*campaign.GroupAccum) error {
+			p, err := json.Marshal(campaign.ShardAccums{Shard: shard, Groups: accums})
+			if err != nil {
+				return err
+			}
+			return shipper.ShipShard(p)
+		}
+	}
+
+	stats, runErr := coord.RunWorker(ctx, wcfg)
+	printWorkerStats(errw, stats)
+	if runErr != nil {
+		return runErr
+	}
+	if shipper != nil {
+		if err := shipper.Flush(ctx); err != nil {
+			return fmt.Errorf("flushing shipped frames: %w", err)
+		}
+		if err := shipper.ShipRunEnd(); err != nil {
+			return err
+		}
+		if err := shipper.Flush(ctx); err != nil {
+			return fmt.Errorf("flushing run_end: %w", err)
+		}
+		if err := shipper.Close(); err != nil {
+			return err
+		}
+		ss := shipper.Stats()
+		fmt.Fprintf(errw, "mirrored %d frames (%d retries, %d spilled, %d dropped)\n",
+			ss.FramesShipped, ss.Retries, ss.Queue.Spilled, ss.FramesDropped)
+	}
+	return nil
+}
+
+// printWorkerStats is the worker-mode twin of printStats: same
+// sessions/s (engine=...) form, plus lease accounting.
+func printWorkerStats(w io.Writer, s coord.WorkerStats) {
+	if s.PlayerSessions == 0 {
+		return
+	}
+	fmt.Fprintf(w, "worker: %d player sessions (%d paired, %d shards) in %v (%.0f sessions/s (engine=%s), %d leases, %d stolen, %d duplicate deliveries)\n",
+		s.PlayerSessions, s.SessionsRun, s.ShardsRun, s.Elapsed.Round(time.Millisecond),
+		s.SessionsPerSecond(), s.Engine, s.Leases, s.Stolen, s.Duplicates)
+}
+
 // runMerge combines stripe checkpoints into the final report.
 func runMerge(out io.Writer, o options) error {
 	var cps []*campaign.Checkpoint
@@ -433,9 +578,9 @@ func printStats(w io.Writer, s campaign.RunStats) {
 	if s.PlayerSessions == 0 {
 		return
 	}
-	fmt.Fprintf(w, "campaign: %d player sessions (%d paired) in %v (%.0f sessions/s, parallelism %d, peak pending %d shards)\n",
+	fmt.Fprintf(w, "campaign: %d player sessions (%d paired) in %v (%.0f sessions/s (engine=%s), parallelism %d, peak pending %d shards)\n",
 		s.PlayerSessions, s.SessionsRun, s.Elapsed.Round(time.Millisecond),
-		s.SessionsPerSecond(), s.Parallelism, s.PeakPending)
+		s.SessionsPerSecond(), s.Engine, s.Parallelism, s.PeakPending)
 	if s.Faults > 0 || s.Retries > 0 || s.Degradations > 0 || s.Failovers > 0 {
 		fmt.Fprintf(w, "fault injection: %d faults, %d retries, %d degradations, %d failovers\n",
 			s.Faults, s.Retries, s.Degradations, s.Failovers)

@@ -1,0 +1,227 @@
+// Command bbacoord is the campaign coordinator: the control-plane daemon
+// that turns a fleet of bbacampaign worker processes into one
+// deterministic campaign. It partitions the campaign's shard space into
+// leases, hands them to workers over HTTP, re-issues shards whose leases
+// expire (worker death), lets fast workers steal straggler tails, and
+// folds completed shard accumulators exactly once through the campaign
+// checkpoint — so the final report is byte-identical to a single-process
+// run of the same seed, regardless of fleet size or churn.
+//
+// Endpoints:
+//
+//	POST /join /lease /heartbeat /complete   worker protocol (JSON)
+//	GET  /report                             the final report once complete
+//	GET  /metrics                            Prometheus-text counters
+//	GET  /healthz                            liveness
+//
+// Example — one coordinator, three workers, any mix of machines:
+//
+//	bbacoord -sessions 1000000 -faults -checkpoint coord.json -report report.json &
+//	bbacampaign -worker -coord http://host:8407 -batch   # × N
+//
+// The coordinator exits 0 once every shard is folded and the report is
+// written. SIGINT/SIGTERM saves the checkpoint (with -checkpoint) and
+// exits non-zero; restarting with the same flags resumes the fold without
+// re-running completed shards.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/campaign"
+	"bba/internal/coord"
+)
+
+type options struct {
+	addr            string
+	algos           string
+	sessions        int
+	shardSize       int
+	days            int
+	seed            int64
+	faultSeed       int64
+	faultsOn        bool
+	sketch          int
+	leaseShards     int
+	leaseTTL        time.Duration
+	sweepEvery      time.Duration
+	checkpoint      string
+	checkpointEvery int
+	report          string
+	drain           time.Duration
+	progressEvery   time.Duration
+	// ready is a test seam: receives the bound HTTP address once serving.
+	ready chan<- string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8407", "HTTP listen address (worker protocol, report, metrics)")
+	flag.StringVar(&o.algos, "algos", "", "comma-separated experiment arms (default the paper's standard groups; part of the campaign identity); registered: "+strings.Join(abr.Names(), ", "))
+	flag.IntVar(&o.sessions, "sessions", 10000, "paired session draws (each streamed once per group)")
+	flag.IntVar(&o.shardSize, "shard-size", 1024, "paired sessions per shard (part of the campaign identity)")
+	flag.IntVar(&o.days, "days", 3, "simulated calendar days")
+	flag.Int64Var(&o.seed, "seed", 2014, "campaign seed")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 2014, "fault-weather seed (with -faults)")
+	flag.BoolVar(&o.faultsOn, "faults", false, "run every session under the standard fault schedule")
+	flag.IntVar(&o.sketch, "sketch", 512, "quantile-sketch size per metric (part of the campaign identity)")
+	flag.IntVar(&o.leaseShards, "lease-shards", coord.DefaultLeaseShards, "maximum shards per lease")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", coord.DefaultLeaseTTL, "lease expiry without a heartbeat")
+	flag.DurationVar(&o.sweepEvery, "sweep-every", time.Second, "background lease-expiry sweep interval")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file path (written periodically and on exit; resumed from when present)")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 8, "folded shards between checkpoint writes")
+	flag.StringVar(&o.report, "report", "", "final report path (default stdout)")
+	flag.DurationVar(&o.drain, "drain", 2*time.Second, "serve this long after completion so idle workers observe the campaign is done")
+	flag.DurationVar(&o.progressEvery, "progress-every", 2*time.Second, "progress line interval on stderr (0 disables)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Stdout, os.Stderr, o); err != nil {
+		fmt.Fprintln(os.Stderr, "bbacoord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, out, errw io.Writer, o options) error {
+	spec := coord.Spec{
+		Seed:       o.seed,
+		Sessions:   o.sessions,
+		ShardSize:  o.shardSize,
+		Days:       o.days,
+		SketchSize: o.sketch,
+		Faults:     o.faultsOn,
+		FaultSeed:  o.faultSeed,
+	}
+	if o.algos != "" {
+		for _, name := range strings.Split(o.algos, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				spec.Groups = append(spec.Groups, name)
+			}
+		}
+	}
+
+	ccfg := coord.Config{
+		Spec:            spec,
+		LeaseShards:     o.leaseShards,
+		LeaseTTL:        o.leaseTTL,
+		CheckpointPath:  o.checkpoint,
+		CheckpointEvery: o.checkpointEvery,
+	}
+	if o.checkpoint != "" {
+		if cp, err := campaign.LoadCheckpoint(o.checkpoint); err == nil {
+			ccfg.Resume = cp
+			fmt.Fprintf(errw, "resuming from %s: %d shards (%d sessions) already folded\n",
+				o.checkpoint, cp.CompletedShards(), cp.SessionsDone())
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	c, err := coord.New(ccfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "coordinating on http://%s (/join, /lease, /heartbeat, /complete, /report, /metrics, /healthz)\n", ln.Addr())
+	fmt.Fprintf(errw, "campaign: %d sessions in %d shards, lease %d shards / %v ttl\n",
+		c.Identity().Sessions, c.Identity().Shards(), o.leaseShards, o.leaseTTL)
+	if o.ready != nil {
+		o.ready <- ln.Addr().String()
+	}
+
+	hs := &http.Server{Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	// Background sweep keeps expiry moving while no worker is talking;
+	// progress goes to stderr like bbacampaign's.
+	ticker := time.NewTicker(o.sweepEvery)
+	defer ticker.Stop()
+	var progress *time.Ticker
+	if o.progressEvery > 0 {
+		progress = time.NewTicker(o.progressEvery)
+		defer progress.Stop()
+	} else {
+		progress = time.NewTicker(time.Hour)
+		progress.Stop()
+	}
+
+	start := time.Now()
+	var runErr error
+loop:
+	for {
+		select {
+		case <-c.Done():
+			break loop
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			break loop
+		case err := <-errc:
+			return err
+		case <-ticker.C:
+			c.Sweep()
+		case <-progress.C:
+			s := c.Stats()
+			fmt.Fprintf(errw, "shards %d/%d done  %d pending  %d leased (%d leases, %d workers)  %d expired  %d stolen\n",
+				s.ShardsDone, c.Identity().Shards(), s.ShardsPending, s.ShardsLeased,
+				s.ActiveLeases, s.WorkersJoined, s.LeasesExpired, s.LeasesStolen)
+		}
+	}
+
+	if runErr == nil && o.drain > 0 {
+		// Workers cap their idle poll at one second; draining past that lets
+		// every poller see a Complete lease response instead of a refused
+		// connection.
+		select {
+		case <-time.After(o.drain):
+		case <-ctx.Done():
+		}
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutdownErr := hs.Shutdown(shctx)
+
+	s := c.Stats()
+	fmt.Fprintf(errw, "coordinator: %d shards folded (%d duplicates absorbed) across %d workers, %d leases (%d stolen, %d expired, %d shards re-issued) in %v\n",
+		s.Shards, s.ShardsDup, s.WorkersJoined, s.LeasesGranted, s.LeasesStolen, s.LeasesExpired, s.ShardsReissued,
+		time.Since(start).Round(time.Millisecond))
+
+	if runErr != nil {
+		if o.checkpoint != "" {
+			if err := c.Checkpoint(o.checkpoint); err != nil {
+				return err
+			}
+			fmt.Fprintf(errw, "interrupted: checkpoint saved to %s (%d shards); rerun the same command to resume\n", o.checkpoint, s.ShardsDone)
+		}
+		return fmt.Errorf("interrupted with %d/%d shards folded: %w", s.ShardsDone, c.Identity().Shards(), runErr)
+	}
+	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
+		return shutdownErr
+	}
+
+	body, err := c.Report()
+	if err != nil {
+		return err
+	}
+	if o.report == "" {
+		_, err = out.Write(body)
+		return err
+	}
+	return os.WriteFile(o.report, body, 0o644)
+}

@@ -240,6 +240,10 @@ type RunStats struct {
 	ShardsRun int
 	// Parallelism is the worker count used.
 	Parallelism int
+	// Engine names the execution path sessions ran through: "scalar" or
+	// "batch". Display only — the engine is never part of the campaign
+	// identity.
+	Engine string
 	// PeakPending is the maximum number of completed shard accumulator
 	// sets held beyond the folded prefix at any point — the memory-ceiling
 	// witness. Single-process runs keep it within the merge window
@@ -452,6 +456,7 @@ func RunContext(ctx context.Context, cfg Config) (*Outcome, error) {
 	start := time.Now()
 	out := &Outcome{Checkpoint: state}
 	out.Stats.Parallelism = cfg.Parallelism
+	out.Stats.Engine = engineName(cfg.Batch)
 
 	type shardResult struct {
 		shard  int

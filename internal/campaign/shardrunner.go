@@ -1,0 +1,88 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"bba/internal/batch"
+	"bba/internal/media"
+)
+
+// engineName maps the Batch flag to the label RunStats and the CLI report.
+func engineName(batchOn bool) string {
+	if batchOn {
+		return "batch"
+	}
+	return "scalar"
+}
+
+// ShardRunner executes individual shards of a campaign outside RunContext —
+// the worker half of the distributed control plane. A lease-holding worker
+// builds one ShardRunner per goroutine from the coordinator's campaign spec
+// and runs whatever shard indices it is granted; because a shard's result
+// depends only on (identity, shard), the accumulators it returns are
+// bit-identical to the ones a local run computes, and the coordinator's
+// in-order checkpoint fold reassembles the byte-identical report.
+//
+// A ShardRunner is not safe for concurrent use: the batch engine reuses
+// lane arenas and per-title plan caches across shards. Create one per
+// worker goroutine.
+type ShardRunner struct {
+	cfg     Config
+	id      Identity
+	catalog *media.Catalog
+	runner  *batch.Runner // non-nil when cfg.Batch
+	retired atomic.Int64
+}
+
+// NewShardRunner validates the config and prepares the catalog and (with
+// cfg.Batch) the batch kernel. Orchestration fields — Stripe/Stripes,
+// Resume, CheckpointPath, NewExtra, OnShard, Progress — are ignored: the
+// caller owns scheduling and folding.
+func NewShardRunner(cfg Config) (*ShardRunner, error) {
+	cfg.applyDefaults()
+	catalog, err := media.NewCatalog(cfg.CatalogSize, cfg.Ladder, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r := &ShardRunner{cfg: cfg, id: cfg.identity(), catalog: catalog}
+	if cfg.Batch {
+		r.runner = batch.NewRunner(batch.Config{
+			Groups:   cfg.Groups,
+			Faults:   cfg.Faults,
+			Width:    cfg.BatchWidth,
+			OnRetire: func() { r.retired.Add(1) },
+		})
+	}
+	return r, nil
+}
+
+// Identity returns the campaign identity the runner executes under.
+func (r *ShardRunner) Identity() Identity { return r.id }
+
+// Engine names the execution path: "scalar" or "batch".
+func (r *ShardRunner) Engine() string { return engineName(r.cfg.Batch) }
+
+// ShardSessions returns how many paired sessions shard s covers.
+func (r *ShardRunner) ShardSessions(s int) int { return r.id.shardSessions(s) }
+
+// Retired returns the player sessions finished so far across every shard
+// this runner executed — the live throughput counter.
+func (r *ShardRunner) Retired() int64 { return r.retired.Load() }
+
+// RunShard executes one shard and returns its per-group accumulators —
+// bit-identical to the same shard of a local run. The caller takes
+// ownership of the returned accums (typically handing them straight to
+// Checkpoint.Record or a coordinator completion POST).
+func (r *ShardRunner) RunShard(ctx context.Context, shard int) ([]*GroupAccum, error) {
+	if shard < 0 || shard >= r.id.Shards() {
+		return nil, fmt.Errorf("campaign: shard %d outside [0,%d)", shard, r.id.Shards())
+	}
+	if r.cfg.Batch {
+		accums, _, err := runShardBatch(ctx, &r.cfg, r.catalog, shard, r.runner)
+		return accums, err
+	}
+	accums, _, err := runShard(ctx, &r.cfg, r.catalog, shard, &r.retired)
+	return accums, err
+}

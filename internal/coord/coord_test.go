@@ -1,0 +1,414 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"bba/internal/campaign"
+	"bba/internal/telemetry"
+)
+
+// testSpec is a cheap two-arm campaign under fault weather — the same
+// shape the campaign package's own determinism tests use.
+func testSpec(sessions int) Spec {
+	return Spec{
+		Seed:        41,
+		FaultSeed:   7,
+		Faults:      true,
+		Sessions:    sessions,
+		ShardSize:   8,
+		CatalogSize: 4,
+		SketchSize:  64,
+		Groups:      []string{"Control", "BBA-0"},
+	}
+}
+
+// localReport runs the spec as a plain single-process campaign and returns
+// the canonical report bytes every fleet topology must reproduce.
+func localReport(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	cfg, err := spec.CampaignConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 1
+	out, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := out.Report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// newRunner builds a ShardRunner for the spec.
+func newRunner(t *testing.T, spec Spec) *campaign.ShardRunner {
+	t.Helper()
+	cfg, err := spec.CampaignConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := campaign.NewShardRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// complete executes shard s and delivers it to the coordinator.
+func complete(t *testing.T, c *Coordinator, r *campaign.ShardRunner, worker string, lease uint64, s int) CompleteResponse {
+	t.Helper()
+	accums, err := r.RunShard(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Complete(CompleteRequest{Worker: worker, Lease: lease, Shard: s, Groups: accums})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// fakeClock drives lease expiry deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestLeaseExpiryReissue pins the liveness path: a worker that takes a
+// lease and dies has its shards re-issued after the TTL — the observer
+// sees lease_expire then a lease_grant covering the same shards — and the
+// final report is byte-identical to a local run.
+func TestLeaseExpiryReissue(t *testing.T) {
+	spec := testSpec(52) // 7 shards, last one partial
+	want := localReport(t, spec)
+	clock := newFakeClock()
+	ring := telemetry.NewRing(256)
+	c, err := New(Config{
+		Spec:        spec,
+		LeaseShards: 3,
+		LeaseTTL:    10 * time.Second,
+		Observer:    ring,
+		Now:         clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Join(JoinRequest{Worker: "doomed"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker takes the first lease and is never heard from again.
+	doomed, err := c.Acquire(LeaseRequest{Worker: "doomed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doomed.Shards) != 3 || doomed.Shards[0] != 0 {
+		t.Fatalf("first lease got shards %v, want [0 1 2]", doomed.Shards)
+	}
+
+	// Within the TTL its shards are NOT re-issued: the survivor gets the
+	// next range instead.
+	r := newRunner(t, spec)
+	grant, err := c.Acquire(LeaseRequest{Worker: "survivor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grant.Shards) == 0 || grant.Shards[0] == 0 {
+		t.Fatalf("second lease got shards %v, want the next pending range", grant.Shards)
+	}
+	for _, s := range grant.Shards {
+		complete(t, c, r, "survivor", grant.Lease, s)
+	}
+
+	// Past the TTL the doomed lease expires and its shards re-issue.
+	clock.Advance(11 * time.Second)
+	reissued := map[int]bool{}
+	for {
+		g, err := c.Acquire(LeaseRequest{Worker: "survivor"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Complete {
+			break
+		}
+		if len(g.Shards) == 0 {
+			t.Fatal("coordinator had nothing to grant but campaign incomplete")
+		}
+		for _, s := range g.Shards {
+			if s < 3 {
+				reissued[s] = true
+			}
+			complete(t, c, r, "survivor", g.Lease, s)
+		}
+	}
+	if len(reissued) != 3 {
+		t.Errorf("re-issued shards %v, want all of the doomed lease's [0 1 2]", reissued)
+	}
+
+	// The observer saw the expiry before the re-grant.
+	events := ring.Events()
+	expireAt, regrantAt := -1, -1
+	for i, e := range events {
+		switch e.Kind {
+		case telemetry.LeaseExpire:
+			if expireAt < 0 {
+				expireAt = i
+				if e.Label != "doomed" || e.Bytes != 3 || e.Chunk != 0 {
+					t.Errorf("lease_expire event %+v, want worker doomed, 3 shards from 0", e)
+				}
+			}
+		case telemetry.LeaseGrant:
+			if expireAt >= 0 && regrantAt < 0 && e.Chunk == 0 {
+				regrantAt = i
+			}
+		}
+	}
+	if expireAt < 0 || regrantAt < 0 || regrantAt < expireAt {
+		t.Errorf("no lease_expire → re-grant sequence observed (expire at %d, re-grant at %d)", expireAt, regrantAt)
+	}
+	if s := c.Stats(); s.LeasesExpired != 1 || s.ShardsReissued != 3 {
+		t.Errorf("stats %+v, want 1 expiry re-issuing 3 shards", s)
+	}
+
+	got, err := c.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("report after expiry/re-issue differs from local run")
+	}
+}
+
+// TestDuplicateCompletionNoOp pins exactly-once folding: delivering the
+// same shard twice (a retry, or a stolen shard's loser) is absorbed as a
+// no-op via the checkpoint's identity guard, and the report still matches
+// the local fold — no double-counted shards.
+func TestDuplicateCompletionNoOp(t *testing.T) {
+	spec := testSpec(24) // 3 shards
+	want := localReport(t, spec)
+	c, err := New(Config{Spec: spec, LeaseShards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRunner(t, spec)
+	grant, err := c.Acquire(LeaseRequest{Worker: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grant.Shards) != 3 {
+		t.Fatalf("got shards %v, want all 3", grant.Shards)
+	}
+	for _, s := range grant.Shards {
+		if resp := complete(t, c, r, "w", grant.Lease, s); resp.Duplicate {
+			t.Errorf("first delivery of shard %d marked duplicate", s)
+		}
+	}
+	// Deliver shard 1 again, recomputed from scratch as a retrying worker
+	// would after a lost ack.
+	if resp := complete(t, c, r, "w", grant.Lease, 1); !resp.Duplicate {
+		t.Error("second delivery of shard 1 not marked duplicate")
+	}
+	s := c.Stats()
+	if s.Shards != 3 || s.ShardsDup != 1 {
+		t.Errorf("stats %+v, want 3 folds and 1 duplicate", s)
+	}
+	got, err := c.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("report after duplicate delivery differs from local run")
+	}
+	if got2, _ := c.Report(); !bytes.Equal(got, got2) {
+		t.Error("report not stable across calls")
+	}
+}
+
+// TestWorkStealing pins the straggler path: when the pending pool drains,
+// a fast worker is granted a stolen lease over another worker's remaining
+// shards, first completion wins, and the report is unchanged.
+func TestWorkStealing(t *testing.T) {
+	spec := testSpec(40) // 5 shards
+	want := localReport(t, spec)
+	ring := telemetry.NewRing(64)
+	c, err := New(Config{Spec: spec, LeaseShards: 8, Observer: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRunner(t, spec)
+
+	slow, err := c.Acquire(LeaseRequest{Worker: "slow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Shards) != 5 {
+		t.Fatalf("slow worker got %v, want all 5 shards", slow.Shards)
+	}
+	// The slow worker finishes two shards, then stalls.
+	complete(t, c, r, "slow", slow.Lease, 0)
+	complete(t, c, r, "slow", slow.Lease, 1)
+
+	fast, err := c.Acquire(LeaseRequest{Worker: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Stolen {
+		t.Fatalf("fast worker's grant not marked stolen: %+v", fast)
+	}
+	if len(fast.Shards) != 3 || fast.Shards[0] != 2 {
+		t.Fatalf("stolen lease covers %v, want [2 3 4]", fast.Shards)
+	}
+	// A second thief finds nothing single-leased to steal.
+	if g, _ := c.Acquire(LeaseRequest{Worker: "third"}); len(g.Shards) != 0 || g.Complete {
+		t.Errorf("second thief got %+v, want empty non-complete grant", g)
+	}
+
+	// The race: fast completes 2 and 3; slow limps in with 2 (duplicate)
+	// and 4 (still counts — leases are liveness, not correctness).
+	complete(t, c, r, "fast", fast.Lease, 2)
+	complete(t, c, r, "fast", fast.Lease, 3)
+	if resp := complete(t, c, r, "slow", slow.Lease, 2); !resp.Duplicate {
+		t.Error("slow worker's late shard 2 not marked duplicate")
+	}
+	if resp := complete(t, c, r, "slow", slow.Lease, 4); resp.Duplicate || !resp.Complete {
+		t.Errorf("slow worker's shard 4: %+v, want fresh and campaign-completing", resp)
+	}
+
+	s := c.Stats()
+	if s.LeasesStolen != 1 || s.Shards != 5 || s.ShardsDup != 1 {
+		t.Errorf("stats %+v, want 1 steal, 5 folds, 1 duplicate", s)
+	}
+	got, err := c.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("report after work stealing differs from local run")
+	}
+}
+
+// TestCoordinatorRestart pins crash-resume: a coordinator killed mid-run
+// restarts from its checkpoint, leases only the missing shards, and the
+// finished report is byte-identical to the local run.
+func TestCoordinatorRestart(t *testing.T) {
+	spec := testSpec(48) // 6 shards
+	want := localReport(t, spec)
+	path := filepath.Join(t.TempDir(), "coord.json")
+
+	first, err := New(Config{Spec: spec, LeaseShards: 2, CheckpointPath: path, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRunner(t, spec)
+	grant, err := first.Acquire(LeaseRequest{Worker: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range grant.Shards {
+		complete(t, first, r, "w", grant.Lease, s)
+	}
+	// The coordinator "crashes" here; a new one resumes from disk.
+	cp, err := campaign.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.CompletedShards() != 2 {
+		t.Fatalf("checkpoint recorded %d shards, want 2", cp.CompletedShards())
+	}
+
+	second, err := New(Config{Spec: spec, LeaseShards: 8, Resume: cp, CheckpointPath: path, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := second.Acquire(LeaseRequest{Worker: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Shards) != 4 || g2.Shards[0] != 2 {
+		t.Fatalf("resumed coordinator leased %v, want the 4 missing shards from 2", g2.Shards)
+	}
+	for _, s := range g2.Shards {
+		complete(t, second, r, "w", g2.Lease, s)
+	}
+	select {
+	case <-second.Done():
+	default:
+		t.Fatal("resumed coordinator not complete after the missing shards")
+	}
+	got, err := second.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("restarted coordinator's report differs from local run")
+	}
+
+	// A checkpoint from a different campaign must not resume.
+	other := testSpec(48)
+	other.Seed++
+	if _, err := New(Config{Spec: other, Resume: cp}); err == nil {
+		t.Error("resume with mismatched identity succeeded")
+	}
+}
+
+// TestHeartbeatExtendsLease pins the renewal path: heartbeats keep a lease
+// alive past its nominal TTL, and a heartbeat for an expired lease reports
+// it dropped.
+func TestHeartbeatExtendsLease(t *testing.T) {
+	spec := testSpec(16)
+	clock := newFakeClock()
+	c, err := New(Config{Spec: spec, LeaseShards: 1, LeaseTTL: 10 * time.Second, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Acquire(LeaseRequest{Worker: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		clock.Advance(6 * time.Second)
+		hb, err := c.Heartbeat(HeartbeatRequest{Worker: "w", Leases: []uint64{g.Lease}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hb.Extended) != 1 {
+			t.Fatalf("heartbeat %d did not extend the lease", i)
+		}
+	}
+	// Another worker heartbeating someone else's lease must not extend it.
+	if hb, _ := c.Heartbeat(HeartbeatRequest{Worker: "thief", Leases: []uint64{g.Lease}}); len(hb.Extended) != 0 {
+		t.Error("foreign heartbeat extended the lease")
+	}
+	clock.Advance(11 * time.Second)
+	hb, err := c.Heartbeat(HeartbeatRequest{Worker: "w", Leases: []uint64{g.Lease}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.Extended) != 0 {
+		t.Error("heartbeat extended an expired lease")
+	}
+	if s := c.Stats(); s.LeasesExpired != 1 {
+		t.Errorf("stats %+v, want the lease expired", s)
+	}
+}

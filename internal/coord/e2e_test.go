@@ -1,0 +1,207 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startCoord serves a coordinator over an in-process HTTP server.
+func startCoord(t *testing.T, cfg Config) (*Coordinator, *httptest.Server) {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+// TestE2ESingleWorker pins the base fleet contract: coordinator + one
+// worker over real HTTP produces the exact bytes a local single-process
+// run of the same seed produces — on either engine.
+func TestE2ESingleWorker(t *testing.T) {
+	spec := testSpec(96) // 12 shards
+	want := localReport(t, spec)
+	for _, batch := range []bool{false, true} {
+		name := "scalar"
+		if batch {
+			name = "batch"
+		}
+		t.Run(name, func(t *testing.T) {
+			c, srv := startCoord(t, Config{Spec: spec, LeaseShards: 3})
+			stats, err := RunWorker(context.Background(), WorkerConfig{
+				URL:         srv.URL,
+				Name:        "solo",
+				Parallelism: 2,
+				Batch:       batch,
+				Poll:        5 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Engine != name {
+				t.Errorf("worker engine %q, want %q", stats.Engine, name)
+			}
+			if stats.ShardsRun != 12 || stats.SessionsRun != 96 {
+				t.Errorf("worker ran %d shards / %d sessions, want 12 / 96", stats.ShardsRun, stats.SessionsRun)
+			}
+			if stats.Elapsed <= 0 || stats.SessionsPerSecond() <= 0 {
+				t.Errorf("worker stats carry no wall-clock: elapsed %v, %.0f sessions/s", stats.Elapsed, stats.SessionsPerSecond())
+			}
+			select {
+			case <-c.Done():
+			default:
+				t.Fatal("coordinator not complete after worker exit")
+			}
+			client := &Client{URL: srv.URL, Worker: "solo"}
+			got, err := client.Report(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s fleet report differs from local run", name)
+			}
+		})
+	}
+}
+
+// TestE2EWorkerKilledMidCampaign pins the churn contract: four workers,
+// one dies mid-lease (BeforeShard failure injection), the survivors
+// reclaim its shards via expiry or stealing, and the report is still
+// byte-identical to the local run with no double-counted shards.
+func TestE2EWorkerKilledMidCampaign(t *testing.T) {
+	spec := testSpec(96) // 12 shards
+	want := localReport(t, spec)
+	c, srv := startCoord(t, Config{
+		Spec:        spec,
+		LeaseShards: 2,
+		LeaseTTL:    200 * time.Millisecond,
+	})
+
+	killed := errors.New("worker killed by test")
+	var fatal atomic.Bool
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		cfg := WorkerConfig{
+			URL:         srv.URL,
+			Name:        fmt.Sprintf("w%d", i),
+			Parallelism: 1,
+			Poll:        5 * time.Millisecond,
+		}
+		if i == 0 {
+			// w0 dies before executing its first leased shard: the lease
+			// stays open, its heartbeats stop, and the shards must come
+			// back through expiry or work-stealing.
+			cfg.BeforeShard = func(int) error { fatal.Store(true); return killed }
+		}
+		wg.Add(1)
+		go func(i int, cfg WorkerConfig) {
+			defer wg.Done()
+			_, errs[i] = RunWorker(context.Background(), cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+
+	if !fatal.Load() {
+		t.Fatal("failure injection never fired — w0 acquired no lease")
+	}
+	if !errors.Is(errs[0], killed) {
+		t.Errorf("killed worker returned %v, want the injected error", errs[0])
+	}
+	for i := 1; i < 4; i++ {
+		if errs[i] != nil {
+			t.Errorf("surviving worker w%d: %v", i, errs[i])
+		}
+	}
+
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("coordinator not complete after survivors exited")
+	}
+	s := c.Stats()
+	if s.Shards != 12 {
+		t.Errorf("coordinator folded %d shards, want exactly 12", s.Shards)
+	}
+	if s.LeasesExpired == 0 && s.LeasesStolen == 0 {
+		t.Error("dead worker's shards were reclaimed neither by expiry nor stealing")
+	}
+	got, err := c.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("fleet report after worker death differs from local run")
+	}
+}
+
+// TestE2EEndpoints pins the daemon surface: /report is 409 until the
+// campaign completes, /healthz always answers, and /metrics exposes the
+// coordinator counters in Prometheus text form.
+func TestE2EEndpoints(t *testing.T) {
+	spec := testSpec(16) // 2 shards
+	c, srv := startCoord(t, Config{Spec: spec, LeaseShards: 8})
+
+	if resp, err := http.Get(srv.URL + "/report"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("/report before completion: %s, want 409", resp.Status)
+		}
+	}
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status":"ok"`) {
+			t.Errorf("/healthz: %s %q", resp.Status, body)
+		}
+	}
+
+	if _, err := RunWorker(context.Background(), WorkerConfig{
+		URL: srv.URL, Name: "w", Parallelism: 1, Poll: 5 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-c.Done()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"bba_coord_workers_joined_total 1",
+		"bba_coord_shards_completed_total 2",
+		"bba_coord_shards_done 2",
+		"# TYPE bba_coord_leases_granted_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if resp, err := http.Get(srv.URL + "/report"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("/report after completion: %s, want 200", resp.Status)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the coordinator's HTTP interface:
+//
+//	POST /join       register a worker; returns the campaign spec
+//	POST /lease      acquire a shard-range lease
+//	POST /heartbeat  extend held leases
+//	POST /complete   deliver one finished shard's accumulators
+//	GET  /report     the finalized campaign report (409 until complete)
+//	GET  /metrics    Prometheus text exposition
+//	GET  /healthz    liveness JSON
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/join", post(c, func(req JoinRequest) (JoinResponse, error) { return c.Join(req) }))
+	mux.HandleFunc("/lease", post(c, func(req LeaseRequest) (LeaseResponse, error) { return c.Acquire(req) }))
+	mux.HandleFunc("/heartbeat", post(c, func(req HeartbeatRequest) (HeartbeatResponse, error) { return c.Heartbeat(req) }))
+	mux.HandleFunc("/complete", post(c, func(req CompleteRequest) (CompleteResponse, error) { return c.Complete(req) }))
+	mux.HandleFunc("/report", c.handleReport)
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	return mux
+}
+
+// maxBody bounds request bodies; a shard completion carries six quantile
+// sketches per group, far under this.
+const maxBody = 16 << 20
+
+// post adapts a typed request/response exchange to an HTTP handler.
+func post[Req, Resp any](c *Coordinator, f func(Req) (Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Req
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := f(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	}
+}
+
+func (c *Coordinator) handleReport(w http.ResponseWriter, _ *http.Request) {
+	body, err := c.Report()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s := c.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"workers":        s.WorkersJoined,
+		"shards_done":    s.ShardsDone,
+		"shards_pending": s.ShardsPending,
+		"shards_leased":  s.ShardsLeased,
+		"complete":       s.Complete,
+	})
+}
+
+// handleMetrics writes Prometheus text exposition by hand, the same
+// stdlib-only approach as telemetry.Prom and the collect daemon.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s := c.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b bytes.Buffer
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("bba_coord_workers_joined_total", "Workers that have registered.", s.WorkersJoined)
+	counter("bba_coord_leases_granted_total", "Shard-range leases issued (including steals).", s.LeasesGranted)
+	counter("bba_coord_leases_stolen_total", "Work-stealing re-leases of straggler tails.", s.LeasesStolen)
+	counter("bba_coord_leases_expired_total", "Leases that lapsed without completion.", s.LeasesExpired)
+	counter("bba_coord_shards_reissued_total", "Shards returned to pending by lease expiry.", s.ShardsReissued)
+	counter("bba_coord_shards_completed_total", "Shard completions folded exactly once.", s.Shards)
+	counter("bba_coord_shards_duplicate_total", "Duplicate shard completions absorbed as no-ops.", s.ShardsDup)
+	gauge("bba_coord_shards_pending", "Shards awaiting a lease.", int64(s.ShardsPending))
+	gauge("bba_coord_shards_leased", "Shards under at least one live lease.", int64(s.ShardsLeased))
+	gauge("bba_coord_shards_done", "Shards folded into the checkpoint.", int64(s.ShardsDone))
+	gauge("bba_coord_leases_active", "Live leases.", int64(s.ActiveLeases))
+	w.Write(b.Bytes())
+}

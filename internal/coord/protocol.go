@@ -1,0 +1,164 @@
+package coord
+
+import (
+	"fmt"
+	"time"
+
+	"bba/internal/abtest"
+	"bba/internal/campaign"
+	"bba/internal/faults"
+)
+
+// Spec is the campaign description the coordinator hands every worker on
+// join — the JSON-portable subset of campaign.Config that pins the
+// campaign identity. Execution knobs (engine, parallelism, widths) are
+// deliberately absent: they are per-worker choices that never change the
+// result, which is exactly why a mixed fleet of scalar and batch workers
+// still folds to one byte-identical report.
+type Spec struct {
+	// Name labels the run (default "campaign").
+	Name string `json:"name,omitempty"`
+	// Seed makes the campaign deterministic.
+	Seed int64 `json:"seed"`
+	// Sessions is the number of paired session draws.
+	Sessions int `json:"sessions"`
+	// ShardSize is the paired sessions per shard (part of the identity).
+	ShardSize int `json:"shard_size,omitempty"`
+	// Days is the simulated calendar depth.
+	Days int `json:"days,omitempty"`
+	// CatalogSize is the number of titles.
+	CatalogSize int `json:"catalog_size,omitempty"`
+	// SketchSize is each metric sketch's retained-sample capacity.
+	SketchSize int `json:"sketch_size,omitempty"`
+	// Groups are the experiment arms by registered algorithm name; empty
+	// means the paper's standard groups.
+	Groups []string `json:"groups,omitempty"`
+	// Faults runs every session under the standard fault schedule.
+	Faults bool `json:"faults,omitempty"`
+	// FaultSeed seeds the fault weather (with Faults).
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+}
+
+// CampaignConfig resolves the spec into a runnable campaign.Config — the
+// same construction cmd/bbacampaign performs from its flags, so a worker
+// executing the spec and a local run of the same flags share one identity.
+func (s Spec) CampaignConfig() (campaign.Config, error) {
+	cfg := campaign.Config{
+		Name:        s.Name,
+		Seed:        s.Seed,
+		Sessions:    s.Sessions,
+		ShardSize:   s.ShardSize,
+		Days:        s.Days,
+		CatalogSize: s.CatalogSize,
+		SketchSize:  s.SketchSize,
+	}
+	if len(s.Groups) > 0 {
+		groups, err := abtest.Groups(s.Groups...)
+		if err != nil {
+			return campaign.Config{}, err
+		}
+		cfg.Groups = groups
+	}
+	if s.Faults {
+		fc := faults.DefaultScheduleConfig()
+		cfg.Faults = &fc
+		cfg.FaultSeed = s.FaultSeed
+	}
+	return cfg, nil
+}
+
+// Identity returns the campaign identity the spec pins.
+func (s Spec) Identity() (campaign.Identity, error) {
+	cfg, err := s.CampaignConfig()
+	if err != nil {
+		return campaign.Identity{}, err
+	}
+	id := cfg.Identity()
+	if id.Shards() == 0 {
+		return campaign.Identity{}, fmt.Errorf("coord: spec describes no shards (sessions %d, shard size %d)", s.Sessions, s.ShardSize)
+	}
+	return id, nil
+}
+
+// Wire messages. Every endpoint takes and returns JSON; durations travel
+// as milliseconds so the protocol has no dependence on Go's duration
+// encoding.
+
+// JoinRequest registers a worker with the coordinator.
+type JoinRequest struct {
+	// Worker names the worker; it must be stable across the worker's
+	// requests (leases are owned by name) and unique within the fleet.
+	Worker string `json:"worker"`
+}
+
+// JoinResponse hands the worker everything it needs to execute leases.
+type JoinResponse struct {
+	Spec     Spec              `json:"spec"`
+	Identity campaign.Identity `json:"identity"`
+	// LeaseTTLMillis is the lease expiry interval; workers heartbeat at a
+	// fraction of it.
+	LeaseTTLMillis int64 `json:"lease_ttl_millis"`
+	// LeaseShards is the maximum shards per lease.
+	LeaseShards int `json:"lease_shards"`
+}
+
+// TTL returns the lease TTL as a duration.
+func (j JoinResponse) TTL() time.Duration { return time.Duration(j.LeaseTTLMillis) * time.Millisecond }
+
+// LeaseRequest asks for a shard-range lease.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants a lease (possibly empty while stragglers hold the
+// remaining shards) or reports the campaign complete.
+type LeaseResponse struct {
+	// Lease identifies the grant in heartbeats and completions; zero when
+	// no shards were granted.
+	Lease uint64 `json:"lease,omitempty"`
+	// Shards are the granted shard indices, ascending.
+	Shards []int `json:"shards,omitempty"`
+	// Stolen marks a work-stealing re-lease of shards another worker still
+	// holds: first completion wins, the loser's fold is a no-op.
+	Stolen bool `json:"stolen,omitempty"`
+	// Complete reports that every shard of the campaign is folded; the
+	// worker should exit.
+	Complete bool `json:"complete,omitempty"`
+	// ExpiresMillis is the grant's TTL.
+	ExpiresMillis int64 `json:"expires_millis,omitempty"`
+}
+
+// HeartbeatRequest extends the worker's outstanding leases.
+type HeartbeatRequest struct {
+	Worker string   `json:"worker"`
+	Leases []uint64 `json:"leases,omitempty"`
+}
+
+// HeartbeatResponse lists which leases were extended; a lease missing from
+// Extended has expired (its shards may already be re-leased) and the
+// worker should abandon it.
+type HeartbeatResponse struct {
+	Extended []uint64 `json:"extended,omitempty"`
+	// Complete mirrors LeaseResponse.Complete so idle workers learn the
+	// campaign finished without another lease round-trip.
+	Complete bool `json:"complete,omitempty"`
+}
+
+// CompleteRequest delivers one finished shard's accumulators under a lease.
+type CompleteRequest struct {
+	Worker string `json:"worker"`
+	Lease  uint64 `json:"lease"`
+	// Shard and Groups are the campaign.ShardAccums payload — the same
+	// shape the collect lane ships.
+	Shard  int                    `json:"shard"`
+	Groups []*campaign.GroupAccum `json:"groups"`
+}
+
+// CompleteResponse acknowledges a shard completion.
+type CompleteResponse struct {
+	// Duplicate reports the shard was already folded (delivered by another
+	// lease holder, or a retry); the fold was a no-op.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Complete reports the campaign is now fully folded.
+	Complete bool `json:"complete,omitempty"`
+}

@@ -90,6 +90,21 @@ const (
 	// the two entrants' indices, Chunk the pair index, Bytes the paired
 	// sessions compared, At the elapsed wall-clock time.
 	ArenaMatch
+	// WorkerJoin is emitted by the campaign coordinator when a worker
+	// registers: Label is the worker name, At the elapsed wall-clock time.
+	WorkerJoin
+	// LeaseGrant is emitted by the campaign coordinator when a shard-range
+	// lease is issued: Label is the worker name (prefixed "steal:" for a
+	// work-stealing re-lease of another worker's straggler tail), Chunk the
+	// lease's first shard, Bytes the shard count, At the elapsed wall-clock
+	// time.
+	LeaseGrant
+	// LeaseExpire is emitted by the campaign coordinator when a lease's TTL
+	// lapses without completion: Label is the worker that held it, Chunk
+	// the first re-issued shard (-1 when every shard had completed
+	// elsewhere), Bytes the number of shards returned to the pending pool,
+	// At the elapsed wall-clock time.
+	LeaseExpire
 
 	// numKinds is one past the last valid Kind. Keep it last: the
 	// exhaustive round-trip test walks [SessionStart, numKinds) and fails
@@ -114,6 +129,9 @@ var kindNames = [...]string{
 	Degrade:          "degrade",
 	CampaignProgress: "campaign_progress",
 	ArenaMatch:       "arena_match",
+	WorkerJoin:       "worker_join",
+	LeaseGrant:       "lease_grant",
+	LeaseExpire:      "lease_expire",
 }
 
 // String returns the snake_case name used in the JSONL journal.

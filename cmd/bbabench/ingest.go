@@ -12,8 +12,10 @@ import (
 	"testing"
 	"time"
 
+	"bba/internal/archive"
 	"bba/internal/collect"
 	"bba/internal/telemetry"
+	"bba/internal/units"
 )
 
 // IngestReport is the BENCH_ingest.json schema: the fleet-collection
@@ -22,14 +24,33 @@ import (
 // measured loss/duplication recovery run proving the exactly-once
 // contract under injected failure.
 type IngestReport struct {
-	Schema    string       `json:"schema"`
-	Generated string       `json:"generated,omitempty"`
-	GoVersion string       `json:"go_version"`
-	NumCPU    int          `json:"num_cpu"`
-	Scale     string       `json:"scale"`
-	Ingest    IngestResult `json:"ingest"`
-	Shipper   Result       `json:"shipper"`
-	Recovery  Recovery     `json:"recovery"`
+	Schema    string        `json:"schema"`
+	Generated string        `json:"generated,omitempty"`
+	GoVersion string        `json:"go_version"`
+	NumCPU    int           `json:"num_cpu"`
+	Scale     string        `json:"scale"`
+	Ingest    IngestResult  `json:"ingest"`
+	Shipper   Result        `json:"shipper"`
+	Recovery  Recovery      `json:"recovery"`
+	Archive   ArchiveResult `json:"archive"`
+}
+
+// ArchiveResult is the columnar archive measurement: a run of Events
+// appended through the WAL, compacted to blocks, then aggregated straight
+// off the encoded columns versus the equivalent fold over the flat journal
+// JSONL. Lossless records that re-exporting the store reproduced the
+// appended journal byte-for-byte; Speedup is the acceptance ratio
+// (columnar events/s over JSONL events/s).
+type ArchiveResult struct {
+	Events        int     `json:"events"`
+	Blocks        int     `json:"blocks"`
+	JournalBytes  int64   `json:"journal_bytes"`
+	BlockBytes    int64   `json:"block_bytes"`
+	AppendNsPerEv float64 `json:"append_ns_per_event"`
+	AggEventsSec  float64 `json:"aggregate_events_per_sec"`
+	ScanEventsSec float64 `json:"jsonl_scan_events_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	Lossless      bool    `json:"lossless"`
 }
 
 // IngestResult extends the shared Result with throughput in the pipeline's
@@ -196,6 +217,163 @@ func recoveryRun(events int) (Recovery, error) {
 	}, nil
 }
 
+// archiveRun appends events to a columnar store and a flat journal,
+// compacts, then races archive.Aggregate against the same rollup computed
+// by parsing the journal line-by-line — the query the archive exists to
+// make fast. Both sides run three times; the best take counts.
+func archiveRun(events int) (ArchiveResult, error) {
+	dir, err := os.MkdirTemp("", "bba-bench-archive-*")
+	if err != nil {
+		return ArchiveResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := archive.Open(archive.Config{Dir: dir})
+	if err != nil {
+		return ArchiveResult{}, err
+	}
+	defer st.Close()
+
+	const batchEvents = 512
+	kinds := []telemetry.Kind{
+		telemetry.ChunkComplete, telemetry.BufferSample, telemetry.ChunkComplete,
+		telemetry.RateSwitch, telemetry.ChunkComplete, telemetry.RebufferStart,
+		telemetry.RebufferEnd, telemetry.ChunkComplete,
+	}
+	var journal, batch []byte
+	var appending time.Duration
+	for i := 0; i < events; {
+		batch = batch[:0]
+		for j := 0; j < batchEvents && i < events; j, i = j+1, i+1 {
+			batch = telemetry.AppendJSONL(batch, telemetry.Event{
+				Kind:    kinds[i%len(kinds)],
+				Session: fmt.Sprintf("d0.w%d.s%d.BBA-%d", i%4, i%97, i%2),
+				At:      time.Duration(i) * time.Millisecond, Chunk: i % 300,
+				RateIndex: i % 5, PrevRateIndex: (i + 1) % 5,
+				Rate: units.BitRate(1000000 + i%5*500000), Bytes: 1 << 18,
+				Duration: 4 * time.Second, Buffer: 12 * time.Second,
+			})
+		}
+		journal = append(journal, batch...)
+		t0 := time.Now()
+		if err := st.Append("bench", batch); err != nil {
+			return ArchiveResult{}, err
+		}
+		appending += time.Since(t0)
+	}
+	appendNs := float64(appending.Nanoseconds()) / float64(events)
+	if err := st.CompactAll(); err != nil {
+		return ArchiveResult{}, err
+	}
+
+	res := ArchiveResult{Events: events, JournalBytes: int64(len(journal)), AppendNsPerEv: appendNs}
+	for _, rs := range st.Stats() {
+		res.Blocks += rs.Blocks
+		res.BlockBytes += rs.BlockBytes
+	}
+
+	var exported bytes.Buffer
+	if err := st.Export("bench", &exported); err != nil {
+		return ArchiveResult{}, err
+	}
+	res.Lossless = bytes.Equal(exported.Bytes(), journal)
+
+	q := archive.Query{Run: "bench"}
+	var colBest, rowBest time.Duration
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		rollup, err := st.Aggregate(q)
+		if err != nil {
+			return ArchiveResult{}, err
+		}
+		if d := time.Since(t0); i == 0 || d < colBest {
+			colBest = d
+		}
+		if rollup.Rows != int64(events) {
+			return ArchiveResult{}, fmt.Errorf("aggregate saw %d rows, want %d", rollup.Rows, events)
+		}
+
+		// The JSONL side computes the identical per-group rollup off the
+		// flat journal — parse each line, fold the same sums.
+		t0 = time.Now()
+		jr, err := jsonlRollup(journal)
+		if err != nil {
+			return ArchiveResult{}, err
+		}
+		if d := time.Since(t0); i == 0 || d < rowBest {
+			rowBest = d
+		}
+		if err := sameRollup(rollup.Groups, jr); err != nil {
+			return ArchiveResult{}, err
+		}
+	}
+	res.AggEventsSec = float64(events) / colBest.Seconds()
+	res.ScanEventsSec = float64(events) / rowBest.Seconds()
+	res.Speedup = res.AggEventsSec / res.ScanEventsSec
+	return res, nil
+}
+
+// jsonlRollup is the flat-file equivalent of archive.Aggregate: parse
+// every journal line, fold the same per-group sums. This is what a
+// consumer without the columnar archive has to do.
+func jsonlRollup(journal []byte) (map[string]*archive.GroupRollup, error) {
+	groups := map[string]*archive.GroupRollup{}
+	sessions := map[string]map[string]bool{}
+	for rest := journal; len(rest) > 0; {
+		nl := bytes.IndexByte(rest, '\n')
+		line := rest[:nl+1]
+		rest = rest[nl+1:]
+		e, ok := telemetry.ParseJSONL(line)
+		if !ok {
+			return nil, fmt.Errorf("journal line unparsable: %q", line)
+		}
+		g := telemetry.GroupOfSession(e.Session)
+		gr := groups[g]
+		if gr == nil {
+			gr = &archive.GroupRollup{Group: g}
+			groups[g] = gr
+			sessions[g] = map[string]bool{}
+		}
+		if !sessions[g][e.Session] {
+			sessions[g][e.Session] = true
+			gr.Sessions++
+		}
+		gr.Events++
+		switch e.Kind {
+		case telemetry.ChunkComplete:
+			gr.Chunks++
+			gr.Bytes += e.Bytes
+			gr.RateSumBps += int64(e.Rate)
+		case telemetry.RebufferStart:
+			gr.Rebuffers++
+		case telemetry.RebufferEnd:
+			gr.RebufferNS += int64(e.Duration)
+		case telemetry.RateSwitch:
+			gr.Switches++
+			if e.RateIndex > e.PrevRateIndex {
+				gr.SwitchUp++
+			}
+		case telemetry.SessionEnd:
+			gr.PlayedNS += int64(e.Played)
+		}
+	}
+	return groups, nil
+}
+
+// sameRollup checks both sides agree — the race is only fair if the
+// answers match.
+func sameRollup(cols []archive.GroupRollup, rows map[string]*archive.GroupRollup) error {
+	if len(cols) != len(rows) {
+		return fmt.Errorf("rollup mismatch: %d columnar groups vs %d jsonl", len(cols), len(rows))
+	}
+	for _, c := range cols {
+		r := rows[c.Group]
+		if r == nil || *r != c {
+			return fmt.Errorf("rollup mismatch for group %s: %+v vs %+v", c.Group, c, r)
+		}
+	}
+	return nil
+}
+
 // runIngest executes the fleet-collection suite and writes BENCH_ingest.json.
 func runIngest(quick, stamp bool, out string) error {
 	report := IngestReport{
@@ -262,6 +440,22 @@ func runIngest(quick, stamp bool, out string) error {
 		rec.EventsAdmitted, rec.EventsSent, rec.FramesDuplicate, rec.Retries)
 	if !rec.ExactlyOnce {
 		return fmt.Errorf("recovery run violated exactly-once: %+v", rec)
+	}
+
+	archEvents := 1 << 20
+	if quick {
+		archEvents = 1 << 17
+	}
+	arch, err := archiveRun(archEvents)
+	if err != nil {
+		return err
+	}
+	report.Archive = arch
+	fmt.Fprintf(os.Stderr, "archive: %d events in %d blocks (%.1f MiB vs %.1f MiB journal); aggregate %.1fM ev/s vs jsonl %.2fM ev/s = %.1fx, lossless=%v\n",
+		arch.Events, arch.Blocks, float64(arch.BlockBytes)/(1<<20), float64(arch.JournalBytes)/(1<<20),
+		arch.AggEventsSec/1e6, arch.ScanEventsSec/1e6, arch.Speedup, arch.Lossless)
+	if !arch.Lossless {
+		return fmt.Errorf("archive export was not lossless")
 	}
 
 	return write(report, out)

@@ -7,20 +7,30 @@
 // Endpoints:
 //
 //	POST /ingest        one frame per request body
-//	GET  /report/{run}  the aggregated report once the run has ended
+//	GET  /report/{run}  the aggregated report: 404 unknown run, 409 while
+//	                    shards are outstanding, 200 once complete
 //	GET  /metrics       Prometheus-text counters
-//	GET  /healthz       liveness
+//	GET  /healthz       liveness; degrades (503) on archive failure
+//	GET  /runs          archived runs and storage stats (-store only)
+//	GET  /query         archived events or rollups (-store only)
+//	GET  /tail          live stream of admitted event batches as JSONL
 //
-// An optional -archive file receives every admitted event batch as
-// telemetry journal JSONL — the fleet's raw event log, duplicates already
-// removed. SIGINT/SIGTERM drains in-flight ingests, flushes the archive
-// and exits.
+// Two archive forms, combinable:
+//
+//	-archive FILE   append admitted event batches as flat journal JSONL
+//	-store DIR      columnar archive (internal/archive): WAL + immutable
+//	                blocks, queryable via /query and offline via bbaquery
+//
+// Either way, archiving gates acknowledgement: an event frame whose batch
+// cannot be persisted is NACKed for retry, never silently dropped, and
+// the first failure sticks until restart. SIGINT/SIGTERM drains in-flight
+// ingests, flushes the archive and exits.
 //
 // Example:
 //
-//	bbacollect -addr 127.0.0.1:8406 -udp 127.0.0.1:8406 -archive fleet.jsonl &
+//	bbacollect -addr 127.0.0.1:8406 -udp 127.0.0.1:8406 -store fleet.archive &
 //	bbacampaign -sessions 20000 -ship http://127.0.0.1:8406
-//	curl http://127.0.0.1:8406/metrics
+//	curl 'http://127.0.0.1:8406/query?run=run-11&group=BBA-0&agg=1'
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"bba/internal/archive"
 	"bba/internal/collect"
 )
 
@@ -44,6 +55,7 @@ type options struct {
 	addr        string
 	udp         string
 	archive     string
+	store       string
 	dedupWindow int
 	grace       time.Duration
 	// ready is a test seam: when non-nil it receives the bound HTTP
@@ -57,6 +69,7 @@ func main() {
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:8406", "HTTP listen address (ingest, reports, metrics)")
 	flag.StringVar(&o.udp, "udp", "", "UDP listen address for the fire-and-forget event lane (default off)")
 	flag.StringVar(&o.archive, "archive", "", "append admitted event batches to this journal JSONL file")
+	flag.StringVar(&o.store, "store", "", "columnar archive directory (enables /query and /runs)")
 	flag.IntVar(&o.dedupWindow, "dedup-window", collect.DefaultDedupWindow, "per-stream out-of-order admission window, in frames")
 	flag.DurationVar(&o.grace, "grace", 5*time.Second, "drain deadline for in-flight ingests on shutdown")
 	flag.Parse()
@@ -69,9 +82,22 @@ func main() {
 	}
 }
 
+// teeArchiver fans each admitted batch to every archiver; the first error
+// wins, and the collector's sticky NACK handles the rest.
+type teeArchiver []collect.Archiver
+
+func (t teeArchiver) Append(run string, batch []byte) error {
+	for _, a := range t {
+		if err := a.Append(run, batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // run serves until ctx is cancelled, then drains and flushes the archive.
 func run(ctx context.Context, out, errw io.Writer, o options) error {
-	var archive io.Writer
+	var archivers teeArchiver
 	var flush func() error
 	if o.archive != "" {
 		f, err := os.OpenFile(o.archive, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -79,7 +105,7 @@ func run(ctx context.Context, out, errw io.Writer, o options) error {
 			return err
 		}
 		bw := bufio.NewWriter(f)
-		archive = bw
+		archivers = append(archivers, collect.WriterArchiver{W: bw})
 		flush = func() error {
 			if err := bw.Flush(); err != nil {
 				f.Close()
@@ -88,11 +114,21 @@ func run(ctx context.Context, out, errw io.Writer, o options) error {
 			return f.Close()
 		}
 	}
+	var store *archive.Store
+	if o.store != "" {
+		var err error
+		store, err = archive.Open(archive.Config{Dir: o.store})
+		if err != nil {
+			return err
+		}
+		archivers = append(archivers, store)
+	}
 
-	c := collect.NewCollector(collect.CollectorConfig{
-		DedupWindow: o.dedupWindow,
-		Archive:     archive,
-	})
+	cfg := collect.CollectorConfig{DedupWindow: o.dedupWindow}
+	if len(archivers) > 0 {
+		cfg.Archive = archivers
+	}
+	c := collect.NewCollector(cfg)
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -108,7 +144,17 @@ func run(ctx context.Context, out, errw io.Writer, o options) error {
 		go c.ServeUDP(pc)
 	}
 
-	fmt.Fprintf(out, "collecting on http://%s (/ingest, /report/{run}, /metrics, /healthz)\n", ln.Addr())
+	mux := http.NewServeMux()
+	mux.Handle("/", c.Handler())
+	mux.HandleFunc("/tail", tailHandler(c))
+	if store != nil {
+		archive.QueryHandler{Store: store}.Register(mux)
+	}
+
+	fmt.Fprintf(out, "collecting on http://%s (/ingest, /report/{run}, /metrics, /healthz, /tail)\n", ln.Addr())
+	if store != nil {
+		fmt.Fprintf(out, "columnar store at %s (/query, /runs)\n", o.store)
+	}
 	if pc != nil {
 		fmt.Fprintf(out, "udp event lane on %s\n", pc.LocalAddr())
 	}
@@ -119,7 +165,7 @@ func run(ctx context.Context, out, errw io.Writer, o options) error {
 		}
 	}
 
-	hs := &http.Server{Handler: c.Handler()}
+	hs := &http.Server{Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -146,11 +192,62 @@ func run(ctx context.Context, out, errw io.Writer, o options) error {
 			return err
 		}
 	}
+	if store != nil {
+		// Seal the WAL tails into blocks so offline readers get columnar
+		// data, then flush.
+		if err := store.CompactAll(); err != nil {
+			return err
+		}
+		if err := store.Close(); err != nil {
+			return err
+		}
+	}
 	printStats(errw, c.Stats())
 	if shutdownErr != nil && !errors.Is(shutdownErr, context.DeadlineExceeded) {
 		return shutdownErr
 	}
 	return nil
+}
+
+// tailHandler streams admitted event batches to the client as journal
+// JSONL, flushing per batch — `curl /tail?run=r` is a live fleet log. A
+// client that cannot keep up misses batches (the subscription buffer
+// drops) rather than stalling ingest.
+func tailHandler(c *collect.Collector) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		runFilter := r.FormValue("run")
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		ch, cancel := c.Subscribe(256)
+		defer cancel()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		for {
+			select {
+			case msg, ok := <-ch:
+				if !ok {
+					return
+				}
+				if runFilter != "" && msg.Run != runFilter {
+					continue
+				}
+				if _, err := w.Write(msg.Payload); err != nil {
+					return
+				}
+				fl.Flush()
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
 }
 
 // printStats summarizes the daemon's lifetime on shutdown.
@@ -162,4 +259,7 @@ func printStats(w io.Writer, s collect.CollectorStats) {
 	fmt.Fprintf(w, "collected: %d frames (%d events, %d shards) across %d runs (%d ended, %d streams); %d duplicates, %d bad, %d retried\n",
 		frames, s.Events, s.Shards, s.Runs, s.RunsEnded, s.Streams,
 		s.FramesDup, s.FramesBad, s.FramesRetry)
+	if s.ArchiveErrors > 0 {
+		fmt.Fprintf(w, "ARCHIVE DEGRADED: %d event frames NACKed unpersisted\n", s.ArchiveErrors)
+	}
 }

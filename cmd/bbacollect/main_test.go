@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	archivepkg "bba/internal/archive"
 	"bba/internal/campaign"
 	"bba/internal/collect"
 	"bba/internal/telemetry"
@@ -87,9 +88,10 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 
 	archive := filepath.Join(t.TempDir(), "fleet.jsonl")
+	store := filepath.Join(t.TempDir(), "fleet.archive")
 	httpAddr, udpAddr, shutdown := startDaemon(t, options{
 		addr: "127.0.0.1:0", udp: "127.0.0.1:0",
-		archive: archive, dedupWindow: collect.DefaultDedupWindow,
+		archive: archive, store: store, dedupWindow: collect.DefaultDedupWindow,
 		grace: 5 * time.Second,
 	})
 
@@ -160,6 +162,45 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("daemon report differs from local run:\n%s\nvs\n%s", got.String(), want.String())
 	}
 
+	// The columnar store answers queries while the daemon is live.
+	qresp, err := http.Get(fmt.Sprintf("http://%s/query?run=d&agg=1", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rollup struct {
+		Run    string `json:"run"`
+		Groups []struct {
+			Events int64 `json:"events"`
+		} `json:"groups"`
+	}
+	if err := json.NewDecoder(qresp.Body).Decode(&rollup); err != nil {
+		t.Fatal(err)
+	}
+	qresp.Body.Close()
+	if qresp.StatusCode != http.StatusOK || rollup.Run != "d" || len(rollup.Groups) != 1 || rollup.Groups[0].Events != 2 {
+		t.Fatalf("live rollup: %d %+v, want run d with 2 events", qresp.StatusCode, rollup)
+	}
+	eresp, err := http.Get(fmt.Sprintf("http://%s/query?run=d", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines bytes.Buffer
+	lines.ReadFrom(eresp.Body)
+	eresp.Body.Close()
+	if !bytes.Equal(lines.Bytes(), append(append([]byte(nil), events...), events...)) {
+		t.Fatalf("live query events:\n%q\nwant both admitted batches", lines.Bytes())
+	}
+	rresp, err := http.Get(fmt.Sprintf("http://%s/runs", httpAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runsBody bytes.Buffer
+	runsBody.ReadFrom(rresp.Body)
+	rresp.Body.Close()
+	if !strings.Contains(runsBody.String(), `"run":"d"`) {
+		t.Fatalf("/runs missing run d: %s", runsBody.String())
+	}
+
 	err, stdout, stderr := shutdown()
 	if err != nil {
 		t.Fatalf("drain: %v", err)
@@ -179,6 +220,71 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	if !bytes.Equal(b, append(append([]byte(nil), events...), events...)) {
 		t.Fatalf("archive:\n%q\nwant two batches:\n%q", b, events)
+	}
+
+	// Shutdown compacted the store: the directory holds sealed blocks a
+	// read-only open exports byte-identically to the flat archive file.
+	ro, err := archivepkg.OpenReadOnly(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ro.Stats()
+	if len(st) != 1 || st[0].Blocks == 0 || st[0].WALEvents != 0 {
+		t.Fatalf("store stats after shutdown: %+v, want one run fully compacted", st)
+	}
+	var exported bytes.Buffer
+	if err := ro.Export("d", &exported); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(exported.Bytes(), b) {
+		t.Fatalf("columnar export differs from flat archive:\n%q\nvs\n%q", exported.Bytes(), b)
+	}
+}
+
+// TestDaemonTail checks /tail streams admitted batches live.
+func TestDaemonTail(t *testing.T) {
+	httpAddr, _, shutdown := startDaemon(t, options{
+		addr: "127.0.0.1:0", grace: 5 * time.Second,
+	})
+	defer shutdown()
+
+	req, err := http.NewRequest(http.MethodGet, "http://"+httpAddr+"/tail?run=d", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tail: %d", resp.StatusCode)
+	}
+
+	events := telemetry.AppendJSONL(nil, telemetry.Event{
+		Kind: telemetry.BufferSample, Session: "s", Chunk: 7,
+		RateIndex: -1, PrevRateIndex: -1, Buffer: 9 * time.Second,
+	})
+	// Another run's batch must be filtered out; run d's must arrive.
+	for _, f := range []collect.Frame{
+		{Run: "other", Session: 1, Seq: 0, Kind: collect.PayloadEvents, Payload: events},
+		{Run: "d", Session: 1, Seq: 0, Kind: collect.PayloadEvents, Payload: events},
+	} {
+		post, err := http.Post("http://"+httpAddr+"/ingest", "application/octet-stream",
+			bytes.NewReader(collect.AppendFrame(nil, f)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		post.Body.Close()
+		if post.StatusCode != http.StatusNoContent {
+			t.Fatalf("ingest: %d", post.StatusCode)
+		}
+	}
+
+	got := make([]byte, len(events))
+	resp.Body.Read(got) // blocks until the daemon flushes the batch
+	if !bytes.Equal(got, events) {
+		t.Fatalf("tail delivered %q, want run d's batch %q", got, events)
 	}
 }
 

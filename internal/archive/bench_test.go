@@ -1,0 +1,131 @@
+package archive
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bba/internal/telemetry"
+)
+
+// benchStore builds a compacted store of n events in b.TempDir.
+func benchStore(b *testing.B, n int) *Store {
+	b.Helper()
+	s, err := Open(Config{Dir: b.TempDir(), CompactEvents: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	const batch = 512
+	for i := 0; i < n; i += batch {
+		end := i + batch
+		if end > n {
+			end = n
+		}
+		if err := s.Append("bench", batchOf(i, end)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.CompactAll(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkAggregate is the columnar rollup path: footer pruning plus
+// column-slab folds, no row materialization.
+func BenchmarkAggregate(b *testing.B) {
+	const n = 100_000
+	s := benchStore(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := s.Aggregate(Query{Run: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Rows != n {
+			b.Fatalf("rows = %d, want %d", r.Rows, n)
+		}
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkJSONLAggregate is the equivalent row-wise baseline: read the
+// exported JSONL journal and fold it line by line — what every analysis
+// did before the columnar store existed.
+func BenchmarkJSONLAggregate(b *testing.B) {
+	const n = 100_000
+	s := benchStore(b, n)
+	path := filepath.Join(b.TempDir(), "journal.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Export("bench", f); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := newAggState()
+		rows := 0
+		for len(data) > 0 {
+			nl := bytes.IndexByte(data, '\n')
+			line := data[:nl+1]
+			data = data[nl+1:]
+			e, ok := telemetry.ParseJSONL(line)
+			if !ok {
+				e = parseLoose(line)
+			}
+			st.addEvent(&e)
+			rows++
+		}
+		if rows != n {
+			b.Fatalf("rows = %d, want %d", rows, n)
+		}
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkScanKind measures a selective scan: one kind out of eight, so
+// dictionary-index filtering skips 7/8 rows before materializing.
+func BenchmarkScanKind(b *testing.B) {
+	const n = 100_000
+	s := benchStore(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		err := s.Scan(Query{Run: "bench", Kinds: []telemetry.Kind{telemetry.RebufferStart}},
+			func(telemetry.Event) bool { count++; return true })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if count == 0 {
+			b.Fatal("scan matched nothing")
+		}
+	}
+}
+
+// BenchmarkAppend measures the WAL ingest path the collector calls inline.
+func BenchmarkAppend(b *testing.B) {
+	s, err := Open(Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	batch := batchOf(0, 64)
+	b.SetBytes(int64(len(batch)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append("bench", batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package archive
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"bba/internal/telemetry"
+)
+
+// Query selects archived events. Zero-valued fields match everything, so
+// Query{Run: "r"} is "the whole run".
+type Query struct {
+	// Run is the run to query (required).
+	Run string
+	// Kinds restricts to these event kinds; empty matches all.
+	Kinds []telemetry.Kind
+	// Session restricts to one exact session label.
+	Session string
+	// Group restricts to sessions whose telemetry.GroupOfSession matches.
+	Group string
+	// From and To bound the session clock: events with From <= At are
+	// matched, and — when To > 0 — only those with At <= To.
+	From, To time.Duration
+}
+
+func errRunRequired() error { return fmt.Errorf("archive: Query.Run is required") }
+
+// matchesWindow reports whether a [min, max] at_ns window can contain a
+// matching event.
+func (q Query) matchesWindow(minNS, maxNS int64) bool {
+	if maxNS < int64(q.From) {
+		return false
+	}
+	if q.To > 0 && minNS > int64(q.To) {
+		return false
+	}
+	return true
+}
+
+// matchesAt reports whether one event time passes the window predicate.
+func (q Query) matchesAt(atNS int64) bool {
+	return atNS >= int64(q.From) && (q.To <= 0 || atNS <= int64(q.To))
+}
+
+// kindNames returns the queried kinds' journal names; nil means all.
+func (q Query) kindNames() map[string]bool {
+	if len(q.Kinds) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(q.Kinds))
+	for _, k := range q.Kinds {
+		m[k.String()] = true
+	}
+	return m
+}
+
+// pruneBlock reports whether the block's footer alone proves no row can
+// match: disjoint time window, no queried kind present, or — for group
+// queries — no session of that group.
+func (q Query) pruneBlock(ft footer) bool {
+	if ft.Rows == 0 || !q.matchesWindow(ft.MinAtNS, ft.MaxAtNS) {
+		return true
+	}
+	if names := q.kindNames(); names != nil {
+		any := false
+		for _, k := range ft.Kinds {
+			if names[k] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return true
+		}
+	}
+	if q.Group != "" {
+		any := false
+		for _, g := range ft.Groups {
+			if g == q.Group {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return true
+		}
+	}
+	return false
+}
+
+// matchesEvent is the row-at-a-time predicate the WAL tail and Scan's
+// materialized path share.
+func (q Query) matchesEvent(e *telemetry.Event) bool {
+	if !q.matchesAt(int64(e.At)) {
+		return false
+	}
+	if names := q.kindNames(); names != nil && !names[e.Kind.String()] {
+		return false
+	}
+	if q.Session != "" && e.Session != q.Session {
+		return false
+	}
+	if q.Group != "" && telemetry.GroupOfSession(e.Session) != q.Group {
+		return false
+	}
+	return true
+}
+
+// Scan streams every matching event in admission order — sealed blocks
+// first, then the live WAL tail — calling fn for each. fn returning false
+// stops the scan early. Blocks whose footer excludes the query are pruned
+// without reading a column page.
+func (s *Store) Scan(q Query, fn func(telemetry.Event) bool) error {
+	if q.Run == "" {
+		return errRunRequired()
+	}
+	blocks, walLines, err := s.snapshot(q.Run)
+	if err != nil {
+		return err
+	}
+	kindNames := q.kindNames()
+	for _, path := range blocks {
+		ft, err := readFooter(path)
+		if err != nil {
+			return err
+		}
+		if q.pruneBlock(ft) {
+			continue
+		}
+		blk, err := readBlock(path)
+		if err != nil {
+			return err
+		}
+		stop, err := scanBlock(blk, q, kindNames, fn)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	for _, line := range walLines {
+		e, ok := telemetry.ParseJSONL(line)
+		if !ok {
+			e = parseLoose(line)
+		}
+		if q.matchesEvent(&e) && !fn(e) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// scanBlock walks one block row-wise. It decodes the dictionary columns
+// first and resolves the predicates to dictionary-index sets, so the
+// per-row filter is integer compares; only rows that pass materialize an
+// Event.
+func scanBlock(b *Block, q Query, kindNames map[string]bool, fn func(telemetry.Event) bool) (stop bool, err error) {
+	kindEntries, kindRows, err := b.Dict("kind")
+	if err != nil {
+		return false, err
+	}
+	sessEntries, sessRows, err := b.Dict("session")
+	if err != nil {
+		return false, err
+	}
+	kindOK := make([]bool, len(kindEntries))
+	kinds := make([]telemetry.Kind, len(kindEntries))
+	for i, name := range kindEntries {
+		kindOK[i] = kindNames == nil || kindNames[name]
+		kinds[i], _ = telemetry.ParseKind(name)
+	}
+	sessOK := make([]bool, len(sessEntries))
+	for i, sess := range sessEntries {
+		sessOK[i] = (q.Session == "" || sess == q.Session) &&
+			(q.Group == "" || telemetry.GroupOfSession(sess) == q.Group)
+	}
+	var at []int64
+	if q.From > 0 || q.To > 0 {
+		if at, err = b.Ints("at_ns", nil); err != nil {
+			return false, err
+		}
+	}
+	// Lazily decode the remaining columns only once a row matches.
+	var labelEntries []string
+	var labelRows []uint32
+	var ints [][]int64
+	intCols := telemetry.IntColumns()
+	materialize := func() error {
+		if labelRows != nil {
+			return nil
+		}
+		if labelEntries, labelRows, err = b.Dict("label"); err != nil {
+			return err
+		}
+		ints = make([][]int64, len(intCols))
+		for i, c := range intCols {
+			if ints[i], err = b.Ints(c.Name, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < b.Rows(); i++ {
+		if !kindOK[kindRows[i]] || !sessOK[sessRows[i]] {
+			continue
+		}
+		if at != nil && !q.matchesAt(at[i]) {
+			continue
+		}
+		if err := materialize(); err != nil {
+			return false, err
+		}
+		e := telemetry.Event{
+			Kind:    kinds[kindRows[i]],
+			Session: sessEntries[sessRows[i]],
+			Label:   labelEntries[labelRows[i]],
+		}
+		for ci, c := range intCols {
+			c.Set(&e, ints[ci][i])
+		}
+		if !fn(e) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// parseLoose is the lenient fallback for non-canonical WAL lines,
+// mirroring what encodeBlock stores in the columns for raw rows.
+func parseLoose(line []byte) telemetry.Event {
+	var e telemetry.Event
+	le, _ := unmarshalLoose(line)
+	k, _ := telemetry.ParseKind(le.Kind)
+	e.Kind = k
+	e.Session = le.Session
+	e.Label = le.Label
+	loose := le.ints()
+	for i, c := range telemetry.IntColumns() {
+		c.Set(&e, loose[i])
+	}
+	return e
+}
+
+// readFooter reads only a block's tail — the 12-byte trailer plus the
+// footer JSON — so pruning a block costs two small reads, not the file.
+func readFooter(path string) (footer, error) {
+	var ft footer
+	f, err := os.Open(path)
+	if err != nil {
+		return ft, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return ft, err
+	}
+	size := fi.Size()
+	if size < int64(len(blockMagic))+1+blockTailLen {
+		return ft, fmt.Errorf("%w: %d bytes", ErrBadBlock, size)
+	}
+	var tail [blockTailLen]byte
+	if _, err := f.ReadAt(tail[:], size-blockTailLen); err != nil {
+		return ft, err
+	}
+	if string(tail[8:]) != string(blockEndMagic) {
+		return ft, fmt.Errorf("%w: end magic", ErrBadBlock)
+	}
+	flen := int64(binary.LittleEndian.Uint32(tail[4:8]))
+	if flen > maxFooterLen || size-blockTailLen < flen {
+		return ft, fmt.Errorf("%w: footer length %d", ErrBadBlock, flen)
+	}
+	ftJSON := make([]byte, flen)
+	if _, err := f.ReadAt(ftJSON, size-blockTailLen-flen); err != nil {
+		return ft, err
+	}
+	if crc32.Checksum(ftJSON, blockCRCTable) != binary.LittleEndian.Uint32(tail[:4]) {
+		return ft, fmt.Errorf("%w: footer checksum", ErrBadBlock)
+	}
+	if err := json.Unmarshal(ftJSON, &ft); err != nil {
+		return ft, fmt.Errorf("%w: footer: %v", ErrBadBlock, err)
+	}
+	return ft, nil
+}

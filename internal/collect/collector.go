@@ -24,17 +24,34 @@ const DefaultDedupWindow = 4096
 // shipper's retry delivers the frame after it has.
 var ErrUnknownRun = errors.New("collect: unknown run")
 
+// ErrRunIncomplete reports a run whose report cannot be rendered yet:
+// shards are still outstanding. Pollers treat it as "come back later"
+// (HTTP 409), distinct from a run the collector never heard of (404).
+var ErrRunIncomplete = errors.New("collect: run incomplete")
+
+// ErrArchive reports an event frame NACKed because the archive could not
+// persist its batch. It is retryable in protocol terms (the shipper keeps
+// the frame and retries), but the failure is sticky: once one write
+// fails, the collector refuses every later event frame without attempting
+// the write, so the archive stays a clean prefix of the admitted stream
+// until an operator restarts the collector with a healthy archive.
+var ErrArchive = errors.New("collect: archive unavailable")
+
 // CollectorConfig configures a Collector.
 type CollectorConfig struct {
 	// DedupWindow bounds each stream's out-of-order admission state
 	// (default DefaultDedupWindow). Reliable frames beyond it are NACKed
 	// for retry; event frames slide the window instead.
 	DedupWindow int
-	// Archive, when non-nil, receives every admitted event batch verbatim.
-	// Batches are telemetry journal JSONL (telemetry.AppendJSONL), so the
-	// archive is a valid journal file. Writes are serialized by the
-	// collector; ordering across sessions follows admission order.
-	Archive io.Writer
+	// Archive, when non-nil, persists every admitted event batch. Batches
+	// are telemetry journal JSONL (telemetry.AppendJSONL) in admission
+	// order. Persistence gates acknowledgement: a fresh event frame is
+	// archived BEFORE its sequence number is spent, and a failed Append
+	// NACKs the frame — the collector never acknowledges an event frame it
+	// did not persist. The first failure is sticky (see ErrArchive):
+	// subsequent event frames are refused outright, /healthz degrades, and
+	// bba_collect_archive_errors_total counts the refusals.
+	Archive Archiver
 }
 
 // CollectorStats is a snapshot of collector activity.
@@ -52,6 +69,10 @@ type CollectorStats struct {
 	Streams     int64 // distinct (run, session) streams seen
 	Shards      int64 // shard frames folded into checkpoints
 	ShardsDup   int64 // shard frames for already-recorded shards
+	// ArchiveErrors counts event frames NACKed because the archive could
+	// not persist them: the first failed write plus every sticky refusal
+	// after it.
+	ArchiveErrors int64
 }
 
 // Collector is the server half of the pipeline: it ingests frames from any
@@ -66,6 +87,11 @@ type Collector struct {
 	streams map[streamKey]*stream
 	runs    map[string]*runState
 	stats   CollectorStats
+	// archiveErr is the sticky first archive failure; once set, event
+	// frames are NACKed without touching the archive.
+	archiveErr error
+	subs       map[int]chan TailMsg
+	nextSub    int
 }
 
 type streamKey struct {
@@ -117,21 +143,43 @@ func (c *Collector) ingestFrame(f Frame) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	key := streamKey{run: f.Run, session: f.Session}
+
 	// Validate the payload and stage the state change before admitting.
 	var apply func()
 	switch f.Kind {
 	case PayloadEvents:
+		// The archive lane is sticky-failed: refuse before any other work,
+		// so the archive stays a clean prefix of the acknowledged stream.
+		if c.cfg.Archive != nil && c.archiveErr != nil {
+			c.stats.ArchiveErrors++
+			c.stats.FramesRetry++
+			return fmt.Errorf("%w: %v", ErrArchive, c.archiveErr)
+		}
 		payload := f.Payload
-		apply = func() {
-			c.stats.Events += int64(bytes.Count(payload, []byte{'\n'}))
-			if c.cfg.Archive != nil {
-				c.cfg.Archive.Write(payload)
+		// The payload outlives this call (archive, tail subscribers); copy
+		// out of the caller's buffer.
+		if c.cfg.Archive != nil || len(c.subs) > 0 {
+			payload = append([]byte(nil), f.Payload...)
+		}
+		if c.cfg.Archive != nil {
+			// Persist BEFORE the seq is spent: an admitted seq is consumed
+			// forever, so archiving after admission turns a failed write
+			// into silent loss — the shipper's retry would be discarded as
+			// a duplicate. Freshness is checked first so re-deliveries of
+			// already-archived frames are re-ACKed without a second write.
+			if st, ok := c.streams[key]; !ok || st.freshSlide(f.Seq) {
+				if err := c.cfg.Archive.Append(f.Run, payload); err != nil {
+					c.archiveErr = err
+					c.stats.ArchiveErrors++
+					c.stats.FramesRetry++
+					return fmt.Errorf("%w: %v", ErrArchive, err)
+				}
 			}
 		}
-		// Archive writes need the payload beyond this call; copy out of the
-		// caller's buffer.
-		if c.cfg.Archive != nil {
-			payload = append([]byte(nil), f.Payload...)
+		apply = func() {
+			c.stats.Events += int64(bytes.Count(payload, []byte{'\n'}))
+			c.publish(f.Run, payload)
 		}
 	case PayloadRunStart:
 		var id campaign.Identity
@@ -203,7 +251,6 @@ func (c *Collector) ingestFrame(f Frame) error {
 		return fmt.Errorf("%w: kind %d", ErrBadFrame, f.Kind)
 	}
 
-	key := streamKey{run: f.Run, session: f.Session}
 	st, ok := c.streams[key]
 	if !ok {
 		st = &stream{}
@@ -230,14 +277,21 @@ func (c *Collector) ingestFrame(f Frame) error {
 }
 
 // Report renders run's canonical campaign report — the byte-identical
-// aggregate a local run of the same identity produces — or an error while
-// shards are still outstanding.
+// aggregate a local run of the same identity produces. The error
+// distinguishes the caller's situations: ErrUnknownRun for a run never
+// announced, ErrRunIncomplete while shards are outstanding, anything else
+// a render failure.
 func (c *Collector) Report(run string) ([]byte, error) {
 	c.mu.Lock()
 	r, ok := c.runs[run]
 	if !ok {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRun, run)
+	}
+	if !r.cp.Complete() {
+		done, total := r.cp.CompletedShards(), r.id.Shards()
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q has %d of %d shards", ErrRunIncomplete, run, done, total)
 	}
 	rep, err := campaign.FinalReport(r.cp)
 	c.mu.Unlock()
@@ -263,9 +317,61 @@ func (c *Collector) Stats() CollectorStats {
 	return s
 }
 
+// ArchiveError returns the sticky archive failure, nil while healthy.
+func (c *Collector) ArchiveError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.archiveErr
+}
+
+// TailMsg is one admitted event batch, as delivered to Subscribe
+// channels: the run it belongs to and the journal JSONL payload. The
+// payload is shared between subscribers — treat it as read-only.
+type TailMsg struct {
+	Run     string
+	Payload []byte
+}
+
+// Subscribe registers a live tail of admitted event batches. Delivery is
+// best-effort: a subscriber whose buffer (default 64) is full misses
+// batches rather than stalling ingest. cancel unregisters and closes the
+// channel; it is safe to call more than once.
+func (c *Collector) Subscribe(buf int) (ch <-chan TailMsg, cancel func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextSub
+	c.nextSub++
+	sub := make(chan TailMsg, buf)
+	if c.subs == nil {
+		c.subs = make(map[int]chan TailMsg)
+	}
+	c.subs[id] = sub
+	return sub, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if s, ok := c.subs[id]; ok {
+			delete(c.subs, id)
+			close(s)
+		}
+	}
+}
+
+// publish fans an admitted batch out to subscribers. Caller holds mu.
+func (c *Collector) publish(run string, payload []byte) {
+	for _, sub := range c.subs {
+		select {
+		case sub <- TailMsg{Run: run, Payload: payload}:
+		default: // slow subscriber: drop, never stall ingest
+		}
+	}
+}
+
 // retryable reports whether err is a NACK the shipper should retry.
 func retryable(err error) bool {
-	return errors.Is(err, ErrDedupWindow) || errors.Is(err, ErrUnknownRun)
+	return errors.Is(err, ErrDedupWindow) || errors.Is(err, ErrUnknownRun) || errors.Is(err, ErrArchive)
 }
 
 // Handler returns the collector's HTTP interface:
@@ -315,23 +421,40 @@ func (c *Collector) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body, err := c.Report(run)
-	if err != nil {
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	case errors.Is(err, ErrUnknownRun):
+		// The collector never heard of the run: the caller's mistake.
 		http.Error(w, err.Error(), http.StatusNotFound)
-		return
+	case errors.Is(err, ErrRunIncomplete):
+		// Shards still outstanding: poll again (matches bbacoord's /report).
+		http.Error(w, err.Error(), http.StatusConflict)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(body)
 }
 
 func (c *Collector) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s := c.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"status":  "ok",
 		"runs":    s.Runs,
 		"streams": s.Streams,
 		"events":  s.Events,
-	})
+	}
+	status := http.StatusOK
+	if err := c.ArchiveError(); err != nil {
+		// A sticky archive failure means the collector is refusing event
+		// frames: alive, but not healthy.
+		body["status"] = "degraded"
+		body["archive_error"] = err.Error()
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
 }
 
 // handleMetrics writes Prometheus text exposition by hand, the same
@@ -362,6 +485,7 @@ func (c *Collector) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	scalar("bba_collect_streams_total", "Distinct (run, session) sender streams seen.", s.Streams)
 	scalar("bba_collect_shards_total", "Shard aggregates folded into checkpoints.", s.Shards)
 	scalar("bba_collect_shards_duplicate_total", "Shard aggregates already recorded.", s.ShardsDup)
+	scalar("bba_collect_archive_errors_total", "Event frames NACKed because the archive could not persist them.", s.ArchiveErrors)
 	w.Write(b.Bytes())
 }
 

@@ -28,7 +28,7 @@ func eventsPayload(n int) []byte {
 
 func TestCollectorIngestEvents(t *testing.T) {
 	var archive bytes.Buffer
-	c := NewCollector(CollectorConfig{Archive: &archive})
+	c := NewCollector(CollectorConfig{Archive: WriterArchiver{W: &archive}})
 	f1 := AppendFrame(nil, Frame{Run: "r", Session: 1, Seq: 0, Kind: PayloadEvents, Payload: eventsPayload(3)})
 	f2 := AppendFrame(nil, Frame{Run: "r", Session: 1, Seq: 1, Kind: PayloadEvents, Payload: eventsPayload(2)})
 	for _, f := range [][]byte{f1, f2, f1, f2, f1} {
@@ -260,4 +260,168 @@ func TestCollectorHandler(t *testing.T) {
 		t.Fatalf("healthz: %v", err)
 	}
 	hresp.Body.Close()
+}
+
+// failingArchiver persists batches until failAfter calls, then fails
+// every call, recording what it durably accepted.
+type failingArchiver struct {
+	calls     int
+	failAfter int
+	accepted  bytes.Buffer
+}
+
+func (a *failingArchiver) Append(run string, batch []byte) error {
+	a.calls++
+	if a.calls > a.failAfter {
+		return errors.New("disk full")
+	}
+	a.accepted.Write(batch)
+	return nil
+}
+
+// TestCollectorArchiveFailureNACK is the regression test for the silent
+// archive-loss bug: a collector with a failing archive writer must never
+// acknowledge an event frame it did not persist. Before the fix the write
+// happened after the frame's seq was spent, with the error ignored — the
+// frame was ACKed, the shipper moved on, and the batch was gone.
+func TestCollectorArchiveFailureNACK(t *testing.T) {
+	arch := &failingArchiver{failAfter: 2}
+	c := NewCollector(CollectorConfig{Archive: arch})
+	frame := func(seq uint64, n int) []byte {
+		return AppendFrame(nil, Frame{Run: "r", Session: 1, Seq: seq, Kind: PayloadEvents, Payload: eventsPayload(n)})
+	}
+
+	// Two frames persist and ACK.
+	if err := c.Ingest(frame(0, 3)); err != nil {
+		t.Fatalf("frame 0: %v", err)
+	}
+	if err := c.Ingest(frame(1, 2)); err != nil {
+		t.Fatalf("frame 1: %v", err)
+	}
+	// The third write fails: the frame must be NACKed retryable, its seq
+	// unspent, its events uncounted.
+	err := c.Ingest(frame(2, 4))
+	if !errors.Is(err, ErrArchive) || !retryable(err) {
+		t.Fatalf("failed archive write: err = %v, want retryable ErrArchive", err)
+	}
+	// The failure is sticky: later event frames are refused without
+	// touching the archiver.
+	callsAfterFailure := arch.calls
+	if err := c.Ingest(frame(3, 1)); !errors.Is(err, ErrArchive) {
+		t.Fatalf("sticky refusal: %v", err)
+	}
+	if arch.calls != callsAfterFailure {
+		t.Fatalf("sticky failure still called the archiver (%d -> %d calls)", callsAfterFailure, arch.calls)
+	}
+	// A retry of the failed frame is also NACKed — never ACKed unpersisted.
+	if err := c.Ingest(frame(2, 4)); !errors.Is(err, ErrArchive) {
+		t.Fatalf("retry of failed frame: %v", err)
+	}
+	// Reliable frames don't ride the archive lane and still work.
+	idJSON, _, _ := runLocalCampaign(t, testCampaignConfig())
+	if err := c.Ingest(AppendFrame(nil, Frame{Run: "r2", Session: 1, Seq: 0, Kind: PayloadRunStart, Payload: idJSON})); err != nil {
+		t.Fatalf("reliable frame during archive failure: %v", err)
+	}
+
+	s := c.Stats()
+	if s.Events != 5 {
+		t.Fatalf("Events = %d, want 5: NACKed frames must not count", s.Events)
+	}
+	if s.ArchiveErrors != 3 {
+		t.Fatalf("ArchiveErrors = %d, want 3 (first failure + two refusals)", s.ArchiveErrors)
+	}
+	want := append(eventsPayload(3), eventsPayload(2)...)
+	if !bytes.Equal(arch.accepted.Bytes(), want) {
+		t.Fatalf("archive holds %q, want exactly the ACKed prefix %q", arch.accepted.Bytes(), want)
+	}
+
+	// The handler surfaces all of it: 503 on the frame, degraded healthz,
+	// the errors counter in /metrics.
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/ingest", "application/octet-stream", bytes.NewReader(frame(4, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ingest during archive failure: %d, want 503", resp.StatusCode)
+	}
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status       string `json:"status"`
+		ArchiveError string `json:"archive_error"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable || health.Status != "degraded" || health.ArchiveError == "" {
+		t.Fatalf("healthz = %d %+v, want 503 degraded with archive_error", hresp.StatusCode, health)
+	}
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(metrics.String(), "bba_collect_archive_errors_total 4") {
+		t.Fatalf("metrics missing archive errors counter:\n%s", metrics.String())
+	}
+}
+
+// TestCollectorReportStatus pins the report error taxonomy: 404 for a run
+// never announced, 409 while shards are outstanding, 200 once complete —
+// matching bbacoord's /report so pollers need one state machine.
+func TestCollectorReportStatus(t *testing.T) {
+	idJSON, shards, _ := runLocalCampaign(t, testCampaignConfig())
+	c := NewCollector(CollectorConfig{})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	get := func() int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/report/r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	post := func(seq uint64, kind PayloadKind, payload []byte) {
+		t.Helper()
+		f := AppendFrame(nil, Frame{Run: "r", Session: 1, Seq: seq, Kind: kind, Payload: payload})
+		resp, err := http.Post(srv.URL+"/ingest", "application/octet-stream", bytes.NewReader(f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("ingest seq %d: %d", seq, resp.StatusCode)
+		}
+	}
+
+	if code := get(); code != http.StatusNotFound {
+		t.Fatalf("unknown run: %d, want 404", code)
+	}
+	post(0, PayloadRunStart, idJSON)
+	if code := get(); code != http.StatusConflict {
+		t.Fatalf("no shards yet: %d, want 409", code)
+	}
+	post(1, PayloadShard, shards[0])
+	post(2, PayloadShard, shards[1])
+	if code := get(); code != http.StatusConflict {
+		t.Fatalf("2 of 3 shards: %d, want 409", code)
+	}
+	if _, err := c.Report("r"); !errors.Is(err, ErrRunIncomplete) {
+		t.Fatalf("incomplete Report error = %v, want ErrRunIncomplete", err)
+	}
+	post(3, PayloadShard, shards[2])
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("complete run: %d, want 200", code)
+	}
 }

@@ -88,6 +88,19 @@ func (s *stream) admitSlide(seq uint64, window int) bool {
 	return true
 }
 
+// freshSlide reports whether admitSlide(seq, ...) would admit seq as
+// fresh, without changing any state. The collector uses it to order
+// side effects before admission: archive the batch only if the frame is
+// fresh, then spend the seq — a failed archive write must leave the seq
+// unspent so the retry is not mistaken for a duplicate.
+func (s *stream) freshSlide(seq uint64) bool {
+	if seq < s.next {
+		return false
+	}
+	_, parked := s.parked[seq]
+	return !parked
+}
+
 // foldParked folds the parked run contiguous with next.
 func (s *stream) foldParked() {
 	for len(s.parked) > 0 {

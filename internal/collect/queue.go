@@ -301,8 +301,12 @@ func (q *queue) Stats() QueueStats {
 	return q.stats
 }
 
-// Close wakes blocked Pops; queued frames remain poppable until drained.
-// Spill segments left on disk are removed.
+// Close wakes blocked Pops; in-memory frames remain poppable until
+// drained. The disk backlog is discarded: spill segments are closed and
+// removed, their frames counted in Dropped — after Close no sender will
+// drain them, and .q files leaking across restarts is worse than honest,
+// counted loss. Shipper.Close flushes the queue before closing it, so the
+// normal shutdown path has nothing on disk to lose.
 func (q *queue) Close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -310,5 +314,15 @@ func (q *queue) Close() {
 		return
 	}
 	q.closed = true
+	for _, seg := range q.segs {
+		if seg.f != nil {
+			seg.f.Close()
+		}
+		os.Remove(seg.path)
+		q.stats.Dropped += int64(seg.frames)
+		q.stats.Depth -= int64(seg.frames)
+		q.stats.SpillBytes -= seg.bytes
+	}
+	q.segs = nil
 	q.cond.Broadcast()
 }

@@ -246,3 +246,126 @@ func TestQueueConcurrent(t *testing.T) {
 	wg.Wait()
 	q.Close()
 }
+
+// TestQueueCloseRemovesSpill is the regression test for the leaked-spill
+// bug: Close documented "spill segments left on disk are removed" but
+// never removed them, leaking .q files on every shutdown with a disk
+// backlog. Close must discard the disk backlog with honest accounting —
+// frames counted Dropped, Depth and SpillBytes rewound — while in-memory
+// frames stay poppable.
+func TestQueueCloseRemovesSpill(t *testing.T) {
+	dir := t.TempDir()
+	q := newQueue(QueueConfig{MemFrames: 2, SpillDir: dir})
+	for i := 0; i < 8; i++ {
+		if ok, err := q.Push([]byte(fmt.Sprintf("f%d", i)), false); !ok || err != nil {
+			t.Fatalf("push %d: %v %v", i, ok, err)
+		}
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) == 0 {
+		t.Fatal("test setup: nothing spilled")
+	}
+	q.Close()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("%d spill files left after Close, want 0", len(ents))
+	}
+	s := q.Stats()
+	if s.Dropped != 6 || s.Depth != 2 || s.SpillBytes != 0 {
+		t.Fatalf("stats after Close %+v, want 6 dropped, depth 2, 0 spill bytes", s)
+	}
+	// The in-memory prefix still drains.
+	if a, b := popString(t, q), popString(t, q); a != "f0" || b != "f1" {
+		t.Fatalf("drained %q %q after Close", a, b)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop returned a frame from the discarded disk backlog")
+	}
+	q.Close() // idempotent
+}
+
+// TestQueueDamagedSegmentAccounting extends the damaged-segment recovery
+// test to the full ledger: the lost frames leave Depth and SpillBytes as
+// well as entering Dropped, and the damaged file is removed from disk.
+func TestQueueDamagedSegmentAccounting(t *testing.T) {
+	dir := t.TempDir()
+	q := newQueue(QueueConfig{MemFrames: 1, SpillDir: dir})
+	q.Push([]byte("mem"), false)
+	q.Push([]byte("d0"), false)
+	q.Push([]byte("d1"), false) // same segment as d0
+	big := make([]byte, segMaxBytes)
+	copy(big, "big")
+	if ok, err := q.Push(big, false); !ok || err != nil {
+		t.Fatalf("big push: %v %v", ok, err)
+	}
+	before := q.Stats()
+	if before.Depth != 4 {
+		t.Fatalf("setup depth %d, want 4", before.Depth)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 2 {
+		t.Fatalf("spill files: %v %d", err, len(ents))
+	}
+	oldest := ents[0].Name()
+	if ents[1].Name() < oldest {
+		oldest = ents[1].Name()
+	}
+	if err := os.Truncate(filepath.Join(dir, oldest), 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := popString(t, q); got != "mem" {
+		t.Fatalf("got %q", got)
+	}
+	// Popping past the damaged segment recovers into the intact one.
+	if got, ok := q.Pop(); !ok || string(got[:3]) != "big" {
+		t.Fatalf("recovery pop: ok=%v", ok)
+	}
+	s := q.Stats()
+	if s.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2 (both frames of the damaged segment)", s.Dropped)
+	}
+	if s.Depth != 0 || s.SpillBytes != 0 {
+		t.Fatalf("Depth = %d SpillBytes = %d after drain, want 0/0", s.Depth, s.SpillBytes)
+	}
+	if ents, _ := os.ReadDir(dir); len(ents) != 0 {
+		t.Fatalf("%d spill files left, want 0", len(ents))
+	}
+}
+
+// TestQueueEvictOldestSegment pins whole-segment eviction accounting under
+// DropOldest with a full spill: the evicted segment's frames all count as
+// Dropped, Depth and SpillBytes rewind, and the file is gone.
+func TestQueueEvictOldestSegment(t *testing.T) {
+	dir := t.TempDir()
+	frame := make([]byte, 1024)
+	// Force a segment-level eviction: drain memory empty first so
+	// evictOldest reaches for a segment.
+	q2 := newQueue(QueueConfig{MemFrames: 1, SpillDir: dir, MaxSpillBytes: 2 * 1028, DropOldest: true})
+	copy(frame, "g0")
+	q2.Push(frame, false) // memory
+	copy(frame, "g1")
+	q2.Push(frame, false) // segment A
+	copy(frame, "g2")
+	q2.Push(frame, false) // segment A (full now)
+	if got := popString(t, q2); string(got[:2]) != "g0" {
+		t.Fatalf("popped %q", got[:2])
+	}
+	// Memory now empty, spill full. The next push must evict segment A
+	// wholesale: both g1 and g2 dropped.
+	copy(frame, "g3")
+	if ok, err := q2.Push(frame, false); !ok || err != nil {
+		t.Fatalf("segment-evicting push: %v %v", ok, err)
+	}
+	s2 := q2.Stats()
+	if s2.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2 (whole evicted segment)", s2.Dropped)
+	}
+	if got := popString(t, q2); string(got[:2]) != "g3" {
+		t.Fatalf("survivor %q, want g3", got[:2])
+	}
+	if s := q2.Stats(); s.Depth != 0 || s.SpillBytes != 0 {
+		t.Fatalf("final stats %+v", s)
+	}
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"bba/internal/units"
+)
+
+// TestParseJSONLRoundTrip walks every Kind with adversarial field values —
+// negatives, quotes, unicode, newlines in labels — and requires the exact
+// inverse property ParseJSONL promises: parse(encode(e)) == e and
+// encode(parse(line)) == line.
+func TestParseJSONLRoundTrip(t *testing.T) {
+	labels := []string{"", "BBA-0", `quo"ted`, "uni·code", "new\nline", `back\slash`}
+	for k := SessionStart; k < numKinds; k++ {
+		for i, label := range labels {
+			e := Event{
+				Kind:    k,
+				Session: "d1.w2.s3.g" + label,
+				At:      time.Duration(int64(i)*7919 - 3),
+				Chunk:   i - 1, RateIndex: -1, PrevRateIndex: 4,
+				Rate: units.BitRate(2850 * 1000 * int64(i)), Bytes: -9,
+				Duration:   time.Duration(i) * time.Millisecond,
+				Throughput: 17 * units.Mbps, Buffer: 240 * time.Second,
+				Played: time.Hour, Reservoir: 90 * time.Second,
+				Protection: -time.Second, Label: label,
+			}
+			line := AppendJSONL(nil, e)
+			got, ok := ParseJSONL(line)
+			if !ok {
+				t.Fatalf("kind %v label %q: ParseJSONL rejected its own encoding %q", k, label, line)
+			}
+			if got != e {
+				t.Fatalf("kind %v: round trip drifted:\n got %+v\nwant %+v", k, got, e)
+			}
+			if re := AppendJSONL(nil, got); !bytes.Equal(re, line) {
+				t.Fatalf("kind %v: re-encode differs:\n got %q\nwant %q", k, re, line)
+			}
+		}
+	}
+}
+
+// TestParseJSONLStrict pins the rejections: anything that is not the
+// canonical byte encoding must come back ok=false, because the archive
+// uses ok as the "safe to store as columns" signal.
+func TestParseJSONLStrict(t *testing.T) {
+	canonical := string(AppendJSONL(nil, Event{Kind: BufferSample, Session: "s", Chunk: 1, RateIndex: -1, PrevRateIndex: -1}))
+	bad := []string{
+		"",
+		"{}\n",
+		"not json\n",
+		canonical[:len(canonical)-1], // missing newline
+		canonical + " ",              // trailing bytes
+		`{"kind":"no_such_kind"` + canonical[15:],       // unknown kind
+		"{\"kind\": \"buffer_sample\"" + "}\n",          // whitespace
+		`{"session":"s","kind":"buffer_sample"}` + "\n", // reordered
+	}
+	for _, line := range bad {
+		if e, ok := ParseJSONL([]byte(line)); ok {
+			t.Errorf("ParseJSONL accepted non-canonical %q as %+v", line, e)
+		}
+	}
+	// Non-canonical integers re-encode differently; they must be rejected.
+	leadingZero := []byte(canonical)
+	leadingZero = bytes.Replace(leadingZero, []byte(`"chunk":1`), []byte(`"chunk":01`), 1)
+	if _, ok := ParseJSONL(leadingZero); ok {
+		t.Error("ParseJSONL accepted a leading-zero integer")
+	}
+}
+
+// TestIntColumnsMatchJournal locks the IntColumns table to the journal
+// encoding: setting each column to a distinct sentinel and re-reading it
+// through Get must agree, and the table's names in order must be exactly
+// the integer keys appendEvent emits.
+func TestIntColumnsMatchJournal(t *testing.T) {
+	var e Event
+	cols := IntColumns()
+	for i, c := range cols {
+		c.Set(&e, int64(1000+i))
+	}
+	for i, c := range cols {
+		if got := c.Get(&e); got != int64(1000+i) {
+			t.Errorf("column %s: Get after Set = %d, want %d", c.Name, got, 1000+i)
+		}
+	}
+	// Extract the integer keys from a rendered line in order.
+	line := AppendJSONL(nil, e)
+	idx := 0
+	for _, c := range cols {
+		key := []byte(`,"` + c.Name + `":`)
+		at := bytes.Index(line[idx:], key)
+		if at < 0 {
+			t.Fatalf("journal line missing key %q in order: %q", c.Name, line)
+		}
+		idx += at + len(key)
+	}
+}
+
+func TestGroupOfSession(t *testing.T) {
+	for in, want := range map[string]string{
+		"d0.w3.s5.BBA-0": "BBA-0",
+		"solo":           "solo",
+		"":               "",
+		"a.":             "",
+	} {
+		if got := GroupOfSession(in); got != want {
+			t.Errorf("GroupOfSession(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

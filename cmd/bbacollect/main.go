@@ -34,7 +34,6 @@
 package main
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -104,15 +103,12 @@ func run(ctx context.Context, out, errw io.Writer, o options) error {
 		if err != nil {
 			return err
 		}
-		bw := bufio.NewWriter(f)
-		archivers = append(archivers, collect.WriterArchiver{W: bw})
-		flush = func() error {
-			if err := bw.Flush(); err != nil {
-				f.Close()
-				return err
-			}
-			return f.Close()
-		}
+		// The file is written directly, never through a userspace buffer:
+		// Append returning nil is what lets the collector ACK the frame
+		// (and the shipper drop its copy), so the batch must be with the
+		// OS by then — a buffered batch dies with the process.
+		archivers = append(archivers, collect.WriterArchiver{W: f})
+		flush = f.Close
 	}
 	var store *archive.Store
 	if o.store != "" {
@@ -178,8 +174,10 @@ func run(ctx context.Context, out, errw io.Writer, o options) error {
 	case <-ctx.Done():
 	}
 
-	// Drain: stop accepting, finish in-flight ingests, then flush the
-	// archive so every acknowledged frame is on disk.
+	// Drain: stop accepting, finish in-flight ingests, then close the
+	// archive. Every acknowledged frame is already with the OS
+	// (persistence gates the ACK); what remains is sealing the columnar
+	// WAL tails into blocks for offline readers.
 	fmt.Fprintln(errw, "bbacollect: shutting down")
 	if pc != nil {
 		pc.Close()

@@ -201,6 +201,17 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("/runs missing run d: %s", runsBody.String())
 	}
 
+	// Persistence gates acknowledgement: both ACKed batches are already
+	// on the flat archive file while the daemon is still running — a
+	// crash here (no drain, no flush) must not lose acknowledged events.
+	live, err := os.ReadFile(archive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live, append(append([]byte(nil), events...), events...)) {
+		t.Fatalf("archive before shutdown:\n%q\nwant both acknowledged batches already on disk", live)
+	}
+
 	err, stdout, stderr := shutdown()
 	if err != nil {
 		t.Fatalf("drain: %v", err)

@@ -112,7 +112,12 @@ func Open(cfg Config) (*Store, error) {
 
 // OpenReadOnly opens an existing store for querying without mutating it:
 // no WAL repair, no appends — the form offline tools use on a directory a
-// live collector may still own.
+// live collector may still own. Read views are rebuilt per query (runs
+// and blocks re-listed, the WAL re-scanned), so data the writer sealed
+// after Open still appears. The one caveat of reading a live directory
+// without coordination: a compaction racing a query can transiently show
+// the sealed tail twice (block renamed, WAL not yet truncated). Reads of
+// a quiescent directory are exact.
 func OpenReadOnly(dir string) (*Store, error) {
 	cfg := Config{Dir: dir}
 	cfg.applyDefaults()
@@ -124,10 +129,23 @@ func OpenReadOnly(dir string) (*Store, error) {
 
 func open(cfg Config, readOnly bool) (*Store, error) {
 	s := &Store{cfg: cfg, readOnly: readOnly, runs: make(map[string]*runArchive)}
-	ents, err := os.ReadDir(cfg.Dir)
-	if err != nil {
+	if err := s.loadRunsLocked(); err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// loadRunsLocked (re)scans the store directory and rebuilds s.runs. A
+// writable store runs it once at Open — it owns the directory afterwards,
+// so its in-memory state is authoritative. Read-only stores run it again
+// per read view (see refreshLocked). Caller holds mu (or is Open, before
+// the store escapes).
+func (s *Store) loadRunsLocked() error {
+	ents, err := os.ReadDir(s.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	runs := make(map[string]*runArchive, len(ents))
 	for _, ent := range ents {
 		if !ent.IsDir() {
 			continue
@@ -136,13 +154,27 @@ func open(cfg Config, readOnly bool) (*Store, error) {
 		if err != nil {
 			continue // not a run directory this store wrote
 		}
-		ra, err := s.openRun(run, filepath.Join(cfg.Dir, ent.Name()))
+		ra, err := s.openRun(run, filepath.Join(s.cfg.Dir, ent.Name()))
 		if err != nil {
-			return nil, fmt.Errorf("archive: run %q: %w", run, err)
+			return fmt.Errorf("archive: run %q: %w", run, err)
 		}
-		s.runs[run] = ra
+		runs[run] = ra
 	}
-	return s, nil
+	s.runs = runs
+	return nil
+}
+
+// refreshLocked re-lists runs and block files from disk in read-only
+// mode: the live writer that owns the directory may have added runs or
+// sealed WAL bytes into new blocks since Open, and a block list frozen at
+// Open would silently drop those events from every query. Writable stores
+// skip it. Read-only openRun holds no file handles, so rebuilding leaks
+// nothing. Caller holds mu.
+func (s *Store) refreshLocked() error {
+	if !s.readOnly {
+		return nil
+	}
+	return s.loadRunsLocked()
 }
 
 // openRun loads one run directory: block list, then WAL scan/repair.
@@ -195,9 +227,18 @@ func (s *Store) openRun(run, dir string) (*runArchive, error) {
 		return nil, err
 	}
 	ra.wal = f
+	// walBuf only coalesces one record's three writes (header, payload,
+	// CRC) into a single syscall; Append flushes it before returning, so
+	// it never holds bytes the collector has already acknowledged.
 	ra.walBuf = bufio.NewWriterSize(f, 64<<10)
 	return ra, nil
 }
+
+// maxWALRecord bounds one framed WAL record's payload — the same bound
+// scanWAL enforces on reopen. An Append past it would persist a record
+// the next scan discards as a corrupt tail, silently losing an
+// acknowledged batch, so it is refused up front instead.
+const maxWALRecord = maxFooterLen
 
 // WAL record framing: uvarint payload length, payload, uint32 LE CRC-32C
 // over the payload. scanWAL walks records from the start, calling visit
@@ -208,7 +249,7 @@ func scanWAL(data []byte, visit func(payload []byte)) int64 {
 	for {
 		l, sz := binary.Uvarint(data[off:])
 		rem := int64(len(data)) - off - int64(sz)
-		if sz <= 0 || l > uint64(maxFooterLen) || rem < int64(l)+4 {
+		if sz <= 0 || l > uint64(maxWALRecord) || rem < int64(l)+4 {
 			return off
 		}
 		start := off + int64(sz)
@@ -247,16 +288,22 @@ func (s *Store) runLocked(run string, create bool) (*runArchive, error) {
 }
 
 // Append archives one admitted event batch — whole journal JSONL lines,
-// newline-terminated — for run. The batch is on the WAL (with the OS, not
-// necessarily the platter) when Append returns nil; a non-nil error means
-// the batch was NOT archived and the caller must not acknowledge it
-// upstream. Append does not retain batch.
+// newline-terminated — for run. The batch is on the WAL file with the OS
+// (not necessarily the platter) when Append returns nil: the framed
+// record is flushed before returning, never parked in a userspace buffer,
+// because a nil return is the collector's cue to ACK the frame and the
+// shipper then drops its only other copy. A non-nil error means the batch
+// was NOT archived and the caller must not acknowledge it upstream.
+// Append does not retain batch.
 func (s *Store) Append(run string, batch []byte) error {
 	if len(batch) == 0 {
 		return nil
 	}
 	if batch[len(batch)-1] != '\n' {
 		return fmt.Errorf("archive: batch must be newline-terminated JSONL")
+	}
+	if len(batch) > maxWALRecord {
+		return fmt.Errorf("archive: %d-byte batch exceeds the %d-byte WAL record limit", len(batch), maxWALRecord)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -283,9 +330,9 @@ func (s *Store) Append(run string, batch []byte) error {
 	ra.events += bytes.Count(batch, []byte{'\n'})
 	ra.bytes += int64(len(batch))
 	if ra.events >= s.cfg.CompactEvents || ra.bytes >= s.cfg.CompactBytes {
-		return s.compactLocked(ra)
+		return s.compactLocked(ra) // flushes via walLinesLocked
 	}
-	return nil
+	return ra.walBuf.Flush()
 }
 
 // Compact seals run's WAL tail into a block now, regardless of thresholds
@@ -367,8 +414,9 @@ func (s *Store) compactLocked(ra *runArchive) error {
 
 // walLinesLocked flushes and re-reads ra's WAL, returning its journal
 // lines in admission order. Re-scanning the file (rather than trusting
-// counters) keeps read-only stores honest on a directory a live writer
-// may have compacted since Open. Caller holds mu.
+// counters) keeps read-only stores honest about a WAL a live writer may
+// have appended to or truncated since Open; refreshLocked does the same
+// for the block list. Caller holds mu.
 func (ra *runArchive) walLinesLocked() ([][]byte, error) {
 	if ra.wal != nil {
 		if err := ra.walBuf.Flush(); err != nil {
@@ -396,10 +444,13 @@ func (ra *runArchive) walLinesLocked() ([][]byte, error) {
 	return lines, nil
 }
 
-// Runs returns the runs present, sorted.
+// Runs returns the runs present, sorted. A read-only store re-lists the
+// directory first (best effort — a racing writer can still win), so runs
+// created since Open appear.
 func (s *Store) Runs() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_ = s.refreshLocked()
 	runs := make([]string, 0, len(s.runs))
 	for run := range s.runs {
 		runs = append(runs, run)
@@ -417,10 +468,12 @@ type RunStats struct {
 	WALBytes   int64  `json:"wal_bytes"`
 }
 
-// Stats returns per-run storage stats, sorted by run.
+// Stats returns per-run storage stats, sorted by run. Like Runs, a
+// read-only store refreshes its view of the directory first.
 func (s *Store) Stats() []RunStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_ = s.refreshLocked()
 	out := make([]RunStats, 0, len(s.runs))
 	for run, ra := range s.runs {
 		st := RunStats{Run: run, Blocks: len(ra.blocks), WALEvents: ra.events, WALBytes: ra.bytes}
@@ -436,10 +489,15 @@ func (s *Store) Stats() []RunStats {
 }
 
 // snapshot captures a run's read view: immutable block paths plus the WAL
-// tail's lines (copied), consistent at one instant.
+// tail's lines (copied), consistent at one instant. Read-only stores
+// re-list the directory first so blocks a live writer sealed — and runs
+// it created — since Open are included rather than silently dropped.
 func (s *Store) snapshot(run string) (blocks []string, walLines [][]byte, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.refreshLocked(); err != nil {
+		return nil, nil, err
+	}
 	ra, ok := s.runs[run]
 	if !ok {
 		return nil, nil, fmt.Errorf("archive: unknown run %q", run)

@@ -2,7 +2,11 @@ package archive
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -128,6 +132,44 @@ func TestArchiveAppendValidation(t *testing.T) {
 	}
 	if err := s.Append("r", []byte("no newline")); err == nil {
 		t.Fatal("unterminated batch accepted")
+	}
+	// A batch beyond the WAL record bound must be refused, not persisted:
+	// scanWAL would discard the oversized record as a corrupt tail on the
+	// next open, silently losing an acknowledged batch.
+	big := make([]byte, maxWALRecord+1)
+	big[len(big)-1] = '\n'
+	if err := s.Append("r", big); err == nil {
+		t.Fatal("batch beyond the WAL record limit accepted")
+	}
+}
+
+// TestAppendPersistsBeforeReturn pins the ACK-gating contract at the
+// file level: the batch must be on the WAL file — not parked in a
+// userspace buffer — the moment Append returns nil, because that return
+// is what lets the collector ACK the frame and the shipper drop its only
+// other copy. The store is deliberately neither compacted nor closed:
+// reading the file here is exactly what a crash right now would leave.
+func TestAppendPersistsBeforeReturn(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, CompactEvents: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	batch := batchOf(0, 10)
+	if err := s.Append("run1", batch); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "run1", walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if n := scanWAL(data, func(p []byte) { got = append(got, p...) }); n != int64(len(data)) {
+		t.Fatalf("WAL has %d unframed tail bytes after a clean Append", int64(len(data))-n)
+	}
+	if !bytes.Equal(got, batch) {
+		t.Fatalf("WAL on disk holds %d payload bytes, want the acknowledged %d-byte batch", len(got), len(batch))
 	}
 }
 
@@ -343,6 +385,48 @@ func TestBlockDetectsCorruption(t *testing.T) {
 	}
 }
 
+// craftBlock wraps an arbitrary footer in a valid envelope (magics,
+// version, footer CRC) — the shape an adversary who can write block
+// files controls completely.
+func craftBlock(t testing.TB, ft footer) []byte {
+	t.Helper()
+	ftJSON, err := json.Marshal(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := append([]byte(nil), blockMagic...)
+	blk = append(blk, blockVersion)
+	blk = append(blk, ftJSON...)
+	blk = binary.LittleEndian.AppendUint32(blk, crc32.Checksum(ftJSON, blockCRCTable))
+	blk = binary.LittleEndian.AppendUint32(blk, uint32(len(ftJSON)))
+	return append(blk, blockEndMagic...)
+}
+
+// TestBlockRejectsCraftedFooter pins the never-panic property against
+// footers that pass the CRC but carry hostile page geometry — offsets
+// near MaxInt64 that overflow additive bounds checks, pages overlapping
+// the header, and lengths past the file.
+func TestBlockRejectsCraftedFooter(t *testing.T) {
+	pages := map[string]pageInfo{
+		"offset overflows int64": {Name: "kind", Off: math.MaxInt64 - 2, Len: 8},
+		"length overflows int64": {Name: "kind", Off: 5, Len: math.MaxInt64 - 2},
+		"page overlaps header":   {Name: "kind", Off: 0, Len: 4},
+		"page past end of file":  {Name: "kind", Off: 5, Len: 1 << 30},
+		"negative offset":        {Name: "kind", Off: -1, Len: 4},
+	}
+	for name, pg := range pages {
+		blk := craftBlock(t, footer{Version: blockVersion, Rows: 1, Pages: []pageInfo{pg}})
+		b, err := DecodeBlock(blk)
+		if err == nil {
+			// Even if decode were lenient, touching the page must not panic.
+			if _, perr := b.page(pg.Name); perr == nil {
+				t.Fatalf("%s: crafted page accepted outright", name)
+			}
+			t.Fatalf("%s: crafted footer accepted by DecodeBlock", name)
+		}
+	}
+}
+
 func splitLines(batch []byte) [][]byte {
 	var lines [][]byte
 	for len(batch) > 0 {
@@ -354,8 +438,10 @@ func splitLines(batch []byte) [][]byte {
 }
 
 // TestReadOnlySeesLiveWriter checks a read-only store on a directory a
-// writer is still mutating re-reads the WAL rather than trusting stale
-// state from Open.
+// writer is still mutating rebuilds its view per read — WAL re-scanned,
+// blocks and runs re-listed — rather than trusting stale state from
+// Open: everything the writer persisted before the query must appear,
+// including blocks it sealed and runs it created after the open.
 func TestReadOnlySeesLiveWriter(t *testing.T) {
 	dir := t.TempDir()
 	w, err := Open(Config{Dir: dir, CompactEvents: 1 << 20})
@@ -366,29 +452,44 @@ func TestReadOnlySeesLiveWriter(t *testing.T) {
 	if err := w.Append("run1", batchOf(0, 5)); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Compact("run1"); err != nil { // flush so the RO store sees bytes
+	if err := w.Compact("run1"); err != nil {
 		t.Fatal(err)
 	}
 	ro, err := OpenReadOnly(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Writer appends more after the read-only open.
+	// After the read-only open: a second sealed block, a live WAL tail,
+	// and a whole new run. All of it must be visible, none duplicated.
 	if err := w.Append("run1", batchOf(5, 10)); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Compact("run1"); err != nil {
 		t.Fatal(err)
 	}
-	// The RO store's WAL view re-scans; blocks were listed at Open, so only
-	// the first block is guaranteed — but nothing stale or duplicated.
+	if err := w.Append("run1", batchOf(10, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("run2", batchOf(0, 3)); err != nil {
+		t.Fatal(err)
+	}
 	var got bytes.Buffer
 	if err := ro.Export("run1", &got); err != nil {
 		t.Fatal(err)
 	}
-	want := batchOf(0, 5)
-	if !bytes.HasPrefix(got.Bytes(), want) {
-		t.Fatalf("read-only export lost the sealed prefix")
+	if want := batchOf(0, 12); !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("read-only export = %d bytes, want all %d admitted bytes (including the block sealed after Open)",
+			got.Len(), len(want))
+	}
+	got.Reset()
+	if err := ro.Export("run2", &got); err != nil {
+		t.Fatalf("run created after the read-only open: %v", err)
+	}
+	if want := batchOf(0, 3); !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("read-only export of new run = %d bytes, want %d", got.Len(), len(want))
+	}
+	if runs := ro.Runs(); len(runs) != 2 {
+		t.Fatalf("read-only Runs() = %v, want both runs", runs)
 	}
 }
 
@@ -400,6 +501,10 @@ func FuzzBlockDecode(f *testing.F) {
 	f.Add(blk)
 	f.Add([]byte("BBAC"))
 	f.Add([]byte{})
+	// A CRC-valid footer with hostile page geometry: the fuzzer cannot
+	// invent matching checksums, so seed it past the envelope checks.
+	f.Add(craftBlock(f, footer{Version: blockVersion, Rows: 1,
+		Pages: []pageInfo{{Name: "kind", Off: math.MaxInt64 - 2, Len: 8}}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// DecodeBlock and every accessor must never panic, whatever the
 		// input; corruption surfaces as errors.

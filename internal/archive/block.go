@@ -315,8 +315,13 @@ func decodeFooter(data []byte) (footer, error) {
 	if ft.Version != blockVersion || ft.Rows < 0 || ft.Raws < 0 {
 		return ft, fmt.Errorf("%w: footer fields", ErrBadBlock)
 	}
+	headerLen := int64(len(blockMagic)) + 1
 	for _, pg := range ft.Pages {
-		if pg.Off < 0 || pg.Len < 0 || pg.Off+pg.Len+4 > int64(len(data)) {
+		// Bounds via subtraction, not pg.Off+pg.Len+4: a crafted footer
+		// (valid CRC, huge offsets) can wrap int64 addition and slip an
+		// out-of-range page past the check into a Block.page panic.
+		if pg.Off < headerLen || pg.Len < 0 || pg.Len > int64(len(data)) ||
+			pg.Off > int64(len(data))-4-pg.Len {
 			return ft, fmt.Errorf("%w: page %q outside block", ErrBadBlock, pg.Name)
 		}
 	}

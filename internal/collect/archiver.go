@@ -20,7 +20,11 @@ type Archiver interface {
 
 // WriterArchiver adapts an io.Writer into an Archiver: every batch is
 // appended to W verbatim, all runs interleaved, so W accumulates one
-// valid journal JSONL stream in admission order.
+// valid journal JSONL stream in admission order. Because a nil Append
+// return is what lets the collector acknowledge the frame — after which
+// the shipper drops its only other copy — W must persist per Write (an
+// *os.File, not a userspace-buffered writer) whenever the stream is the
+// durable record rather than a test capture.
 type WriterArchiver struct {
 	W io.Writer
 }

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bba/internal/dash"
+	"bba/internal/media"
+	"bba/internal/soak"
+)
+
+// LoadReport is the BENCH_load.json schema: the real-socket ramp against
+// an in-process origin plus the serving-path micro-benchmarks, with the
+// pre-optimization numbers embedded so the before/after of the server
+// fix is visible in the file itself.
+type LoadReport struct {
+	Schema    string `json:"schema"`
+	Generated string `json:"generated,omitempty"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Scale     string `json:"scale"`
+	// ServerBaseline is the serving path measured before the render
+	// cache landed (manifests, playlists and MPD re-rendered per
+	// request, chunk bodies built with fmt appends).
+	ServerBaseline []Result `json:"server_baseline"`
+	// Server is the same suite measured now.
+	Server []Result `json:"server"`
+	// Ramp is the concurrent real-socket client ramp: step measurements,
+	// the knee, and the largest client count inside the SLO.
+	Ramp *soak.LoadResult `json:"ramp"`
+}
+
+// preFixServerBaseline is the serving path measured at this PR's start,
+// before NewServer began caching the rendered manifest/MPD/playlists and
+// serving chunk bodies from a shared filler block: every playlist was
+// re-rendered per request (O(chunks) appends) and every chunk body was
+// rebuilt through fmt. The ramp against that server knelt on allocation
+// churn, not sockets. (go1.22, 120-chunk fixture.)
+var preFixServerBaseline = []Result{
+	{Name: "ServeChunk", NsPerOp: 40238, BytesPerOp: 33257, AllocsPerOp: 9},
+	{Name: "MasterPlaylist", NsPerOp: 4875, BytesPerOp: 4664, AllocsPerOp: 16},
+	{Name: "MediaPlaylist", NsPerOp: 51607, BytesPerOp: 5544, AllocsPerOp: 126},
+}
+
+// discardResponse throws handler output away: the serving cost alone, no
+// recorder buffer growth.
+type discardResponse struct{ h http.Header }
+
+func (d *discardResponse) Header() http.Header {
+	if d.h == nil {
+		d.h = make(http.Header)
+	}
+	return d.h
+}
+func (d *discardResponse) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardResponse) WriteHeader(int)             {}
+
+// loadFixture builds the load-suite title: 60 one-second chunks, the
+// smallest rung ~29 KB — request-handling dominated, the regime where
+// the concurrency knee lives.
+func loadFixture() (*dash.Server, error) {
+	video, err := media.NewVBR(media.VBRConfig{
+		Title:         "load",
+		Ladder:        media.DefaultLadder(),
+		ChunkDuration: time.Second,
+		NumChunks:     60,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return nil, err
+	}
+	return dash.NewServer(video)
+}
+
+// serverSuite re-measures the serving-path micro-benchmarks against the
+// same fixture geometry the committed baseline used.
+func serverSuite() ([]Result, error) {
+	video, err := media.NewVBR(media.VBRConfig{
+		Title:         "bench",
+		Ladder:        media.DefaultLadder(),
+		ChunkDuration: time.Second,
+		NumChunks:     120,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return nil, err
+	}
+	srv, err := dash.NewServer(video)
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct {
+		name string
+		path string
+	}{
+		{"ServeChunk", "/chunk/0/3"},
+		{"MasterPlaylist", "/master.m3u8"},
+		{"MediaPlaylist", "/playlist/0.m3u8"},
+	}
+	results := make([]Result, 0, len(cases))
+	for _, c := range cases {
+		req := httptest.NewRequest(http.MethodGet, c.path, nil)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var w discardResponse
+				srv.ServeHTTP(&w, req)
+			}
+		})
+		res := Result{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "bench %-28s %12.0f ns/op %10d B/op %6d allocs/op\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// runLoadSuite is the -load-out entry point: boot an in-process origin
+// on a free port, ramp real-socket clients against it (2000 at full
+// scale, a CI-sized 200 with -quick), then re-run the serving-path
+// micro-benchmarks and write the datapoint.
+func runLoadSuite(quick, stamp bool, out string) error {
+	srv, err := loadFixture()
+	if err != nil {
+		return err
+	}
+	origin, err := dash.StartOrigin("127.0.0.1:0", srv, dash.OriginConfig{
+		ShutdownGrace: 2 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	defer origin.Close(context.Background())
+
+	cfg := soak.LoadConfig{
+		URL:    origin.URL(),
+		Target: 2000,
+		Step:   250,
+		Dwell:  1500 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if quick {
+		cfg.Target, cfg.Step, cfg.Dwell = 200, 50, 400*time.Millisecond
+	}
+	ramp, err := soak.RunLoad(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	if ramp.KneeClients > 0 {
+		fmt.Fprintf(os.Stderr, "load: knee at %d clients (baseline p95 %.2fms)\n", ramp.KneeClients, ramp.BaselineP95Ms)
+	} else {
+		fmt.Fprintf(os.Stderr, "load: no knee inside the ramp; %d clients within SLO\n", ramp.MaxClients)
+	}
+
+	server, err := serverSuite()
+	if err != nil {
+		return err
+	}
+	report := LoadReport{
+		Schema:         "bba-load/v1",
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		Scale:          map[bool]string{true: "quick", false: "full"}[quick],
+		ServerBaseline: preFixServerBaseline,
+		Server:         server,
+		Ramp:           ramp,
+	}
+	if stamp {
+		report.Generated = time.Now().UTC().Format(time.RFC3339)
+	}
+	return write(report, out)
+}

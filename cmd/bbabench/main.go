@@ -393,6 +393,7 @@ func main() {
 		out        = flag.String("out", "BENCH_sessions.json", "output path, '-' for stdout")
 		noStamp    = flag.Bool("no-timestamp", false, "omit the generation timestamp (reproducible output)")
 		ingestOut  = flag.String("ingest-out", "", "run only the fleet-collection ingest suite and write its datapoint (BENCH_ingest.json schema) to this path")
+		loadOut    = flag.String("load-out", "", "run only the real-socket load suite (client ramp + serving-path micro-benchmarks) and write its datapoint (BENCH_load.json schema) to this path")
 		only       = flag.String("only", "", "run only benchmarks whose name contains this substring")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
@@ -429,6 +430,13 @@ func main() {
 
 	if *ingestOut != "" {
 		if err := runIngest(*quick, !*noStamp, *ingestOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bbabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *loadOut != "" {
+		if err := runLoadSuite(*quick, !*noStamp, *loadOut); err != nil {
 			fmt.Fprintln(os.Stderr, "bbabench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bba/internal/dash"
+	"bba/internal/media"
+	"bba/internal/soak"
+	"bba/internal/telemetry"
+)
+
+// TestSoakOneShot runs the one-shot gate end to end: two tiny clean
+// cycles, metrics endpoint live while the daemon runs, journal on disk
+// after it exits.
+func TestSoakOneShot(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "soak.jsonl")
+	ready := make(chan string, 1)
+	cfg := soakConfig{
+		cycles:      2,
+		interval:    0,
+		metricsAddr: "127.0.0.1:0",
+		journal:     journal,
+		onReady:     func(addr string) { ready <- addr },
+		soak: soak.Config{
+			Sessions:       2,
+			Seed:           21,
+			Watch:          1500 * time.Millisecond,
+			ChunkMS:        250,
+			ShapeKbps:      20000,
+			Algorithms:     []string{"BBA-0", "Control"},
+			DisableFaults:  true,
+			CollectorCheck: true,
+		},
+	}
+
+	done := make(chan error, 1)
+	probed := make(chan error, 1)
+	go func() {
+		addr := <-ready
+		probed <- probeEndpoints(addr)
+	}()
+	go func() { done <- runSoak(context.Background(), cfg) }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runSoak: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("soak one-shot did not finish")
+	}
+	if err := <-probed; err != nil {
+		t.Fatalf("metrics endpoints: %v", err)
+	}
+
+	// The journal holds the daemon's own soak_cycle verdicts.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclesSeen := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		e, ok := telemetry.ParseJSONL([]byte(line + "\n")) // strict parse wants the full canonical line
+		if !ok {
+			t.Fatalf("journal line does not parse: %q", line)
+		}
+		if e.Kind == telemetry.SoakCycle {
+			cyclesSeen++
+			if e.Label != "pass" {
+				t.Errorf("cycle %d verdict %q, want pass", e.Chunk, e.Label)
+			}
+		}
+	}
+	if cyclesSeen != 2 {
+		t.Errorf("journal records %d cycles, want 2", cyclesSeen)
+	}
+}
+
+// probeEndpoints hits /healthz and /metrics while the daemon runs.
+func probeEndpoints(addr string) error {
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, body)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "soak_cycles_total") {
+			return fmt.Errorf("/metrics missing soak_cycles_total:\n%s", body)
+		}
+	}
+	return nil
+}
+
+// TestSoakOneShotFailureExitsNonZero points the gate at a dead origin:
+// every cycle fails and runSoak must return an error.
+func TestSoakOneShotFailureExitsNonZero(t *testing.T) {
+	cfg := soakConfig{
+		cycles:      1,
+		metricsAddr: "",
+		soak: soak.Config{
+			Sessions:   1,
+			Watch:      time.Second,
+			BaseURL:    "http://127.0.0.1:1",
+			Algorithms: []string{"Control"},
+		},
+	}
+	err := runSoak(context.Background(), cfg)
+	if err == nil || !strings.Contains(err.Error(), "violated invariants") {
+		t.Fatalf("runSoak = %v, want invariant-violation error", err)
+	}
+}
+
+// TestLoadMode runs a miniature ramp against an in-process origin and
+// checks the JSON artifact.
+func TestLoadMode(t *testing.T) {
+	video, err := media.NewVBR(media.VBRConfig{
+		Title:         "loadmode",
+		Ladder:        media.DefaultLadder(),
+		ChunkDuration: 500 * time.Millisecond,
+		NumChunks:     16,
+	}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dash.NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin, err := dash.StartOrigin("127.0.0.1:0", srv, dash.OriginConfig{ShutdownGrace: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close(context.Background())
+
+	out := filepath.Join(t.TempDir(), "ramp.json")
+	err = runLoad(context.Background(), soak.LoadConfig{
+		URL:        origin.URL(),
+		Target:     8,
+		Step:       4,
+		Dwell:      150 * time.Millisecond,
+		KneeFactor: 1000,
+	}, out)
+	if err != nil {
+		t.Fatalf("runLoad: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res soak.LoadResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(res.Steps) != 2 || res.MaxClients != 8 {
+		t.Fatalf("unexpected ramp result: %+v", res)
+	}
+}
+
+func TestSplitAlgs(t *testing.T) {
+	if got := splitAlgs(""); got != nil {
+		t.Fatalf("splitAlgs(\"\") = %v, want nil", got)
+	}
+	got := splitAlgs("BBA-1, BBA-2 ,,BOLA")
+	want := []string{"BBA-1", "BBA-2", "BOLA"}
+	if len(got) != len(want) {
+		t.Fatalf("splitAlgs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitAlgs = %v, want %v", got, want)
+		}
+	}
+}

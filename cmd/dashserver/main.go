@@ -4,6 +4,10 @@
 // /metrics and a liveness probe at /healthz. It shuts down gracefully on
 // SIGINT/SIGTERM, draining in-flight chunk downloads.
 //
+// Pass "-addr :0" to bind a free port; the bound address is printed on the
+// first line of output, so scripted harnesses (and the soak rig) can run
+// parallel instances without port races.
+//
 // Example:
 //
 //	dashserver -addr 127.0.0.1:8404 -chunks 900 &
@@ -13,11 +17,9 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,11 +33,12 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8404", "listen address")
+		addr      = flag.String("addr", "127.0.0.1:8404", "listen address (\":0\" binds a free port and prints it)")
 		chunks    = flag.Int("chunks", 900, "title length in chunks")
 		chunkMS   = flag.Int("chunk-ms", 4000, "chunk duration in milliseconds")
 		seed      = flag.Int64("seed", 1, "seed for the synthetic title")
 		latency   = flag.Duration("latency", 0, "added first-byte latency per chunk")
+		maxConns  = flag.Int("max-conns", 0, "cap on concurrently served connections (0 = unbounded)")
 		withFault = flag.Bool("faults", false, "serve in fault-injecting mode (seeded 5xx bursts, stalled bodies, resets, latency spikes)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault schedule and per-request decisions")
 	)
@@ -43,74 +46,82 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *chunks, *chunkMS, *seed, *latency, *withFault, *faultSeed); err != nil {
+	cfg := serverConfig{
+		addr: *addr, chunks: *chunks, chunkMS: *chunkMS, seed: *seed,
+		latency: *latency, maxConns: *maxConns,
+		withFaults: *withFault, faultSeed: *faultSeed,
+	}
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "dashserver:", err)
 		os.Exit(1)
+	}
+}
+
+// serverConfig carries the flag set; onReady is the test seam announcing
+// the bound address.
+type serverConfig struct {
+	addr       string
+	chunks     int
+	chunkMS    int
+	seed       int64
+	latency    time.Duration
+	maxConns   int
+	withFaults bool
+	faultSeed  int64
+	onReady    func(addr string)
+}
+
+// run serves until ctx is cancelled (SIGINT/SIGTERM in main), then shuts
+// the origin down gracefully.
+func run(ctx context.Context, cfg serverConfig) error {
+	srv, video, err := buildServer(cfg.chunks, cfg.chunkMS, cfg.seed, cfg.latency)
+	if err != nil {
+		return err
+	}
+	prom := telemetry.NewProm("bba")
+	srv.Observer = prom
+	if cfg.withFaults {
+		// The HTTP-path kinds only: blackouts and collapses are capacity
+		// faults, which belong to the network between client and server
+		// (shape the client's transport with internal/netem), not to the
+		// origin.
+		fc := faults.DefaultScheduleConfig()
+		fc.Horizon = 24 * time.Hour
+		fc.Blackouts = faults.EpisodeConfig{}
+		fc.Collapses = faults.EpisodeConfig{}
+		sched := faults.GenerateSeeded(fc, cfg.faultSeed)
+		srv.Injector = &faults.HTTPInjector{Schedule: sched, Seed: cfg.faultSeed}
+		srv.Injector.Start(time.Now())
+		fmt.Printf("fault mode: %d episodes scheduled over 24h (seed %d)\n", sched.Len(), cfg.faultSeed)
+	}
+
+	o, err := dash.StartOrigin(cfg.addr, srv, dash.OriginConfig{
+		Metrics:       prom,
+		MaxConns:      cfg.maxConns,
+		ShutdownGrace: shutdownGrace,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %q (%d chunks of %v, ladder %v–%v) on http://%s (/metrics, /healthz)\n",
+		video.Title, video.NumChunks(), video.ChunkDuration,
+		video.Ladder.Min(), video.Ladder.Max(), o.Addr())
+	if cfg.onReady != nil {
+		cfg.onReady(o.Addr())
+	}
+
+	select {
+	case <-o.Done():
+		return o.Err()
+	case <-ctx.Done():
+		fmt.Println("dashserver: shutting down")
+		return o.Close(context.Background())
 	}
 }
 
 // shutdownGrace bounds how long a draining server waits for in-flight
 // chunk downloads before closing their connections.
 const shutdownGrace = 5 * time.Second
-
-// run serves until ctx is cancelled (SIGINT/SIGTERM in main), then shuts
-// the HTTP server down gracefully.
-func run(ctx context.Context, addr string, chunks, chunkMS int, seed int64, latency time.Duration, withFaults bool, faultSeed int64) error {
-	srv, video, err := buildServer(chunks, chunkMS, seed, latency)
-	if err != nil {
-		return err
-	}
-	prom := telemetry.NewProm("bba")
-	srv.Observer = prom
-	if withFaults {
-		// The HTTP-path kinds only: blackouts and collapses are capacity
-		// faults, which belong to the network between client and server
-		// (shape the client's transport with internal/netem), not to the
-		// origin.
-		cfg := faults.DefaultScheduleConfig()
-		cfg.Horizon = 24 * time.Hour
-		cfg.Blackouts = faults.EpisodeConfig{}
-		cfg.Collapses = faults.EpisodeConfig{}
-		sched := faults.GenerateSeeded(cfg, faultSeed)
-		srv.Injector = &faults.HTTPInjector{Schedule: sched, Seed: faultSeed}
-		srv.Injector.Start(time.Now())
-		fmt.Printf("fault mode: %d episodes scheduled over 24h (seed %d)\n", sched.Len(), faultSeed)
-	}
-
-	hs := &http.Server{Addr: addr, Handler: buildMux(srv, prom, video)}
-	fmt.Printf("serving %q (%d chunks of %v, ladder %v–%v) on http://%s (/metrics, /healthz)\n",
-		video.Title, video.NumChunks(), video.ChunkDuration,
-		video.Ladder.Min(), video.Ladder.Max(), addr)
-
-	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-		fmt.Println("dashserver: shutting down")
-		shctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
-		defer cancel()
-		return hs.Shutdown(shctx)
-	}
-}
-
-// buildMux mounts the chunk server alongside the observability endpoints.
-func buildMux(srv *dash.Server, prom *telemetry.Prom, video *media.Video) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.Handle("/", srv)
-	mux.Handle("/metrics", prom)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{
-			"status":   "ok",
-			"title":    video.Title,
-			"chunks":   video.NumChunks(),
-			"requests": srv.Requests(),
-		})
-	})
-	return mux
-}
 
 // buildServer constructs the synthetic title and its HTTP handler.
 func buildServer(chunks, chunkMS int, seed int64, latency time.Duration) (*dash.Server, *media.Video, error) {

@@ -4,14 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"io"
-	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
-
-	"bba/internal/telemetry"
 )
 
 func TestBuildServer(t *testing.T) {
@@ -46,19 +43,43 @@ func TestBuildServer(t *testing.T) {
 	}
 }
 
-func TestObservabilityEndpoints(t *testing.T) {
-	srv, video, err := buildServer(20, 4000, 1, 0)
-	if err != nil {
-		t.Fatal(err)
+// startDaemon runs the daemon on ":0" and returns its bound address plus a
+// shutdown func that waits for a clean exit.
+func startDaemon(t *testing.T, cfg serverConfig) (addr string, shutdown func()) {
+	t.Helper()
+	ready := make(chan string, 1)
+	cfg.addr = "127.0.0.1:0"
+	cfg.onReady = func(a string) { ready <- a }
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg) }()
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
 	}
-	prom := telemetry.NewProm("bba")
-	srv.Observer = prom
-	ts := httptest.NewServer(buildMux(srv, prom, video))
-	defer ts.Close()
+	return addr, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("shutdown returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+}
+
+func TestObservabilityEndpoints(t *testing.T) {
+	addr, shutdown := startDaemon(t, serverConfig{chunks: 20, chunkMS: 4000, seed: 1})
+	defer shutdown()
 
 	get := func(path string) (int, string) {
 		t.Helper()
-		resp, err := http.Get(ts.URL + path)
+		resp, err := http.Get("http://" + addr + path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,39 +126,41 @@ func TestObservabilityEndpoints(t *testing.T) {
 	}
 }
 
+// TestParallelInstances pins the ":0" contract the soak rig depends on:
+// several daemons started concurrently on port 0 bind distinct ports and
+// all serve.
+func TestParallelInstances(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		addr, shutdown := startDaemon(t, serverConfig{chunks: 5, chunkMS: 4000, seed: int64(i + 1)})
+		defer shutdown()
+		addrs = append(addrs, addr)
+	}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if seen[a] {
+			t.Fatalf("duplicate bound address %s", a)
+		}
+		seen[a] = true
+		resp, err := http.Get("http://" + a + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz on %s: %s", a, resp.Status)
+		}
+	}
+}
+
 func TestGracefulShutdown(t *testing.T) {
-	// Grab a free port so run can bind it.
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	addr, shutdown := startDaemon(t, serverConfig{chunks: 10, chunkMS: 4000, seed: 1})
+	resp, err := http.Get("http://" + addr + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	addr := l.Addr().String()
-	l.Close()
-
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan error, 1)
-	go func() { done <- run(ctx, addr, 10, 4000, 1, 0, false, 1) }()
-
-	// Wait for the server to come up, then trigger shutdown.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		resp, err := http.Get("http://" + addr + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("server never became healthy")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	cancel()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("shutdown returned %v", err)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("server did not shut down")
-	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	shutdown()
 }

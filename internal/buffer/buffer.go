@@ -137,7 +137,7 @@ func (b *Buffer) AddChunk(v time.Duration) error {
 	if v <= 0 {
 		return fmt.Errorf("buffer: non-positive chunk duration %v", v)
 	}
-	overflow := b.level+v > b.max
+	prev := b.level
 	b.level += v
 	if b.level > b.max {
 		b.level = b.max
@@ -146,8 +146,8 @@ func (b *Buffer) AddChunk(v time.Duration) error {
 	if b.stalled && b.level >= b.resume {
 		b.stalled = false
 	}
-	if overflow {
-		return fmt.Errorf("buffer: overflow adding %v to %v/%v", v, b.level-v, b.max)
+	if prev+v > b.max {
+		return fmt.Errorf("buffer: overflow adding %v to %v/%v", v, prev, b.max)
 	}
 	return nil
 }

@@ -140,6 +140,18 @@ func Stream(ctx context.Context, cfg ClientConfig) (*player.Result, error) {
 	v := stream.ChunkDuration()
 
 	buf := buffer.New(bufMax)
+	// A stalled session refills through add-only steps of v, and the
+	// ON-OFF loop stops adding above bufMax-v — so a resume threshold
+	// past that point can never be reached: the session would sit stalled
+	// forever, filling the buffer until AddChunk overflows. Clamp the
+	// default so every stall can end. (With the default 240s buffer this
+	// is a no-op; it matters for small soak/test buffers.)
+	if resume := bufMax - v; resume < buffer.DefaultResume {
+		if resume < 0 {
+			resume = 0
+		}
+		buf.SetResume(resume)
+	}
 	res := &player.Result{Algorithm: cfg.Algorithm.Name()}
 	sessionStart := time.Now()
 	var (

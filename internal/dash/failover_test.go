@@ -48,14 +48,14 @@ func TestEndpointSetFailsBackToPrimary(t *testing.T) {
 	if sw, _, _ := es.failure(); !sw {
 		t.Fatal("no switch at the threshold")
 	}
-	for i := 0; i < failBackAfter-1; i++ {
+	for i := 0; i < FailBackAfter-1; i++ {
 		if sw, _, _ := es.success(); sw {
 			t.Fatalf("failed back after only %d successes", i+1)
 		}
 	}
 	sw, from, to := es.success()
 	if !sw || from != 1 || to != 0 {
-		t.Fatalf("fail-back: switched=%v %d->%d, want 1->0 after %d successes", sw, from, to, failBackAfter)
+		t.Fatalf("fail-back: switched=%v %d->%d, want 1->0 after %d successes", sw, from, to, FailBackAfter)
 	}
 	if es.scores[0] != 0 {
 		t.Fatalf("primary rejoined with score %d, want a clean 0", es.scores[0])

@@ -1,0 +1,159 @@
+package dash
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// OriginConfig configures the serving shell around a chunk Server.
+type OriginConfig struct {
+	// Metrics, when non-nil, is served at /metrics (wire a
+	// *telemetry.Prom that is also the Server's Observer).
+	Metrics http.Handler
+	// MaxConns caps the connections the origin serves concurrently
+	// (0 = unbounded). Excess dials queue in the kernel accept backlog
+	// instead of each spawning a serving goroutine — the bound that keeps
+	// an overloaded origin degrading by queueing rather than by
+	// collapsing. See DESIGN §14 for the load-ramp evidence.
+	MaxConns int
+	// ShutdownGrace bounds how long Close waits for in-flight chunk
+	// downloads before closing their connections (default 5 s).
+	ShutdownGrace time.Duration
+}
+
+// Origin is a bound, serving dash origin: the chunk Server plus /metrics
+// and /healthz on one listener. It is the Serve-style entry point both
+// cmd/dashserver and the soak rig boot instances through — ask for
+// address ":0" and read the bound address back from Addr, so parallel
+// instances never race on a port.
+type Origin struct {
+	// Server is the underlying chunk server (fault injection, observer
+	// and latency knobs live there).
+	Server *Server
+
+	cfg  OriginConfig
+	ln   net.Listener
+	hs   *http.Server
+	addr string
+
+	done     chan struct{}
+	serveErr error
+}
+
+// StartOrigin binds addr (host:port; port 0 picks a free port) and serves
+// srv plus the observability endpoints on it in a background goroutine.
+func StartOrigin(addr string, srv *Server, cfg OriginConfig) (*Origin, error) {
+	if srv == nil {
+		return nil, fmt.Errorf("dash: StartOrigin with nil server")
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxConns > 0 {
+		ln = &limitListener{Listener: ln, sem: make(chan struct{}, cfg.MaxConns)}
+	}
+	o := &Origin{
+		Server: srv,
+		cfg:    cfg,
+		ln:     ln,
+		addr:   ln.Addr().String(),
+		done:   make(chan struct{}),
+	}
+	o.hs = &http.Server{Handler: o.mux()}
+	go func() {
+		if err := o.hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			o.serveErr = err
+		}
+		close(o.done)
+	}()
+	return o, nil
+}
+
+// Addr returns the bound listen address (host:port), with the real port
+// when the origin was started on ":0".
+func (o *Origin) Addr() string { return o.addr }
+
+// URL returns the origin's base URL, the form ClientConfig endpoints take.
+func (o *Origin) URL() string { return "http://" + o.addr }
+
+// Done is closed when the serve loop exits; Err reports why (nil for a
+// clean shutdown).
+func (o *Origin) Done() <-chan struct{} { return o.done }
+
+// Err returns the serve loop's terminal error. Only valid after Done is
+// closed.
+func (o *Origin) Err() error { return o.serveErr }
+
+// Close shuts the origin down gracefully, draining in-flight downloads up
+// to the configured grace (bounded further by ctx), and returns the serve
+// loop's error, if any.
+func (o *Origin) Close(ctx context.Context) error {
+	shctx, cancel := context.WithTimeout(ctx, o.cfg.ShutdownGrace)
+	defer cancel()
+	err := o.hs.Shutdown(shctx)
+	<-o.done
+	if o.serveErr != nil {
+		return o.serveErr
+	}
+	return err
+}
+
+// mux mounts the chunk server alongside the observability endpoints.
+func (o *Origin) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", o.Server)
+	if o.cfg.Metrics != nil {
+		mux.Handle("/metrics", o.cfg.Metrics)
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		v := o.Server.Video()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":   "ok",
+			"title":    v.Title,
+			"chunks":   v.NumChunks(),
+			"requests": o.Server.Requests(),
+		})
+	})
+	return mux
+}
+
+// limitListener bounds concurrently-open accepted connections with a
+// semaphore acquired before each Accept and released when the accepted
+// connection closes. The same shape as x/net/netutil's LimitListener,
+// inlined because the container carries no external modules.
+type limitListener struct {
+	net.Listener
+	sem chan struct{}
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	return &limitConn{Conn: c, sem: l.sem}, nil
+}
+
+type limitConn struct {
+	net.Conn
+	sem  chan struct{}
+	once sync.Once
+}
+
+func (c *limitConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(func() { <-c.sem })
+	return err
+}

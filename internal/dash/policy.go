@@ -47,15 +47,20 @@ func (p FetchPolicy) withDefaults(legacyRetries int) FetchPolicy {
 }
 
 // Endpoint-health scoring constants: a failure costs one point (floored),
-// a success earns one back (capped), the client abandons an endpoint at
-// switchScore, and after failBackAfter consecutive successes away from the
-// primary it probes the preferred endpoint again.
+// a success earns one back (capped), and the client abandons an endpoint
+// at switchScore.
 const (
-	scoreFloor    = -4
-	scoreCap      = 2
-	switchScore   = -2
-	failBackAfter = 8
+	scoreFloor  = -4
+	scoreCap    = 2
+	switchScore = -2
 )
+
+// FailBackAfter is how many consecutive successful requests a session must
+// complete on a non-primary endpoint before it fails back to the primary.
+// It is exported so harnesses that judge failover convergence (the soak
+// daemon's failover_converges invariant) can decide whether a session's
+// fault-free tail even had room for a full fail-back streak.
+const FailBackAfter = 8
 
 // endpointSet tracks per-endpoint health and picks which server root the
 // next request uses. The ordered list expresses preference: index 0 is the
@@ -77,7 +82,7 @@ func newEndpointSet(urls []string) *endpointSet {
 // current returns the active endpoint's index and URL.
 func (es *endpointSet) current() (int, string) { return es.active, es.urls[es.active] }
 
-// success credits the active endpoint. After failBackAfter consecutive
+// success credits the active endpoint. After FailBackAfter consecutive
 // successes on a non-primary endpoint it fails back to the most-preferred
 // one, giving it a clean score; the switch is reported so the caller can
 // emit telemetry.
@@ -89,7 +94,7 @@ func (es *endpointSet) success() (switched bool, from, to int) {
 		return false, es.active, es.active
 	}
 	es.streak++
-	if es.streak < failBackAfter {
+	if es.streak < FailBackAfter {
 		return false, es.active, es.active
 	}
 	from = es.active

@@ -15,9 +15,9 @@
 package dash
 
 import (
+	"bytes"
 	"encoding/json"
 	"encoding/xml"
-	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
@@ -73,11 +73,17 @@ func (m Manifest) Video() (*media.Video, error) {
 //	GET /playlist/{rateIndex}.m3u8     HLS media playlist
 //	GET /chunk/{rateIndex}/{chunkIndex}
 //
-// It implements http.Handler and is safe for concurrent use.
+// It implements http.Handler and is safe for concurrent use. Every
+// manifest-shaped document (JSON, MPD, HLS master and media playlists) is
+// rendered once at construction: the title is immutable, so re-rendering
+// per request only burns CPU under load — the O(chunks) media-playlist
+// render was the first bottleneck the load ramp exposed.
 type Server struct {
-	video    *media.Video
-	manifest []byte
-	mpd      []byte
+	video     *media.Video
+	manifest  []byte
+	mpd       []byte
+	master    []byte
+	playlists [][]byte // per-rate media playlists, rendered once
 
 	// Latency is added before each chunk response (first-byte delay).
 	Latency time.Duration
@@ -109,12 +115,34 @@ func NewServer(v *media.Video) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{video: v, manifest: raw, mpd: append([]byte(xml.Header), mpd...), start: time.Now()}, nil
+	var master bytes.Buffer
+	if err := WriteMasterPlaylist(&master, v); err != nil {
+		return nil, err
+	}
+	playlists := make([][]byte, len(v.Ladder))
+	for ri := range v.Ladder {
+		var pl bytes.Buffer
+		if err := WriteMediaPlaylist(&pl, v, ri); err != nil {
+			return nil, err
+		}
+		playlists[ri] = pl.Bytes()
+	}
+	return &Server{
+		video:     v,
+		manifest:  raw,
+		mpd:       append([]byte(xml.Header), mpd...),
+		master:    master.Bytes(),
+		playlists: playlists,
+		start:     time.Now(),
+	}, nil
 }
 
 // Requests returns the number of chunk requests served (including injected
 // failures).
 func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// Video returns the title the server serves.
+func (s *Server) Video() *media.Video { return s.video }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -127,7 +155,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		w.Write(s.mpd)
 	case r.URL.Path == "/master.m3u8":
 		w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
-		WriteMasterPlaylist(w, s.video)
+		w.Write(s.master)
 	case strings.HasPrefix(r.URL.Path, "/playlist/"):
 		s.serveMediaPlaylist(w, r)
 	case strings.HasPrefix(r.URL.Path, "/chunk/"):
@@ -146,7 +174,7 @@ func (s *Server) serveMediaPlaylist(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/vnd.apple.mpegurl")
-	WriteMediaPlaylist(w, s.video, rate)
+	w.Write(s.playlists[rate])
 }
 
 func (s *Server) serveChunk(w http.ResponseWriter, r *http.Request) {
@@ -187,7 +215,7 @@ func (s *Server) serveChunk(w http.ResponseWriter, r *http.Request) {
 				// Deliver a partial body, then hang (slowloris) or tear the
 				// connection down mid-download.
 				w.Header().Set("Content-Type", "video/mp4")
-				w.Header().Set("Content-Length", fmt.Sprint(size))
+				w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 				partial := size / 4
 				if partial > 64<<10 {
 					partial = 64 << 10
@@ -213,7 +241,7 @@ func (s *Server) serveChunk(w http.ResponseWriter, r *http.Request) {
 	}
 	served := time.Now()
 	w.Header().Set("Content-Type", "video/mp4")
-	w.Header().Set("Content-Length", fmt.Sprint(size))
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
 	writeFiller(w, size)
 	if s.Observer != nil {
 		s.Observer.OnEvent(telemetry.Event{
@@ -237,19 +265,27 @@ func (s *Server) observeFault(kind faults.Kind, rate, chunk int, size int64) {
 	})
 }
 
-// writeFiller streams size bytes of deterministic filler.
-func writeFiller(w http.ResponseWriter, size int64) {
-	const blockSize = 32 * 1024
-	block := make([]byte, blockSize)
+// fillerBlock is the shared read-only source every chunk body is streamed
+// from. Allocating and refilling a 32 KiB block per request was the other
+// load-ramp bottleneck: at thousands of concurrent clients the per-request
+// allocation dominated the handler and kept the GC busy. The block is
+// written by exactly one goroutine (package init) and only read afterwards.
+var fillerBlock = func() []byte {
+	block := make([]byte, 32*1024)
 	for i := range block {
 		block[i] = byte('A' + i%26)
 	}
+	return block
+}()
+
+// writeFiller streams size bytes of deterministic filler.
+func writeFiller(w http.ResponseWriter, size int64) {
 	for size > 0 {
-		n := int64(blockSize)
+		n := int64(len(fillerBlock))
 		if n > size {
 			n = size
 		}
-		if _, err := w.Write(block[:n]); err != nil {
+		if _, err := w.Write(fillerBlock[:n]); err != nil {
 			return
 		}
 		size -= n

@@ -1,0 +1,264 @@
+package soak
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bba/internal/stats"
+)
+
+// LoadConfig parameterizes a real-socket load ramp against one origin.
+type LoadConfig struct {
+	// URL is the origin base URL (required).
+	URL string
+	// Target is the highest concurrent client count to ramp to
+	// (default 1000).
+	Target int
+	// Start is the first step's client count (default Step).
+	Start int
+	// Step is the client increment between steps (default 250).
+	Step int
+	// Dwell is how long each step drives load and measures
+	// (default 1.5s).
+	Dwell time.Duration
+	// AbortErrorRate stops the ramp when a step's error fraction exceeds
+	// it (default 0.05).
+	AbortErrorRate float64
+	// KneeFactor locates the knee: the first step whose p95 TTFB exceeds
+	// KneeFactor times the first step's p95 (default 3).
+	KneeFactor float64
+	// Rate is the ladder rung each client requests (default 0, the
+	// smallest chunks — the request-handling knee, not a memcpy test).
+	Rate int
+	// ChunkSpan is how many distinct chunk indices clients cycle through
+	// (default 16).
+	ChunkSpan int
+	// Timeout bounds each request (default 5s).
+	Timeout time.Duration
+	// Logf, when non-nil, receives a line per completed step.
+	Logf func(format string, args ...any)
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Target <= 0 {
+		c.Target = 1000
+	}
+	if c.Step <= 0 {
+		c.Step = 250
+	}
+	if c.Start <= 0 {
+		c.Start = c.Step
+	}
+	if c.Dwell <= 0 {
+		c.Dwell = 1500 * time.Millisecond
+	}
+	if c.AbortErrorRate <= 0 {
+		c.AbortErrorRate = 0.05
+	}
+	if c.KneeFactor <= 0 {
+		c.KneeFactor = 3
+	}
+	if c.ChunkSpan <= 0 {
+		c.ChunkSpan = 16
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	return c
+}
+
+// StepResult is one ramp step's measurement.
+type StepResult struct {
+	// Clients is the step's concurrent client count.
+	Clients int `json:"clients"`
+	// Requests and Errors count completed and failed requests during the
+	// dwell; Bytes is the payload volume delivered.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Bytes    int64 `json:"bytes"`
+	// DurationMS is the measured dwell.
+	DurationMS float64 `json:"duration_ms"`
+	// TTFB quantiles, milliseconds: request issue to first body byte.
+	TTFBP50Ms float64 `json:"ttfb_p50_ms"`
+	TTFBP95Ms float64 `json:"ttfb_p95_ms"`
+	TTFBP99Ms float64 `json:"ttfb_p99_ms"`
+	// RequestsPerSec and MBps are the step's aggregate service rate.
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	MBps           float64 `json:"mbps"`
+	// ErrorRate is Errors / (Requests + Errors).
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// LoadResult is a complete ramp.
+type LoadResult struct {
+	// URL is the origin that was loaded.
+	URL string `json:"url"`
+	// Steps are the ramp's measurements in order.
+	Steps []StepResult `json:"steps"`
+	// BaselineP95Ms is the first step's p95 TTFB — the reference the
+	// knee is located against.
+	BaselineP95Ms float64 `json:"baseline_p95_ms"`
+	// KneeClients is the client count of the first step whose p95
+	// exceeded KneeFactor x baseline (0: no knee inside the ramp).
+	KneeClients int `json:"knee_clients"`
+	// MaxClients is the largest client count that stayed inside the SLO
+	// (error rate under the abort threshold and p95 under the knee
+	// threshold).
+	MaxClients int `json:"max_clients"`
+	// Aborted reports the ramp stopped early on the error-rate guard.
+	Aborted bool `json:"aborted"`
+}
+
+// RunLoad executes the step ramp: for each step it spawns the step's
+// client count as goroutines — each with its own keep-alive transport,
+// so each is a real TCP connection — that issue closed-loop chunk
+// requests for the dwell, measuring TTFB per request into mergeable
+// quantile sketches. Ramping stops at Target, or early when a step's
+// error rate crosses the abort guard.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("soak: load ramp needs a target URL")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	res := &LoadResult{URL: cfg.URL}
+	for clients := cfg.Start; clients <= cfg.Target; clients += cfg.Step {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		step, err := runStep(ctx, cfg, clients)
+		if err != nil {
+			return res, err
+		}
+		res.Steps = append(res.Steps, step)
+		if len(res.Steps) == 1 {
+			res.BaselineP95Ms = step.TTFBP95Ms
+		}
+		// The first step defines the reference; it cannot be its own knee.
+		kneed := len(res.Steps) > 1 && res.BaselineP95Ms > 0 &&
+			step.TTFBP95Ms > cfg.KneeFactor*res.BaselineP95Ms
+		if kneed && res.KneeClients == 0 {
+			res.KneeClients = clients
+		}
+		if !kneed && step.ErrorRate <= cfg.AbortErrorRate {
+			res.MaxClients = clients
+		}
+		logf("load: %4d clients  %6.0f req/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms  err %.3f",
+			clients, step.RequestsPerSec, step.TTFBP50Ms, step.TTFBP95Ms, step.TTFBP99Ms, step.ErrorRate)
+		if step.ErrorRate > cfg.AbortErrorRate {
+			res.Aborted = true
+			break
+		}
+	}
+	return res, nil
+}
+
+// runStep drives one step: clients goroutines in a closed loop for the
+// dwell, then merges their sketches.
+func runStep(ctx context.Context, cfg LoadConfig, clients int) (StepResult, error) {
+	var (
+		requests, errors, bytesServed atomic.Int64
+		mu                            sync.Mutex
+		merged                        = stats.NewDist(512)
+	)
+	stepCtx, cancel := context.WithTimeout(ctx, cfg.Dwell)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			transport := &http.Transport{MaxIdleConnsPerHost: 1}
+			defer transport.CloseIdleConnections()
+			client := &http.Client{Transport: transport, Timeout: cfg.Timeout}
+			dist := stats.NewDist(512)
+			var one [1]byte
+			for seq := 0; ; seq++ {
+				if stepCtx.Err() != nil {
+					break
+				}
+				url := fmt.Sprintf("%s/chunk/%d/%d", cfg.URL, cfg.Rate, seq%cfg.ChunkSpan)
+				req, err := http.NewRequestWithContext(stepCtx, http.MethodGet, url, nil)
+				if err != nil {
+					errors.Add(1)
+					continue
+				}
+				issued := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					if stepCtx.Err() != nil {
+						break // dwell expired mid-request, not a server error
+					}
+					errors.Add(1)
+					continue
+				}
+				_, err = io.ReadFull(resp.Body, one[:])
+				ttfb := time.Since(issued)
+				if err != nil || resp.StatusCode != http.StatusOK {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if stepCtx.Err() != nil {
+						break
+					}
+					errors.Add(1)
+					continue
+				}
+				n, err := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					if stepCtx.Err() != nil {
+						break
+					}
+					errors.Add(1)
+					continue
+				}
+				requests.Add(1)
+				bytesServed.Add(n + 1)
+				dist.Add(ttfb.Seconds()*1e3, uint64(worker)<<32|uint64(seq))
+			}
+			mu.Lock()
+			merged.Merge(dist)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	step := StepResult{
+		Clients:    clients,
+		Requests:   requests.Load(),
+		Errors:     errors.Load(),
+		Bytes:      bytesServed.Load(),
+		DurationMS: float64(elapsed.Milliseconds()),
+	}
+	if total := step.Requests + step.Errors; total > 0 {
+		step.ErrorRate = float64(step.Errors) / float64(total)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		step.RequestsPerSec = float64(step.Requests) / secs
+		step.MBps = float64(step.Bytes) / secs / 1e6
+	}
+	if step.Requests > 0 {
+		step.TTFBP50Ms = quantile(merged, 0.50)
+		step.TTFBP95Ms = quantile(merged, 0.95)
+		step.TTFBP99Ms = quantile(merged, 0.99)
+	}
+	return step, ctx.Err()
+}
+
+func quantile(d stats.Dist, p float64) float64 {
+	v, err := d.Sketch.Quantile(p)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,142 @@
+package soak
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bba/internal/dash"
+	"bba/internal/media"
+)
+
+func loadOrigin(t *testing.T) *dash.Origin {
+	t.Helper()
+	video, err := media.NewVBR(media.VBRConfig{
+		Title:         "load",
+		Ladder:        media.DefaultLadder(),
+		ChunkDuration: 500 * time.Millisecond,
+		NumChunks:     16,
+	}, newRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dash.NewServer(video)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin, err := dash.StartOrigin("127.0.0.1:0", srv, dash.OriginConfig{ShutdownGrace: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { origin.Close(context.Background()) })
+	return origin
+}
+
+// TestRunLoadRamp drives a miniature two-step ramp of real-socket
+// clients against a live origin and checks the measurements add up.
+func TestRunLoadRamp(t *testing.T) {
+	origin := loadOrigin(t)
+	res, err := RunLoad(context.Background(), LoadConfig{
+		URL:        origin.URL(),
+		Target:     8,
+		Step:       4,
+		Dwell:      200 * time.Millisecond,
+		KneeFactor: 1000, // loopback jitter must not fake a knee
+		ChunkSpan:  16,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if len(res.Steps) != 2 {
+		t.Fatalf("got %d steps, want 2", len(res.Steps))
+	}
+	for i, want := range []int{4, 8} {
+		step := res.Steps[i]
+		if step.Clients != want {
+			t.Errorf("step %d clients = %d, want %d", i, step.Clients, want)
+		}
+		if step.Requests == 0 {
+			t.Errorf("step %d completed no requests", i)
+		}
+		if step.Bytes == 0 || step.RequestsPerSec == 0 {
+			t.Errorf("step %d measured no volume: %+v", i, step)
+		}
+		if step.TTFBP50Ms <= 0 || step.TTFBP95Ms < step.TTFBP50Ms {
+			t.Errorf("step %d TTFB quantiles out of order: %+v", i, step)
+		}
+		if step.ErrorRate > 0.05 {
+			t.Errorf("step %d error rate %.3f on loopback", i, step.ErrorRate)
+		}
+	}
+	if res.Aborted {
+		t.Error("ramp aborted on a healthy origin")
+	}
+	if res.MaxClients != 8 {
+		t.Errorf("MaxClients = %d, want 8", res.MaxClients)
+	}
+	if res.KneeClients != 0 {
+		t.Errorf("KneeClients = %d with an unreachable knee factor", res.KneeClients)
+	}
+	if res.BaselineP95Ms != res.Steps[0].TTFBP95Ms {
+		t.Error("baseline p95 is not the first step's p95")
+	}
+}
+
+// TestRunLoadFindsKnee makes the knee trivially reachable and checks
+// the locator: the first over-threshold step is the knee, and MaxClients
+// freezes at the last healthy step.
+func TestRunLoadFindsKnee(t *testing.T) {
+	origin := loadOrigin(t)
+	res, err := RunLoad(context.Background(), LoadConfig{
+		URL:        origin.URL(),
+		Target:     8,
+		Step:       4,
+		Dwell:      150 * time.Millisecond,
+		KneeFactor: 1e-9, // any nonzero p95 beats factor x baseline
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.KneeClients != 8 {
+		t.Errorf("KneeClients = %d, want 8 (first step is the baseline, second crosses)", res.KneeClients)
+	}
+	if res.MaxClients != 4 {
+		t.Errorf("MaxClients = %d, want 4 (the last pre-knee step)", res.MaxClients)
+	}
+}
+
+// TestRunLoadAbortsOnErrors points the ramp at an origin that only
+// fails: the first step must trip the error-rate guard and abort.
+func TestRunLoadAbortsOnErrors(t *testing.T) {
+	failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "no", http.StatusInternalServerError)
+	}))
+	defer failing.Close()
+	res, err := RunLoad(context.Background(), LoadConfig{
+		URL:    failing.URL,
+		Target: 8,
+		Step:   4,
+		Dwell:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if !res.Aborted {
+		t.Fatal("ramp did not abort against an all-500 origin")
+	}
+	if len(res.Steps) != 1 {
+		t.Errorf("aborted ramp ran %d steps, want 1", len(res.Steps))
+	}
+	if res.MaxClients != 0 {
+		t.Errorf("MaxClients = %d for an origin that served nothing", res.MaxClients)
+	}
+}
+
+func TestRunLoadNeedsURL(t *testing.T) {
+	if _, err := RunLoad(context.Background(), LoadConfig{}); err == nil {
+		t.Fatal("RunLoad accepted an empty URL")
+	}
+}

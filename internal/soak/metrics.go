@@ -1,0 +1,149 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics accumulates the soak daemon's SLO counters and serves them as
+// Prometheus text (hand-written, like telemetry.Prom — the repository
+// carries no client library). One Metrics instance is shared by the
+// Runner (writer) and the daemon's HTTP endpoints (readers).
+type Metrics struct {
+	mu sync.Mutex
+
+	start          time.Time
+	cycles         int64
+	cycleFailures  int64
+	consecFailures int64
+	sessions       int64
+	sessionErrors  int64
+	rebuffers      int64
+	stallSeconds   float64
+	chunks         int64
+	checks         map[string]int64
+	failures       map[string]int64
+
+	lastViolations int64
+	lastSeconds    float64
+	lastCycle      int64
+}
+
+// NewMetrics returns an empty Metrics.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:    time.Now(),
+		checks:   make(map[string]int64),
+		failures: make(map[string]int64),
+	}
+}
+
+// ObserveCycle folds one finished cycle into the counters.
+func (m *Metrics) ObserveCycle(c *Cycle) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cycles++
+	m.lastCycle = int64(c.Index)
+	m.lastViolations = int64(len(c.Violations))
+	m.lastSeconds = c.Duration.Seconds()
+	if c.Pass() {
+		m.consecFailures = 0
+	} else {
+		m.cycleFailures++
+		m.consecFailures++
+	}
+	for name, n := range c.Checks {
+		m.checks[name] += int64(n)
+	}
+	for _, v := range c.Violations {
+		m.failures[v.Invariant]++
+	}
+	for i := range c.Sessions {
+		s := &c.Sessions[i]
+		m.sessions++
+		if s.Err != nil {
+			m.sessionErrors++
+		}
+		if s.Result != nil {
+			m.rebuffers += int64(s.Result.Rebuffers)
+			m.stallSeconds += s.Result.StallTime.Seconds()
+			m.chunks += int64(len(s.Result.Chunks))
+		}
+	}
+}
+
+// Healthy reports whether the most recent cycle passed (vacuously true
+// before the first cycle completes).
+func (m *Metrics) Healthy() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.consecFailures == 0
+}
+
+// ServeHTTP implements the /metrics endpoint.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	labelled := func(name, help string, vals map[string]int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		keys := make([]string, 0, len(vals))
+		for k := range vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{invariant=%q} %d\n", name, k, vals[k])
+		}
+	}
+
+	counter("soak_cycles_total", "Completed soak cycles.", m.cycles)
+	counter("soak_cycle_failures_total", "Cycles with at least one invariant violation.", m.cycleFailures)
+	counter("soak_sessions_total", "Client sessions driven.", m.sessions)
+	counter("soak_session_errors_total", "Sessions ending in a hard error.", m.sessionErrors)
+	counter("soak_rebuffers_total", "Rebuffer events across all sessions.", m.rebuffers)
+	counter("soak_chunks_total", "Chunks downloaded across all sessions.", m.chunks)
+	fmt.Fprintf(w, "# HELP soak_stall_seconds_total Total stall time across all sessions.\n# TYPE soak_stall_seconds_total counter\nsoak_stall_seconds_total %g\n", m.stallSeconds)
+	labelled("soak_invariant_checks_total", "Invariant evaluations by name.", m.checks)
+	labelled("soak_invariant_failures_total", "Invariant violations by name.", m.failures)
+	gauge("soak_consecutive_cycle_failures", "Failing cycles in a row (0 = healthy).", float64(m.consecFailures))
+	gauge("soak_last_cycle_violations", "Violations in the most recent cycle.", float64(m.lastViolations))
+	gauge("soak_last_cycle_duration_seconds", "Wall-clock duration of the most recent cycle.", m.lastSeconds)
+	gauge("soak_last_cycle_index", "Index of the most recent cycle.", float64(m.lastCycle))
+	gauge("soak_up_seconds", "Daemon uptime.", time.Since(m.start).Seconds())
+}
+
+// Healthz returns the /healthz handler: 200 with a JSON body while the
+// latest cycle passed, 503 while cycles are failing.
+func (m *Metrics) Healthz() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		m.mu.Lock()
+		status := "ok"
+		code := http.StatusOK
+		if m.consecFailures > 0 {
+			status = "failing"
+			code = http.StatusServiceUnavailable
+		}
+		body := map[string]any{
+			"status":               status,
+			"cycles":               m.cycles,
+			"cycle_failures":       m.cycleFailures,
+			"consecutive_failures": m.consecFailures,
+		}
+		m.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(body)
+	})
+}

@@ -1,0 +1,92 @@
+package soak
+
+import (
+	"strconv"
+	"strings"
+
+	"bba/internal/telemetry"
+)
+
+// Projected is one event of the timing-stripped decision projection: the
+// fields of a journal line that are a pure function of the seeds and the
+// algorithm's decisions, with every wall-clock-derived field (at_ns,
+// duration_ns, throughput, buffer and play positions) removed.
+//
+// Over real sockets the wall clock jitters with the scheduler, so full
+// journals from two runs of the same seed differ byte-wise; the
+// projection is what determinism means for the real-HTTP path — same
+// seeds ⇒ the same sequence of requests, rates, switches and sizes. The
+// e2e test pins exactly that across concurrent session waves.
+type Projected struct {
+	Kind          string
+	Session       string
+	Chunk         int
+	RateIndex     int
+	PrevRateIndex int
+	Rate          int64
+	Bytes         int64
+	Label         string
+}
+
+// projectedKinds are the decision-record kinds the projection keeps.
+// Buffer samples, reservoir reports and rebuffer boundaries are dropped:
+// their very content is the wall clock. Retries and failovers are kept —
+// they are decisions, deterministic whenever the fault weather is.
+var projectedKinds = map[telemetry.Kind]bool{
+	telemetry.SessionStart: true,
+	telemetry.ChunkRequest: true,
+	telemetry.RateSwitch:   true,
+	telemetry.ChunkRetry:   true,
+	telemetry.Failover:     true,
+	telemetry.Degrade:      true,
+	telemetry.Seek:         true,
+	telemetry.SessionEnd:   true,
+}
+
+// Project reduces a captured journal to its decision projection.
+func Project(events []telemetry.Event) []Projected {
+	var out []Projected
+	for _, e := range events {
+		if !projectedKinds[e.Kind] {
+			continue
+		}
+		out = append(out, Projected{
+			Kind:          e.Kind.String(),
+			Session:       e.Session,
+			Chunk:         e.Chunk,
+			RateIndex:     e.RateIndex,
+			PrevRateIndex: e.PrevRateIndex,
+			Rate:          int64(e.Rate),
+			Bytes:         e.Bytes,
+			Label:         e.Label,
+		})
+	}
+	return out
+}
+
+// Render serializes a projection one line per event, for direct string
+// comparison and readable test diffs.
+func Render(p []Projected) string {
+	var b strings.Builder
+	for _, e := range p {
+		b.WriteString(e.Kind)
+		b.WriteByte(' ')
+		b.WriteString(e.Session)
+		b.WriteString(" chunk=")
+		b.WriteString(strconv.Itoa(e.Chunk))
+		b.WriteString(" rate_index=")
+		b.WriteString(strconv.Itoa(e.RateIndex))
+		b.WriteString(" prev=")
+		b.WriteString(strconv.Itoa(e.PrevRateIndex))
+		b.WriteString(" rate=")
+		b.WriteString(strconv.FormatInt(e.Rate, 10))
+		b.WriteString(" bytes=")
+		b.WriteString(strconv.FormatInt(e.Bytes, 10))
+		if e.Label != "" {
+			b.WriteString(" label=")
+			b.WriteString(strconv.Quote(e.Label))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,619 @@
+// Package soak is the continuous-verification layer: a daemon that
+// exercises the whole streaming stack — dashserver origins, netem-shaped
+// real-socket sessions, seeded fault weather, the collection pipeline —
+// cycle after cycle, and checks paper-level invariants on the journals
+// each cycle produces. Where the test suite asks "does this function
+// behave", the soak rig asks "does the assembled system keep its
+// promises while it runs": no rebuffer while the buffer sits above the
+// algorithm's reservoir, endpoint failover converging back to the
+// primary once it heals, bounded retry on the degrade path, and the
+// collector's archive byte-agreeing with the local journals it was fed.
+//
+// The same package carries the load rig (see load.go): a step-ramp of
+// concurrent real-socket clients against one origin that measures
+// per-chunk TTFB and throughput distributions per step and locates the
+// knee where the origin stops scaling.
+package soak
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"bba/internal/abr"
+	"bba/internal/collect"
+	"bba/internal/dash"
+	"bba/internal/faults"
+	"bba/internal/media"
+	"bba/internal/netem"
+	"bba/internal/player"
+	"bba/internal/telemetry"
+	"bba/internal/trace"
+	"bba/internal/units"
+)
+
+// Config parameterizes the soak runner. The zero value is usable: every
+// field has a default chosen so one cycle exercises fault injection,
+// failover, shaped links and the collector cross-check in about ten
+// seconds of wall clock.
+type Config struct {
+	// Sessions is the number of concurrent shaped client sessions per
+	// cycle (default 6).
+	Sessions int
+	// Seed is the master seed; every cycle's fault schedules, session
+	// seeds and title draw derive from (Seed, cycle), so a failing cycle
+	// is reproducible by number.
+	Seed int64
+	// Watch bounds each session's delivered video (default 12s). The
+	// playback buffer is capped at a quarter of it, so ON-OFF pacing
+	// stretches every session over most of the watch window — the wall
+	// time the fault schedule plays out against.
+	Watch time.Duration
+	// ChunkMS is the title's chunk duration in milliseconds (default 500).
+	ChunkMS int
+	// ShapeKbps is each session's constant downstream capacity before
+	// client-side blackouts are composed onto it (default 4000).
+	ShapeKbps int
+	// Algorithms are rotated across the cycle's sessions (registry names;
+	// default a mix of buffer-based and estimator algorithms).
+	Algorithms []string
+	// BaseURL targets an already-running origin instead of booting a
+	// primary/secondary pair in-process. Fault injection and failover are
+	// origin-side concerns, so both are disabled in this mode.
+	BaseURL string
+	// DisableFaults turns off origin-side fault injection (and the
+	// secondary origin that exists to absorb failover). Client-side
+	// blackouts still apply.
+	DisableFaults bool
+	// CollectorCheck ships every session's events through a real
+	// internal/collect pipeline (loopback HTTP) and cross-checks the
+	// collector's archive byte-for-byte against the local journals.
+	CollectorCheck bool
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Sessions <= 0 {
+		c.Sessions = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Watch <= 0 {
+		c.Watch = 12 * time.Second
+	}
+	if c.ChunkMS <= 0 {
+		c.ChunkMS = 500
+	}
+	if c.ShapeKbps <= 0 {
+		c.ShapeKbps = 4000
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = []string{"BBA-1", "BBA-2", "Control", "SmoothThroughput", "BBA-Others", "BOLA"}
+	}
+	return c
+}
+
+// chunkDuration returns the configured chunk duration.
+func (c Config) chunkDuration() time.Duration {
+	return time.Duration(c.ChunkMS) * time.Millisecond
+}
+
+// fetchPolicy is the tight retry envelope soak sessions run under: fast
+// enough that a fault-window chunk resolves within a couple of seconds,
+// generous enough (six attempts across two endpoints) that a clean
+// secondary always rescues the chunk.
+func fetchPolicy(seed int64) dash.FetchPolicy {
+	return dash.FetchPolicy{
+		ChunkTimeout: 2 * time.Second,
+		MaxAttempts:  6,
+		BackoffBase:  50 * time.Millisecond,
+		BackoffCap:   400 * time.Millisecond,
+		JitterSeed:   seed,
+	}
+}
+
+// SessionRecord is one session's complete account: its captured journal,
+// the player result, and the schedule facts the invariant checks need.
+type SessionRecord struct {
+	// Session is the journal label, "c<cycle>.s<index>.<algorithm>".
+	Session string
+	// Seed is the session's derived seed.
+	Seed int64
+	// Algorithm is the registry name the session ran.
+	Algorithm string
+	// Events is the session's captured journal, in emission order.
+	Events []telemetry.Event
+	// Result is the player result (nil when Err is non-nil).
+	Result *player.Result
+	// Err is a hard session error (manifest unreachable, context
+	// cancelled); chunk-level failure is not an error, it shows up as
+	// Result.Incomplete.
+	Err error
+	// Endpoints is how many origins the session could fail over across.
+	Endpoints int
+	// TailChunks is how many chunk fetches the session had left after
+	// the fault horizon closed (the last 3/4 of the watch window). The
+	// failover invariant is only decidable when this leaves room for a
+	// full fail-back streak (dash.FailBackAfter successes).
+	TailChunks int
+	// MaxAttempts is the per-chunk attempt budget the session ran under.
+	MaxAttempts int
+	// OutageBudget is the total client-side blackout time scheduled for
+	// the session; the rebuffer invariant's slack grows with it.
+	OutageBudget time.Duration
+	// ChunkDuration is the title's chunk duration.
+	ChunkDuration time.Duration
+	// ChunkTimeout is the per-attempt timeout; a zero-retry download can
+	// never have taken longer than this.
+	ChunkTimeout time.Duration
+	// Archive is the collector's archived JSONL for this session (nil
+	// when the collector check is off); Dropped counts events the
+	// shipper's hot path lost.
+	Archive []byte
+	// Dropped counts shipper-side event and frame loss; any loss fails
+	// the collector-agreement invariant.
+	Dropped int64
+}
+
+// Cycle is one completed soak cycle.
+type Cycle struct {
+	// Index is the cycle number.
+	Index int
+	// Sessions are the cycle's session records, in session order.
+	Sessions []SessionRecord
+	// Violations are every invariant breach the cycle's journals show.
+	Violations []Violation
+	// Checks counts invariant evaluations by name (a session that cannot
+	// be checked against an invariant — single endpoint, no reservoir
+	// events — does not count as a check).
+	Checks map[string]int
+	// Duration is the cycle's wall-clock time.
+	Duration time.Duration
+}
+
+// Pass reports whether the cycle completed with zero violations.
+func (c *Cycle) Pass() bool { return len(c.Violations) == 0 }
+
+// Runner executes soak cycles. Create one with NewRunner and drive it
+// with RunCycle (one cycle) or Run (a bounded or unbounded sequence).
+type Runner struct {
+	cfg   Config
+	start time.Time
+
+	// Observer, when non-nil, receives a SoakCycle event per completed
+	// cycle and an SLOBreach event per violation — the daemon's own
+	// journal, in the same event vocabulary as the sessions it drives.
+	Observer telemetry.Observer
+	// Metrics, when non-nil, accumulates SLO counters per cycle.
+	Metrics *Metrics
+}
+
+// NewRunner returns a Runner for cfg with defaults applied.
+func NewRunner(cfg Config) *Runner {
+	return &Runner{cfg: cfg.withDefaults(), start: time.Now()}
+}
+
+// Config returns the runner's effective (defaulted) configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// mix folds vals into seed with splitmix64 steps — the derivation every
+// per-cycle and per-session seed uses.
+func mix(seed int64, vals ...int64) int64 {
+	z := uint64(seed)
+	for _, v := range vals {
+		z ^= uint64(v) * 0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+	}
+	return int64(z &^ (1 << 63))
+}
+
+// originFaultConfig draws the primary origin's HTTP-path fault weather
+// for one cycle: 5xx bursts, stalled bodies, connection resets and
+// latency spikes, all confined to the first quarter of the watch window
+// so every session has time to fail over AND fail back before it ends.
+func originFaultConfig(watch time.Duration) faults.ScheduleConfig {
+	window := watch / 4
+	perHour := func(n float64) float64 { return n / window.Hours() }
+	return faults.ScheduleConfig{
+		Horizon:       window,
+		ServerErrors:  faults.EpisodeConfig{PerHour: perHour(2), MinDuration: 300 * time.Millisecond, MaxDuration: 700 * time.Millisecond},
+		StallBodies:   faults.EpisodeConfig{PerHour: perHour(1), MinDuration: 300 * time.Millisecond, MaxDuration: 600 * time.Millisecond},
+		ConnResets:    faults.EpisodeConfig{PerHour: perHour(1), MinDuration: 200 * time.Millisecond, MaxDuration: 500 * time.Millisecond},
+		LatencySpikes: faults.EpisodeConfig{PerHour: perHour(1), MinDuration: 300 * time.Millisecond, MaxDuration: 600 * time.Millisecond},
+		LatencyMin:    50 * time.Millisecond,
+		LatencyMax:    150 * time.Millisecond,
+	}
+}
+
+// blackoutConfig draws a session's client-side capacity blackouts over
+// the whole watch window.
+func blackoutConfig(watch time.Duration) faults.ScheduleConfig {
+	return faults.ScheduleConfig{
+		Horizon:   watch,
+		Blackouts: faults.EpisodeConfig{PerHour: 2 / watch.Hours(), MinDuration: 300 * time.Millisecond, MaxDuration: 800 * time.Millisecond},
+	}
+}
+
+// RunCycle executes one soak cycle: boot (or target) the origins, drive
+// the configured sessions concurrently through shaped connections under
+// the cycle's seeded fault schedules, then check every invariant on the
+// captured journals. The returned Cycle holds the verdicts; the error is
+// reserved for infrastructure failure (a port that will not bind, a
+// cancelled context), never for invariant breaches.
+func (r *Runner) RunCycle(ctx context.Context, cycle int) (*Cycle, error) {
+	cfg := r.cfg
+	cycleSeed := mix(cfg.Seed, int64(cycle))
+	cycleStart := time.Now()
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	endpoints, shutdown, err := r.bootOrigins(cycle, cycleSeed)
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+
+	// Optional collector pipeline on loopback HTTP.
+	var (
+		archive  syncBuffer
+		shippers []*collect.Shipper
+		colStop  func()
+	)
+	colAddr := ""
+	if cfg.CollectorCheck {
+		colAddr, colStop, err = startCollector(&archive)
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			if colStop != nil {
+				colStop()
+			}
+		}()
+	}
+
+	records := make([]SessionRecord, cfg.Sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sessions; i++ {
+		alg := cfg.Algorithms[i%len(cfg.Algorithms)]
+		seed := mix(cycleSeed, int64(i)+1)
+		name := fmt.Sprintf("c%d.s%d.%s", cycle, i, alg)
+		rec := &records[i]
+		rec.Session = name
+		rec.Seed = seed
+		rec.Algorithm = alg
+
+		var shipper *collect.Shipper
+		if cfg.CollectorCheck {
+			shipper, err = collect.NewShipper(collect.ShipperConfig{
+				Addr:          "http://" + colAddr,
+				Run:           fmt.Sprintf("soak-c%d", cycle),
+				Session:       uint64(i + 1),
+				FlushInterval: -1, // sealed explicitly at session end
+				Retry:         collect.RetryPolicy{Seed: seed},
+			})
+			if err != nil {
+				return nil, err
+			}
+			shippers = append(shippers, shipper)
+		}
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.runSession(ctx, rec, endpoints, shipper)
+		}()
+	}
+	wg.Wait()
+
+	if cfg.CollectorCheck {
+		for i, s := range shippers {
+			s.Seal()
+			if err := s.Close(); err != nil {
+				records[i].Dropped++ // a lost reliable lane counts as loss
+			}
+			st := s.Stats()
+			records[i].Dropped += st.EventsDropped + st.FramesDropped
+		}
+		colStop()
+		colStop = nil
+		archived := archive.bytes()
+		for i := range records {
+			records[i].Archive = filterSession(archived, records[i].Session)
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	c := &Cycle{
+		Index:    cycle,
+		Sessions: records,
+		Checks:   make(map[string]int),
+		Duration: time.Since(cycleStart),
+	}
+	for i := range records {
+		vs, checked := CheckSession(&records[i])
+		c.Violations = append(c.Violations, vs...)
+		for _, name := range checked {
+			c.Checks[name]++
+		}
+	}
+	r.observeCycle(c)
+	for _, v := range c.Violations {
+		logf("cycle %d: VIOLATION %s", cycle, v)
+	}
+	logf("cycle %d: %d sessions, %d violations in %v", cycle, len(records), len(c.Violations), c.Duration.Round(10*time.Millisecond))
+	return c, nil
+}
+
+// bootOrigins starts the cycle's primary (fault-injecting) and secondary
+// (clean) origins, or returns the external BaseURL when one is set.
+func (r *Runner) bootOrigins(cycle int, cycleSeed int64) (endpoints []string, shutdown func(), err error) {
+	cfg := r.cfg
+	if cfg.BaseURL != "" {
+		return []string{cfg.BaseURL}, func() {}, nil
+	}
+	video, err := media.NewVBR(media.VBRConfig{
+		Title:         fmt.Sprintf("soak-c%d", cycle),
+		Ladder:        media.DefaultLadder(),
+		ChunkDuration: cfg.chunkDuration(),
+		NumChunks:     int(cfg.Watch/cfg.chunkDuration()) * 2,
+	}, newRand(cycleSeed))
+	if err != nil {
+		return nil, nil, err
+	}
+	primary, err := dash.NewServer(video)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cfg.DisableFaults {
+		sched := faults.GenerateSeeded(originFaultConfig(cfg.Watch), cycleSeed)
+		primary.Injector = &faults.HTTPInjector{
+			Schedule:   sched,
+			Seed:       cycleSeed,
+			StallSleep: 2 * time.Second,
+		}
+		primary.Injector.Start(time.Now())
+	}
+	origins := make([]*dash.Origin, 0, 2)
+	o, err := dash.StartOrigin("127.0.0.1:0", primary, dash.OriginConfig{ShutdownGrace: 3 * time.Second})
+	if err != nil {
+		return nil, nil, err
+	}
+	origins = append(origins, o)
+	endpoints = []string{o.URL()}
+	if !cfg.DisableFaults {
+		secondary, err := dash.NewServer(video)
+		if err == nil {
+			var o2 *dash.Origin
+			o2, err = dash.StartOrigin("127.0.0.1:0", secondary, dash.OriginConfig{ShutdownGrace: 3 * time.Second})
+			if err == nil {
+				origins = append(origins, o2)
+				endpoints = append(endpoints, o2.URL())
+			}
+		}
+		if err != nil {
+			o.Close(context.Background())
+			return nil, nil, err
+		}
+	}
+	return endpoints, func() {
+		for _, o := range origins {
+			o.Close(context.Background())
+		}
+	}, nil
+}
+
+// runSession drives one shaped, fault-weathered session and fills rec.
+func (r *Runner) runSession(ctx context.Context, rec *SessionRecord, endpoints []string, shipper *collect.Shipper) {
+	cfg := r.cfg
+	fp := fetchPolicy(rec.Seed)
+	rec.Endpoints = len(endpoints)
+	rec.MaxAttempts = fp.MaxAttempts
+	rec.ChunkDuration = cfg.chunkDuration()
+	rec.ChunkTimeout = fp.ChunkTimeout
+	rec.TailChunks = int((cfg.Watch - cfg.Watch/4) / cfg.chunkDuration())
+
+	// The session's downstream path: a constant link with seeded
+	// blackouts composed onto it, shaped at the socket.
+	base := trace.Constant(units.BitRate(cfg.ShapeKbps)*units.Kbps, 4*cfg.Watch+time.Minute)
+	blackouts := faults.GenerateSeeded(blackoutConfig(cfg.Watch), rec.Seed)
+	for _, f := range blackouts.Faults() {
+		rec.OutageBudget += f.Duration
+	}
+	shaped, err := blackouts.ApplyToTrace(base)
+	if err != nil {
+		rec.Err = err
+		return
+	}
+	shaper := netem.NewShaper(shaped)
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			c, err := (&net.Dialer{}).DialContext(ctx, network, addr)
+			if err != nil {
+				return nil, err
+			}
+			return netem.NewConn(c, shaper), nil
+		},
+		MaxIdleConnsPerHost: 2,
+	}
+	defer transport.CloseIdleConnections()
+
+	algorithm, err := abr.New(rec.Algorithm)
+	if err != nil {
+		rec.Err = err
+		return
+	}
+	capture := &telemetry.Capture{}
+	var obs telemetry.Observer = capture
+	if shipper != nil {
+		obs = telemetry.Multi(capture, shipper)
+	}
+	// A quarter of the watch window, floored at two chunks so the ON-OFF
+	// loop always has room to operate even under tiny test windows.
+	bufMax := cfg.Watch / 4
+	if floor := 2 * cfg.chunkDuration(); bufMax < floor {
+		bufMax = floor
+	}
+	rec.Result, rec.Err = dash.Stream(ctx, dash.ClientConfig{
+		Endpoints:  endpoints,
+		Fetch:      fp,
+		HTTPClient: &http.Client{Transport: transport},
+		Algorithm:  algorithm,
+		BufferMax:  bufMax,
+		WatchLimit: cfg.Watch,
+		Observer:   stamped{session: rec.Session, next: obs},
+	})
+	rec.Events = capture.Events
+}
+
+// observeCycle reports a finished cycle to the runner's Observer and
+// Metrics.
+func (r *Runner) observeCycle(c *Cycle) {
+	if r.Metrics != nil {
+		r.Metrics.ObserveCycle(c)
+	}
+	if r.Observer == nil {
+		return
+	}
+	label := "pass"
+	if !c.Pass() {
+		label = "fail"
+	}
+	at := time.Since(r.start)
+	for _, v := range c.Violations {
+		r.Observer.OnEvent(telemetry.Event{
+			Kind: telemetry.SLOBreach, At: at, Chunk: c.Index,
+			RateIndex: -1, PrevRateIndex: -1,
+			Session: v.Session, Label: v.Invariant,
+		})
+	}
+	r.Observer.OnEvent(telemetry.Event{
+		Kind: telemetry.SoakCycle, At: at, Chunk: c.Index,
+		RateIndex: -1, PrevRateIndex: -1,
+		Bytes: int64(len(c.Sessions)), Duration: c.Duration, Label: label,
+	})
+}
+
+// Run executes cycles sequentially until the count is reached (cycles
+// <= 0 means run until ctx is cancelled), pausing interval between
+// them. It returns the number of failed cycles; the error reports
+// infrastructure failure or context cancellation (a cancelled unbounded
+// run returns failed, nil — that is the daemon's normal exit).
+func (r *Runner) Run(ctx context.Context, cycles int, interval time.Duration) (failed int, err error) {
+	for i := 0; cycles <= 0 || i < cycles; i++ {
+		c, err := r.RunCycle(ctx, i)
+		if err != nil {
+			if cycles <= 0 && ctx.Err() != nil {
+				return failed, nil
+			}
+			return failed, err
+		}
+		if !c.Pass() {
+			failed++
+		}
+		if interval > 0 && (cycles <= 0 || i+1 < cycles) {
+			select {
+			case <-ctx.Done():
+				if cycles <= 0 {
+					return failed, nil
+				}
+				return failed, ctx.Err()
+			case <-time.After(interval):
+			}
+		}
+	}
+	return failed, nil
+}
+
+// stamped stamps the session label onto every event BEFORE fan-out, so
+// the local capture and the shipped copy carry identical bytes — the
+// precondition of the collector-agreement invariant.
+type stamped struct {
+	session string
+	next    telemetry.Observer
+}
+
+func (s stamped) OnEvent(e telemetry.Event) {
+	if e.Session == "" {
+		e.Session = s.session
+	}
+	s.next.OnEvent(e)
+}
+
+// syncBuffer is an archiver sink safe for use as the collector's archive
+// writer and for reading after the collector stops.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// startCollector boots a real collector on loopback HTTP, archiving every
+// admitted event batch into sink.
+func startCollector(sink *syncBuffer) (addr string, stop func(), err error) {
+	col := collect.NewCollector(collect.CollectorConfig{Archive: collect.WriterArchiver{W: sink}})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: col.Handler()}
+	go hs.Serve(ln)
+	var once sync.Once
+	return ln.Addr().String(), func() {
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			hs.Shutdown(ctx)
+			cancel()
+		})
+	}, nil
+}
+
+// filterSession extracts the archive's JSONL lines belonging to one
+// session, preserving their exact bytes and admitted order. Line format
+// is the canonical journal encoding, so the session field is a fixed
+// early key and a quoted exact match cannot collide across sessions.
+func filterSession(archive []byte, session string) []byte {
+	needle := []byte(`"session":` + strconv.Quote(session))
+	var out []byte
+	for len(archive) > 0 {
+		nl := bytes.IndexByte(archive, '\n')
+		var line []byte
+		if nl < 0 {
+			line, archive = archive, nil
+		} else {
+			line, archive = archive[:nl+1], archive[nl+1:]
+		}
+		if bytes.Contains(line, needle) {
+			out = append(out, line...)
+		}
+	}
+	return out
+}

@@ -105,6 +105,16 @@ const (
 	// elsewhere), Bytes the number of shards returned to the pending pool,
 	// At the elapsed wall-clock time.
 	LeaseExpire
+	// SoakCycle is emitted by the soak daemon once per completed cycle:
+	// Chunk is the cycle index, Bytes the sessions driven, Duration the
+	// cycle's wall-clock time, Label "pass" or "fail", At the elapsed
+	// daemon time.
+	SoakCycle
+	// SLOBreach is emitted by the soak daemon for every invariant a cycle
+	// violates: Label is the invariant name, Session the offending session
+	// (empty for cycle-level breaches), Chunk the cycle index, At the
+	// elapsed daemon time.
+	SLOBreach
 
 	// numKinds is one past the last valid Kind. Keep it last: the
 	// exhaustive round-trip test walks [SessionStart, numKinds) and fails
@@ -132,6 +142,8 @@ var kindNames = [...]string{
 	WorkerJoin:       "worker_join",
 	LeaseGrant:       "lease_grant",
 	LeaseExpire:      "lease_expire",
+	SoakCycle:        "soak_cycle",
+	SLOBreach:        "slo_breach",
 }
 
 // String returns the snake_case name used in the JSONL journal.
